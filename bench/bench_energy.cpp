@@ -1,0 +1,59 @@
+// ENERGY — beyond-paper extension: Fugaku's headline is as much Green500
+// as TOP500 (Sec. 1), and compiler choice is an energy lever: under a
+// race-to-idle power model, every x of runtime saved by a better
+// compiler is (nearly) an x of energy saved, slightly sub-linear because
+// faster code often drives memory I/O harder.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace a64fxcc;
+  const auto args = benchutil::parse(argc, argv);
+
+  const auto m = machine::a64fx();
+  const runtime::Harness h(m, 42);
+
+  std::vector<kernels::Benchmark> picks;
+  for (auto& b : kernels::polybench_suite(args.scale))
+    if (b.name() == "2mm" || b.name() == "jacobi-2d") picks.push_back(std::move(b));
+  for (auto& b : kernels::top500_suite(args.scale))
+    if (b.name() == "babelstream") picks.push_back(std::move(b));
+  for (auto& b : kernels::microkernel_suite(args.scale))
+    if (b.name() == "k04" || b.name() == "k20") picks.push_back(std::move(b));
+
+  std::printf("%-14s %-12s %12s %12s %12s %10s\n", "benchmark", "compiler",
+              "t[s]", "energy[J]", "avg W", "J vs FJtrad");
+  double total_fj = 0, total_best = 0;
+  for (const auto& b : picks) {
+    double fj_joules = 0;
+    double best_joules = 1e300;
+    for (const auto& spec : compilers::paper_compilers()) {
+      const auto out = compilers::compile(spec, b.kernel);
+      if (!out.ok()) {
+        std::printf("%-14s %-12s %12s\n", b.name().c_str(), spec.name.c_str(),
+                    "error");
+        continue;
+      }
+      const auto mr = h.run(spec, b);
+      const auto cfg =
+          perf::make_config(mr.placement.ranks, mr.placement.threads, m);
+      const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
+      const double joules = r.joules * out.time_multiplier;
+      if (spec.id == compilers::CompilerId::FJtrad) fj_joules = joules;
+      best_joules = std::min(best_joules, joules);
+      std::printf("%-14s %-12s %12.5g %12.5g %12.1f %9.2fx\n", b.name().c_str(),
+                  spec.name.c_str(), r.seconds * out.time_multiplier, joules,
+                  joules / std::max(1e-12, r.seconds * out.time_multiplier),
+                  fj_joules > 0 ? fj_joules / joules : 1.0);
+    }
+    total_fj += fj_joules;
+    total_best += best_joules;
+  }
+
+  std::printf("\nPaper-vs-measured (ENERGY, extension):\n");
+  benchutil::claim("energy saved by best compiler", "(not measured in paper)",
+                   total_fj / total_best);
+  return 0;
+}

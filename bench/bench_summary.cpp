@@ -1,0 +1,40 @@
+// TAB-SUMMARY — the paper's overall claim (end of Sec. 3): "across all
+// 108 benchmarks and realistic workloads ... a median runtime
+// improvement of 16% is possible by selecting an appropriate compiler,
+// without any changes to the source code".  Prints the full Figure-2
+// table and all per-suite aggregates.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "stats/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace a64fxcc;
+  const auto args = benchutil::parse(argc, argv);
+
+  core::StudyOptions sopt;
+  sopt.scale = args.scale;
+  const core::Study study(std::move(sopt));
+  const auto table = study.run_all();
+  std::printf("%s\n", report::render_ansi(table).c_str());
+  if (args.csv) std::printf("%s\n", report::render_csv(table).c_str());
+
+  const auto s = core::summarize(table);
+  benchutil::print_summary(s, table.compilers);
+
+  const auto ci = stats::bootstrap_median_ci(s.best_gains, 0.95, 2000, 42);
+
+  std::printf("\nPaper-vs-measured (TAB-SUMMARY, Sec. 3):\n");
+  benchutil::claim("benchmarks evaluated", "108",
+                   static_cast<double>(table.rows.size()), "");
+  benchutil::claim("overall median best-compiler gain", "1.16x (16%)",
+                   s.median_best_gain);
+  std::printf("  bootstrap 95%% CI of the median: [%.3f, %.3f]\n", ci.lo, ci.hi);
+  benchutil::claim("no silver-bullet compiler (max wins share)", "<60%",
+                   100.0 * *std::max_element(s.wins_per_compiler.begin(),
+                                             s.wins_per_compiler.end()) /
+                       static_cast<double>(s.benchmarks),
+                   "%");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Custom kernel walkthrough: define your own loop nest with the builder
+// DSL, let every compiler model transform it, *prove* each result is
+// semantically equivalent with the reference interpreter, and predict
+// its performance on A64FX vs the Xeon reference.
+//
+//   $ ./examples/custom_kernel
+
+#include <cstdio>
+
+#include "compilers/compiler_model.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "machine/machine.hpp"
+#include "perf/perf_model.hpp"
+
+int main() {
+  using namespace a64fxcc;
+  using namespace a64fxcc::ir;
+
+  // A deliberately cache-hostile kernel: column-major accumulation, the
+  // pattern behind the paper's mvt story.
+  KernelBuilder kb("colsum", {.language = Language::C,
+                              .parallel = ParallelModel::Serial,
+                              .suite = "example"});
+  auto N = kb.param("N", 1200);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, /*is_input=*/false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] { kb.accum(y(i), A(j, i) * x(j)); });
+  });
+  const Kernel source = std::move(kb).build();
+
+  std::printf("Your kernel:\n%s\n", to_string(source).c_str());
+
+  // Small copy for interpreter-backed verification.
+  Kernel small = source.clone();
+  small.set_param("N", 24);
+
+  const auto a64 = machine::a64fx();
+  const auto xeon = machine::xeon_cascadelake();
+
+  std::printf("%-12s %-10s %12s %12s %10s\n", "compiler", "verified",
+              "A64FX t[s]", "Xeon t[s]", "bottleneck");
+  for (const auto& spec : compilers::paper_compilers()) {
+    const auto out = compilers::compile(spec, source);
+    if (!out.ok()) {
+      std::printf("%-12s quirk error\n", spec.name.c_str());
+      continue;
+    }
+    // Semantics check at small size.
+    const auto out_small = compilers::compile(spec, small);
+    std::string why;
+    const bool ok = interp::equivalent(small, *out_small.kernel, 1e-9, 1e-12, &why);
+
+    const auto ra = perf::estimate(*out.kernel, a64,
+                                   perf::make_config(1, 1, a64), out.profile);
+    const auto rx = perf::estimate(*out.kernel, xeon,
+                                   perf::make_config(1, 1, xeon), out.profile);
+    std::printf("%-12s %-10s %12.5f %12.5f %10s\n", spec.name.c_str(),
+                ok ? "yes" : ("NO: " + why).c_str(), ra.seconds, rx.seconds,
+                ra.bottleneck.c_str());
+  }
+  std::printf(
+      "\nNote how the compilers that interchange the nest (making A[j][i]\n"
+      "unit-stride) escape the latency wall that A64FX's 256-byte lines\n"
+      "turn into a cliff.\n");
+  return 0;
+}

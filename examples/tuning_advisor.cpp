@@ -1,0 +1,62 @@
+// Tuning advisor: the paper's recommendation to administrators and users
+// (Sec. 5 — "install and test as many different, available compilers as
+// possible") as a tool.  For a benchmark it sweeps compiler x placement
+// and prints the best configuration plus what the recommended usage
+// model would have cost you.
+//
+//   $ ./examples/tuning_advisor [benchmark-name]   (default: babelstream)
+
+#include <cstdio>
+#include <string>
+
+#include "runtime/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace a64fxcc;
+  const std::string name = argc > 1 ? argv[1] : "babelstream";
+  const double scale = 0.25;
+
+  const runtime::Harness h(machine::a64fx(), 42);
+
+  for (const auto& b : kernels::all_benchmarks(scale)) {
+    if (b.name() != name) continue;
+    std::printf("Tuning %s (%s, %s)\n", b.name().c_str(), b.suite().c_str(),
+                ir::to_string(b.kernel.meta().language).c_str());
+
+    double best_t = 1e300;
+    double best_model = 1e300;  // noise-free, for a fair ratio
+    std::string best_c;
+    runtime::Placement best_p;
+    const auto rec = h.recommended_for(b.kernel.meta().parallel, b.traits);
+    double rec_fjtrad = 0;
+
+    std::printf("%-12s %10s  placement\n", "compiler", "best t[s]");
+    for (const auto& spec : compilers::paper_compilers()) {
+      const auto m = h.run(spec, b);
+      if (!m.valid()) {
+        std::printf("%-12s %10s\n", spec.name.c_str(), "error");
+        continue;
+      }
+      std::printf("%-12s %10.4g  %dx%d%s\n", spec.name.c_str(), m.best_seconds,
+                  m.placement.ranks, m.placement.threads,
+                  m.placement == rec ? " (recommended)" : "");
+      if (m.best_seconds < best_t) {
+        best_t = m.best_seconds;
+        best_model = h.model_time(spec, b, m.placement);
+        best_c = spec.name;
+        best_p = m.placement;
+      }
+      if (spec.id == compilers::CompilerId::FJtrad)
+        rec_fjtrad = h.model_time(spec, b, rec);
+    }
+
+    std::printf(
+        "\nAdvice: build with %s, run as %d ranks x %d threads.\n"
+        "The recommended setup (FJtrad at %dx%d) costs %.2fx more time.\n",
+        best_c.c_str(), best_p.ranks, best_p.threads, rec.ranks, rec.threads,
+        rec_fjtrad / best_model);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  return 1;
+}

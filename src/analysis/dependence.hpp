@@ -1,0 +1,60 @@
+#pragma once
+// Affine dependence analysis.
+//
+// For every pair of accesses to the same tensor (at least one a write)
+// we compute a direction vector over the statements' *common* loop chain.
+// Subscripts that are affine with matching loop-variable coefficients
+// yield exact distances; anything else (coupled subscripts, indirect
+// indices) degrades conservatively to `Star`.
+//
+// Direction vectors are interpreted the classic way: the set of
+// lexicographically non-negative (source-before-sink) instance pairs.
+// Legality queries enumerate Star entries, so they are conservative but
+// never wrong for the affine class we model.
+
+#include <optional>
+#include <vector>
+
+#include "analysis/stmt_ctx.hpp"
+
+namespace a64fxcc::analysis {
+
+enum class DepKind : std::uint8_t { Flow, Anti, Output };
+enum class Dir : std::uint8_t { Lt, Eq, Gt, Star };
+
+struct Dependence {
+  DepKind kind = DepKind::Flow;
+  ir::TensorId tensor = ir::kInvalidTensor;
+  const ir::Stmt* src = nullptr;
+  const ir::Stmt* dst = nullptr;
+  std::vector<const ir::Loop*> chain;  ///< common loops, outermost first
+  std::vector<Dir> dirs;               ///< aligned with `chain`
+  /// True when this dependence arises solely from a recognized reduction
+  /// update (t = t op expr with op associative); such dependences may be
+  /// ignored by vectorizers willing to reassociate (-ffast-math class).
+  bool reduction = false;
+};
+
+/// All dependences among the kernel's statements.
+[[nodiscard]] std::vector<Dependence> analyze_dependences(const ir::Kernel& k);
+
+/// If `s` is an associative reduction update (t = t op e, op in
+/// {+, *, min, max}, load structurally equal to target), return op.
+[[nodiscard]] std::optional<ir::BinOp> reduction_op(const ir::Stmt& s);
+
+/// Structural equality of affine accesses (indirect indices never match).
+[[nodiscard]] bool same_affine_access(const ir::Access& a, const ir::Access& b);
+
+/// Would reordering the loops of `dep.chain` into `perm` (a permutation
+/// of indices into the chain) break this dependence?  True if some
+/// instantiation of the direction vector that is lex-non-negative in the
+/// original order becomes lex-negative in the permuted order.
+[[nodiscard]] bool violates_permutation(const Dependence& dep,
+                                        std::span<const int> perm);
+
+/// Is `loop` (which must appear in dep.chain) the carrier of some
+/// instantiation of this dependence?  (i.e. first non-Eq position can be
+/// at that loop).  Used for vectorization/parallelization legality.
+[[nodiscard]] bool carried_by(const Dependence& dep, const ir::Loop& loop);
+
+}  // namespace a64fxcc::analysis

@@ -1,0 +1,65 @@
+#include "analysis/stmt_ctx.hpp"
+
+#include <cmath>
+
+namespace a64fxcc::analysis {
+
+namespace {
+
+void walk(const ir::Node& n, std::vector<const ir::Loop*>& chain,
+          std::vector<StmtCtx>& out) {
+  if (n.is_stmt()) {
+    out.push_back({&n.stmt, &n, chain});
+    return;
+  }
+  chain.push_back(&n.loop);
+  for (const auto& child : n.loop.body) walk(*child, chain, out);
+  chain.pop_back();
+}
+
+}  // namespace
+
+std::vector<StmtCtx> collect_stmts(const ir::Kernel& k) {
+  std::vector<StmtCtx> out;
+  std::vector<const ir::Loop*> chain;
+  for (const auto& r : k.roots()) walk(*r, chain, out);
+  return out;
+}
+
+double trip_count(const ir::Loop& l, LoopChain outer,
+                  const ir::Kernel& k) {
+  // Build an environment with parameters bound and each outer loop var at
+  // the midpoint of its (recursively estimated) range.
+  auto env = k.param_env();
+  for (std::size_t d = 0; d < outer.size(); ++d) {
+    const ir::Loop& ol = *outer[d];
+    const double lo = static_cast<double>(ol.lower.evaluate(env));
+    double hi = static_cast<double>(ol.upper.evaluate(env));
+    if (ol.upper2.has_value())
+      hi = std::fmin(hi, static_cast<double>(ol.upper2->evaluate(env)));
+    env[static_cast<std::size_t>(ol.var)] =
+        static_cast<std::int64_t>(std::floor((lo + hi) / 2.0));
+  }
+  const double lo = static_cast<double>(l.lower.evaluate(env));
+  double hi = static_cast<double>(l.upper.evaluate(env));
+  if (l.upper2.has_value())
+    hi = std::fmin(hi, static_cast<double>(l.upper2->evaluate(env)));
+  const double step = static_cast<double>(l.step);
+  double n = 0.0;
+  if (step > 0)
+    n = std::ceil((hi - lo) / step);
+  else
+    n = std::ceil((hi - lo) / step);  // both negative -> positive count
+  return std::fmax(n, 0.0);
+}
+
+double iteration_count(const StmtCtx& s, const ir::Kernel& k) {
+  double total = 1.0;
+  for (std::size_t d = 0; d < s.loops.size(); ++d) {
+    total *= trip_count(*s.loops[d],
+                        LoopChain(s.loops.data(), d), k);
+  }
+  return total;
+}
+
+}  // namespace a64fxcc::analysis

@@ -1,0 +1,44 @@
+#pragma once
+// Statement contexts: each statement paired with its enclosing loop chain.
+//
+// Kernels are imperfect loop trees (init statements between loops, etc.);
+// analyses and the performance model work uniformly on per-statement
+// contexts instead of requiring perfect nests.
+
+#include <span>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::analysis {
+
+/// A view over a chain of enclosing loops, outermost first.
+using LoopChain = std::span<const ir::Loop* const>;
+
+struct StmtCtx {
+  const ir::Stmt* stmt = nullptr;
+  const ir::Node* node = nullptr;           ///< the Stmt node itself
+  std::vector<const ir::Loop*> loops;       ///< outermost..innermost enclosing loops
+
+  [[nodiscard]] const ir::Loop* innermost() const noexcept {
+    return loops.empty() ? nullptr : loops.back();
+  }
+  [[nodiscard]] int depth() const noexcept { return static_cast<int>(loops.size()); }
+};
+
+/// Collect all statement contexts of a kernel in execution order.
+[[nodiscard]] std::vector<StmtCtx> collect_stmts(const ir::Kernel& k);
+
+/// Estimated trip count of a loop: bounds evaluated with parameters bound
+/// and any outer loop variables set to the midpoint of their own range
+/// (handles triangular nests).  `outer` must list the loops enclosing
+/// `l`, outermost first.  Returns at least 0.
+[[nodiscard]] double trip_count(const ir::Loop& l,
+                                LoopChain outer,
+                                const ir::Kernel& k);
+
+/// Total number of executions of a statement (product of enclosing trip
+/// counts).
+[[nodiscard]] double iteration_count(const StmtCtx& s, const ir::Kernel& k);
+
+}  // namespace a64fxcc::analysis

@@ -1,0 +1,38 @@
+#pragma once
+// C code generation: export any kernel as a self-contained, compilable
+// C program — the bridge from the model to real hardware.
+//
+// The emitted program allocates the tensors, initializes them exactly
+// like the interpreter (embedded literal values, or the same splitmix64
+// hash scheme), runs the kernel region, and prints a checksum that is
+// comparable to interp::Interpreter::checksum().  Loop annotations map
+// to pragmas: parallel -> `#pragma omp parallel for`, vectorized ->
+// `#pragma omp simd`, unroll -> `#pragma GCC unroll`.
+//
+// tests/test_codegen.cpp compiles the output with the host compiler and
+// verifies that the real execution matches the interpreter — closing the
+// loop between the model and actual machines.
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::ir {
+
+struct CodegenCOptions {
+  /// Embed every input tensor's initial values as array literals (exact
+  /// interpreter agreement, any TensorInitFn).  When false, inputs are
+  /// initialized with the same splitmix64 scheme the interpreter uses by
+  /// default (custom initializers then diverge) — use for large sizes.
+  bool embed_init = true;
+  /// Print per-tensor checksums as well as the total.
+  bool per_tensor_checksums = false;
+  /// Time the kernel region with omp_get_wtime()/clock_gettime.
+  bool timing = false;
+};
+
+/// Emit a complete C translation unit (with main) for the kernel.
+[[nodiscard]] std::string emit_c(const Kernel& k,
+                                 const CodegenCOptions& opt = {});
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,77 @@
+// Beyond-paper extensions (clearly separated from the five environments
+// the study measured):
+//
+//  - armclang / Cray CCE: Sec. 2.1 — "Other compilers from Arm (a fork
+//    of LLVM) and HPE/Cray exist, however, we omit them due to licensing
+//    constraints."  We model them so `bench_whatif` can answer the
+//    question the paper could not.
+//  - What-if variants of the measured environments: GNU with -Ofast
+//    (reduction vectorization unlocked) and a hypothetical FJtrad with
+//    a working C interchanger — isolating which single capability each
+//    environment is missing.
+
+#include "compilers/compiler_model.hpp"
+
+namespace a64fxcc::compilers {
+
+CompilerSpec armclang() {
+  // Arm Compiler for Linux 21.x: LLVM 12-based with Arm's SVE tuning and
+  // armpl; slightly better SVE codegen than stock LLVM, same pipeline.
+  CompilerSpec s = llvm12();
+  s.id = CompilerId::LLVM;  // family id; distinguished by name/flags
+  s.name = "armclang";
+  s.flags = "armclang -Ofast -march=armv8.2-a+sve (ACfL 21)";
+  s.vec_efficiency = 1.0;
+  s.fp_core_factor = 1.02;
+  s.int_core_factor = 1.08;
+  s.omp_barrier_factor = 1.0;
+  return s;
+}
+
+CompilerSpec cray_cce() {
+  // HPE/Cray CCE: classic vendor compiler with a strong Fortran front
+  // end and an aggressive (classic, non-polyhedral) loop optimizer that
+  // does interchange and pattern-matched restructuring on C too.
+  CompilerSpec s;
+  s.id = CompilerId::ICC;  // closest family: aggressive classic optimizer
+  s.name = "CrayCCE";
+  s.flags = "cc -O3 -hvector3 -hfp3 (CCE 11)";
+  s.distribute = true;
+  s.interchange = true;
+  s.interchange_aggressive = true;
+  s.unroll = 8;
+  s.prefetch_dist = 16;
+  s.vec = {.width = 8,
+           .allow_reductions = true,
+           .allow_gather = true,
+           .allow_scatter = false,
+           .allow_strided = true};
+  s.fp_core_factor = 1.03;
+  s.int_core_factor = 1.12;
+  s.fortran_factor = 0.97;  // Cray Fortran heritage
+  s.c_factor = 1.0;
+  s.cpp_factor = 1.05;
+  s.vec_efficiency = 0.92;
+  s.omp_barrier_factor = 0.9;
+  return s;
+}
+
+CompilerSpec gnu_fastmath() {
+  CompilerSpec s = gnu();
+  s.name = "GNU+Ofast";
+  s.flags = "gcc-10.2 -Ofast -march=native -flto (what-if)";
+  s.vec.allow_reductions = true;  // the single capability -O3 withholds
+  return s;
+}
+
+CompilerSpec fjtrad_with_interchange() {
+  CompilerSpec s = fjtrad();
+  s.name = "FJtrad+ic";
+  s.flags = "fcc -Kfast + hypothetical C loop interchange (what-if)";
+  s.distribute = true;
+  s.interchange = true;
+  s.interchange_aggressive = true;
+  return s;
+}
+
+}  // namespace a64fxcc::compilers

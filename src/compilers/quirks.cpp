@@ -1,0 +1,75 @@
+// Quirk database: compiler behaviours the paper documents that are bugs
+// or pathologies, not heuristics.  Each entry cites the observation it
+// encodes.  bench_ablation_quirks disables this table to show which
+// headline numbers are emergent vs. encoded.
+
+#include "compilers/compiler_model.hpp"
+
+namespace a64fxcc::compilers {
+
+const std::vector<Quirk>& quirk_db() {
+  using Status = CompileOutcome::Status;
+  static const std::vector<Quirk> db = {
+      // Figure 2 / Sec. 3.1: "[GNU] produces 6 executables which result
+      // in runtime errors" on the RIKEN micro kernels.  The affected
+      // kernel ids are not named in the paper; the selection below is an
+      // assumption documented in DESIGN.md.
+      {CompilerId::GNU, "k02", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+      {CompilerId::GNU, "k05", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+      {CompilerId::GNU, "k09", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+      {CompilerId::GNU, "k13", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+      {CompilerId::GNU, "k17", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+      {CompilerId::GNU, "k21", Status::RuntimeError, 1.0,
+       "GNU runtime error on micro kernel (Sec. 3.1: 6 of 22)"},
+
+      // Figure 2 note: invalid entries explained, "e.g. compiler error,
+      // see Kernel 22".  Assigned to the clang-based environments (OCL
+      // directives unsupported) — an assumption documented in DESIGN.md.
+      {CompilerId::FJclang, "k22", Status::CompileError, 1.0,
+       "compiler error on Kernel 22 (Fig. 2 note)"},
+      {CompilerId::LLVM, "k22", Status::CompileError, 1.0,
+       "compiler error on Kernel 22 (Fig. 2 note)"},
+      {CompilerId::LLVMPolly, "k22", Status::CompileError, 1.0,
+       "compiler error on Kernel 22 (Fig. 2 note)"},
+
+      // Sec. 3.1: "for mvt the polyhedral optimizations resulted in over
+      // 250,000x speedup".  A gap that size cannot come from locality
+      // alone: on the FJtrad side the emitted column-stride code
+      // pathologically thrashes (large-page TLB + no prefetch), and on
+      // the Polly side the scheduler effectively removes the kernel's
+      // cost for the measured region.  We encode both halves explicitly.
+      {CompilerId::FJtrad, "mvt", Status::Ok, 14.0,
+       "pathological column-stride codegen under -Klargepage (Sec. 3.1)"},
+      {CompilerId::LLVMPolly, "mvt", Status::Ok, 1.0 / 1400.0,
+       "polly schedule collapses the measured region (Sec. 3.1, >250000x)"},
+
+      // Sec. 3.2: "The 6.7x speedup for XSBench is salient, because it
+      // also demonstrates that polly can have an impact on real
+      // workloads."  XSBench's unionized-grid search is not an affine
+      // SCoP in our IR, so the polly win cannot emerge from the generic
+      // driver; it is encoded here.
+      {CompilerId::LLVMPolly, "xsbench", Status::Ok, 1.0 / 3.3,
+       "polly restructures the unionized-grid scan (Sec. 3.2, 6.7x)"},
+
+      // Sec. 3.3: "We see speedup as high as 16.5x in SPEC OMP simply by
+      // switching compilers (e.g., for kdtree)".  kdtree is deeply
+      // templated recursive C++; trad mode's front end produces
+      // pathological code for it (outlined recursion, no inlining).
+      {CompilerId::FJtrad, "kdtree", Status::Ok, 15.0,
+       "trad-mode C++ template/recursion pathology (Sec. 3.3, 16.5x)"},
+  };
+  return db;
+}
+
+const Quirk* find_quirk(CompilerId id, const std::string& kernel) {
+  for (const auto& q : quirk_db())
+    if (q.compiler == id && q.kernel == kernel) return &q;
+  return nullptr;
+}
+
+}  // namespace a64fxcc::compilers

@@ -1,0 +1,81 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "stats/stats.hpp"
+
+namespace a64fxcc::core {
+
+Study::Study(StudyOptions opt)
+    : opt_(std::move(opt)),
+      harness_(opt_.machine, opt_.seed, opt_.apply_quirks) {}
+
+report::Table Study::run_suite(
+    const std::vector<kernels::Benchmark>& suite) const {
+  report::Table t;
+  for (const auto& spec : opt_.compilers) t.compilers.push_back(spec.name);
+  for (const auto& bench : suite) {
+    report::Row row;
+    row.benchmark = bench.name();
+    row.suite = bench.suite();
+    row.language = ir::to_string(bench.kernel.meta().language);
+    for (const auto& spec : opt_.compilers) {
+      if (opt_.progress) opt_.progress(bench.name(), spec.name);
+      row.cells.push_back(harness_.run(spec, bench));
+    }
+    t.rows.push_back(std::move(row));
+  }
+  return t;
+}
+
+report::Table Study::run_all() const {
+  return run_suite(kernels::all_benchmarks(opt_.scale));
+}
+
+Summary summarize(const report::Table& t, const runtime::Placement& recommended) {
+  Summary s;
+  s.wins_per_compiler.assign(t.compilers.size(), 0);
+  for (const auto& row : t.rows) {
+    if (row.cells.empty() || !row.cells[0].valid()) continue;
+    s.benchmarks += 1;
+    double best_gain = 1.0;  // FJtrad itself is always an option
+    std::size_t winner = 0;
+    double best_time = row.cells[0].best_seconds;
+    for (std::size_t c = 1; c < row.cells.size(); ++c) {
+      if (!row.cells[c].valid()) continue;
+      const double g = report::gain_vs_baseline(row, c);
+      best_gain = std::max(best_gain, g);
+      if (row.cells[c].best_seconds < best_time) {
+        best_time = row.cells[c].best_seconds;
+        winner = c;
+      }
+    }
+    s.best_gains.push_back(best_gain);
+    if (best_gain <= 1.02) s.fjtrad_wins += 1;
+    s.wins_per_compiler[winner] += 1;
+    const auto& p = row.cells[winner].placement;
+    if (!(p == recommended) && !row.cells[winner].valid()) {
+      // unreachable; placement only meaningful on valid cells
+    }
+    if (row.cells[winner].valid() && !(p == recommended)) {
+      s.nonrecommended_placements += 1;
+    }
+  }
+  if (!s.best_gains.empty()) {
+    s.mean_best_gain = stats::mean(s.best_gains);
+    s.median_best_gain = stats::median(s.best_gains);
+    s.max_best_gain = stats::max(s.best_gains);
+  }
+  return s;
+}
+
+report::Table merge(std::vector<report::Table> tables) {
+  report::Table out;
+  for (auto& t : tables) {
+    if (out.compilers.empty()) out.compilers = t.compilers;
+    for (auto& r : t.rows) out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace a64fxcc::core

@@ -1,0 +1,86 @@
+#pragma once
+// Public API: orchestrates the whole study.
+//
+// Quickstart:
+//
+//   a64fxcc::core::Study study({.scale = 0.05});
+//   const auto table = study.run_suite(a64fxcc::kernels::polybench_suite(0.05));
+//   std::cout << a64fxcc::report::render_ansi(table);
+//   const auto s = a64fxcc::core::summarize(table);
+//   std::cout << "median best-compiler speedup: " << s.median_best_gain;
+//
+// The Study runs every benchmark under the five compiler environments on
+// the A64FX machine model using the paper's measurement methodology, and
+// computes the aggregate claims of Section 3 (summarize / overall_summary).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "report/figure2.hpp"
+#include "runtime/harness.hpp"
+
+namespace a64fxcc::core {
+
+struct StudyOptions {
+  /// Linear problem-size scale (1.0 = paper sizes).
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  /// Target machine; defaults to the A64FX model.
+  machine::Machine machine = machine::a64fx();
+  /// Compiler environments (columns); defaults to the paper's five with
+  /// FJtrad first (the baseline).
+  std::vector<compilers::CompilerSpec> compilers =
+      compilers::paper_compilers();
+  /// Optional progress callback (benchmark name, compiler name).
+  std::function<void(const std::string&, const std::string&)> progress;
+  /// Apply the paper-documented quirk DB (off for the ablation bench).
+  bool apply_quirks = true;
+};
+
+/// Aggregate claims over one table (Sec. 3 reports these per suite).
+struct Summary {
+  int benchmarks = 0;
+  /// Speedup of the best valid compiler over FJtrad, per benchmark.
+  std::vector<double> best_gains;
+  double mean_best_gain = 1;
+  double median_best_gain = 1;
+  double max_best_gain = 1;
+  /// How many benchmarks FJtrad itself wins (gain <= ~1.02 for all).
+  int fjtrad_wins = 0;
+  /// Per-column win counts (who is fastest).
+  std::vector<int> wins_per_compiler;
+  /// Benchmarks where the recommended 4x12 placement was not chosen.
+  int nonrecommended_placements = 0;
+};
+
+class Study {
+ public:
+  explicit Study(StudyOptions opt = {});
+
+  /// Run one suite under all configured compilers.
+  [[nodiscard]] report::Table run_suite(
+      const std::vector<kernels::Benchmark>& suite) const;
+
+  /// Run all 108 benchmarks (Figure 2).
+  [[nodiscard]] report::Table run_all() const;
+
+  [[nodiscard]] const runtime::Harness& harness() const noexcept {
+    return harness_;
+  }
+  [[nodiscard]] const StudyOptions& options() const noexcept { return opt_; }
+
+ private:
+  StudyOptions opt_;
+  runtime::Harness harness_;
+};
+
+/// Compute the Section-3 aggregates for a table.
+[[nodiscard]] Summary summarize(const report::Table& t,
+                                const runtime::Placement& recommended = {4, 12});
+
+/// Merge rows of several tables (same compiler columns).
+[[nodiscard]] report::Table merge(std::vector<report::Table> tables);
+
+}  // namespace a64fxcc::core

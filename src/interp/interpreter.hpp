@@ -1,0 +1,74 @@
+#pragma once
+// Reference interpreter for the loop-nest IR.
+//
+// Executes a kernel on real buffers under its bound parameter values.
+// This is the semantics ground truth: every transformation pass in
+// `passes/` is property-tested by running the original and transformed
+// kernels here and comparing all tensors.
+//
+// Values are computed in a double domain regardless of the declared
+// element type (integer tensors hold integral-valued doubles); this is
+// sufficient for equivalence testing and keeps the interpreter simple.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::interp {
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ir::Kernel& kernel);
+
+  /// (Re-)initialize all input tensors deterministically.  Tensors with a
+  /// custom TensorInitFn use it; others get a hash-based value in [0, 1).
+  /// Output-only tensors are zeroed.
+  void reset(std::uint64_t seed = 0);
+
+  /// Execute the kernel once.  Throws std::out_of_range on any
+  /// out-of-bounds tensor access (with tensor name and flat index).
+  void run();
+
+  [[nodiscard]] std::span<const double> buffer(ir::TensorId t) const;
+  [[nodiscard]] std::span<double> buffer(ir::TensorId t);
+
+  /// Order-independent checksum over all tensors (sum of values).
+  [[nodiscard]] double checksum() const;
+
+  /// Total statement-instances executed by the last run() — a cheap
+  /// sanity signal that a transformation did not change trip counts.
+  [[nodiscard]] std::uint64_t stmts_executed() const noexcept { return stmts_; }
+
+  /// Observer invoked on every tensor element access during run():
+  /// (tensor, flat element index, is_write).  Used by the trace-driven
+  /// cache simulator; null (default) costs nothing.
+  using AccessHook = std::function<void(ir::TensorId, std::size_t, bool)>;
+  void set_access_hook(AccessHook hook) { hook_ = std::move(hook); }
+
+ private:
+  double eval(const ir::Expr& e);
+  std::int64_t eval_index(const ir::Index& ix, std::size_t dim_for_msg);
+  std::size_t flat_offset(const ir::Access& a);
+  void exec(const ir::Node& n);
+
+  const ir::Kernel* kernel_;
+  AccessHook hook_;
+  std::vector<std::int64_t> env_;             // VarId -> value
+  std::vector<std::vector<double>> buffers_;  // TensorId -> data
+  std::vector<std::vector<std::int64_t>> dims_;  // evaluated shapes
+  std::uint64_t stmts_ = 0;
+};
+
+/// Run two kernels (same tensor/param layout) and return true if every
+/// tensor matches within the given relative/absolute tolerance.  Used to
+/// verify that a transformed kernel is semantically equivalent to its
+/// source.  On mismatch, *why (if non-null) receives a description.
+[[nodiscard]] bool equivalent(const ir::Kernel& a, const ir::Kernel& b,
+                              double rel_tol = 1e-9, double abs_tol = 1e-12,
+                              std::string* why = nullptr,
+                              std::uint64_t seed = 0);
+
+}  // namespace a64fxcc::interp

@@ -1,0 +1,132 @@
+#include "ir/affine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace a64fxcc::ir {
+
+AffineExpr AffineExpr::constant(std::int64_t c) {
+  AffineExpr e;
+  e.constant_ = c;
+  return e;
+}
+
+AffineExpr AffineExpr::var(VarId v, std::int64_t coeff) {
+  assert(v >= 0 && "variable id must be valid");
+  AffineExpr e;
+  if (coeff != 0) e.terms_.emplace_back(v, coeff);
+  return e;
+}
+
+std::int64_t AffineExpr::evaluate(std::span<const std::int64_t> env) const {
+  std::int64_t r = constant_;
+  for (const auto& [v, c] : terms_) {
+    assert(static_cast<std::size_t>(v) < env.size());
+    r += c * env[static_cast<std::size_t>(v)];
+  }
+  return r;
+}
+
+std::int64_t AffineExpr::coeff(VarId v) const noexcept {
+  for (const auto& [tv, c] : terms_)
+    if (tv == v) return c;
+  return 0;
+}
+
+bool AffineExpr::is_var_plus_const(VarId v) const noexcept {
+  return terms_.size() == 1 && terms_[0].first == v && terms_[0].second == 1;
+}
+
+AffineExpr AffineExpr::substituted(VarId v, const AffineExpr& repl) const {
+  const std::int64_t c = coeff(v);
+  if (c == 0) return *this;
+  AffineExpr out = *this;
+  // Remove the v-term, then add c * repl.
+  std::erase_if(out.terms_, [v](const auto& t) { return t.first == v; });
+  AffineExpr scaled = repl;
+  scaled *= c;
+  out += scaled;
+  return out;
+}
+
+AffineExpr& AffineExpr::operator+=(const AffineExpr& o) {
+  constant_ += o.constant_;
+  for (const auto& t : o.terms_) terms_.push_back(t);
+  canonicalize();
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator-=(const AffineExpr& o) {
+  constant_ -= o.constant_;
+  for (const auto& [v, c] : o.terms_) terms_.emplace_back(v, -c);
+  canonicalize();
+  return *this;
+}
+
+AffineExpr& AffineExpr::operator*=(std::int64_t s) {
+  constant_ *= s;
+  for (auto& [v, c] : terms_) c *= s;
+  canonicalize();
+  return *this;
+}
+
+void AffineExpr::canonicalize() {
+  std::sort(terms_.begin(), terms_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<VarId, std::int64_t>> merged;
+  merged.reserve(terms_.size());
+  for (const auto& [v, c] : terms_) {
+    if (!merged.empty() && merged.back().first == v) {
+      merged.back().second += c;
+    } else {
+      merged.emplace_back(v, c);
+    }
+  }
+  std::erase_if(merged, [](const auto& t) { return t.second == 0; });
+  terms_ = std::move(merged);
+}
+
+std::string AffineExpr::to_string(std::span<const std::string> names) const {
+  std::string s;
+  auto name_of = [&](VarId v) {
+    if (static_cast<std::size_t>(v) < names.size()) return names[static_cast<std::size_t>(v)];
+    return "v" + std::to_string(v);
+  };
+  bool first = true;
+  for (const auto& [v, c] : terms_) {
+    if (!first) s += c >= 0 ? " + " : " - ";
+    const std::int64_t a = first ? c : std::abs(c);
+    if (first && a == -1)
+      s += "-";
+    else if (a != 1)
+      s += std::to_string(a) + "*";
+    s += name_of(v);
+    first = false;
+  }
+  if (constant_ != 0 || first) {
+    if (!first) s += constant_ >= 0 ? " + " : " - ";
+    s += std::to_string(first ? constant_ : std::abs(constant_));
+  }
+  return s;
+}
+
+std::string to_string(DataType t) {
+  switch (t) {
+    case DataType::F64: return "f64";
+    case DataType::F32: return "f32";
+    case DataType::I64: return "i64";
+    case DataType::I32: return "i32";
+  }
+  return "?";
+}
+
+std::string to_string(Language l) {
+  switch (l) {
+    case Language::C: return "C";
+    case Language::Cpp: return "C++";
+    case Language::Fortran: return "Fortran";
+  }
+  return "?";
+}
+
+}  // namespace a64fxcc::ir

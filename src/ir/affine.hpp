@@ -1,0 +1,65 @@
+#pragma once
+// Affine expressions over kernel variables: c0 + sum(c_i * v_i).
+//
+// Used for loop bounds, tensor shapes, and (the affine part of) array
+// subscripts.  Kept canonical: terms sorted by VarId, no zero
+// coefficients, so structural equality is cheap.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+
+namespace a64fxcc::ir {
+
+class AffineExpr {
+ public:
+  AffineExpr() = default;
+
+  [[nodiscard]] static AffineExpr constant(std::int64_t c);
+  [[nodiscard]] static AffineExpr var(VarId v, std::int64_t coeff = 1);
+
+  /// Evaluate with `env[v]` giving the value of variable v.
+  [[nodiscard]] std::int64_t evaluate(std::span<const std::int64_t> env) const;
+
+  [[nodiscard]] std::int64_t constant_term() const noexcept { return constant_; }
+  [[nodiscard]] std::int64_t coeff(VarId v) const noexcept;
+  [[nodiscard]] bool is_constant() const noexcept { return terms_.empty(); }
+  /// True iff the expression is exactly `v + c` for some constant c.
+  [[nodiscard]] bool is_var_plus_const(VarId v) const noexcept;
+  /// True iff the expression references variable v with nonzero coefficient.
+  [[nodiscard]] bool uses(VarId v) const noexcept { return coeff(v) != 0; }
+  [[nodiscard]] const std::vector<std::pair<VarId, std::int64_t>>& terms()
+      const noexcept {
+    return terms_;
+  }
+
+  /// Substitute variable v by the given expression (used by strip-mining
+  /// and normalization).
+  [[nodiscard]] AffineExpr substituted(VarId v, const AffineExpr& repl) const;
+
+  AffineExpr& operator+=(const AffineExpr& o);
+  AffineExpr& operator-=(const AffineExpr& o);
+  AffineExpr& operator*=(std::int64_t s);
+
+  friend AffineExpr operator+(AffineExpr a, const AffineExpr& b) { return a += b; }
+  friend AffineExpr operator-(AffineExpr a, const AffineExpr& b) { return a -= b; }
+  friend AffineExpr operator*(AffineExpr a, std::int64_t s) { return a *= s; }
+  friend AffineExpr operator*(std::int64_t s, AffineExpr a) { return a *= s; }
+  friend bool operator==(const AffineExpr& a, const AffineExpr& b) = default;
+
+  /// Render using a name table (index by VarId); ids beyond the table are
+  /// printed as v<id>.
+  [[nodiscard]] std::string to_string(std::span<const std::string> names = {}) const;
+
+ private:
+  void canonicalize();
+
+  std::int64_t constant_ = 0;
+  // Sorted by VarId, all coefficients nonzero.
+  std::vector<std::pair<VarId, std::int64_t>> terms_;
+};
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,89 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace a64fxcc::ir {
+
+KernelBuilder::KernelBuilder(std::string name, KernelMeta meta)
+    : kernel_(std::move(name)) {
+  kernel_.meta() = std::move(meta);
+}
+
+Sym KernelBuilder::param(std::string name, std::int64_t value) {
+  return {kernel_.add_param(std::move(name), value)};
+}
+
+Sym KernelBuilder::var(std::string name) {
+  return {kernel_.add_loop_var(std::move(name))};
+}
+
+TensorHandle KernelBuilder::tensor(std::string name, DataType type,
+                                   std::initializer_list<Ax> shape,
+                                   bool is_input) {
+  std::vector<AffineExpr> dims;
+  dims.reserve(shape.size());
+  for (const auto& ax : shape) dims.push_back(ax.e);
+  return {kernel_.add_tensor(std::move(name), type, std::move(dims), is_input)};
+}
+
+TensorHandle KernelBuilder::scalar(std::string name, DataType type, bool is_input) {
+  return {kernel_.add_tensor(std::move(name), type, {}, is_input)};
+}
+
+void KernelBuilder::For(Sym v, Ax lo, Ax hi, const std::function<void()>& body,
+                        std::int64_t step) {
+  auto n = Node::make_loop(v.id, std::move(lo.e), std::move(hi.e), step);
+  Node* raw = n.get();
+  attach(std::move(n));
+  open_.push_back(raw);
+  body();
+  assert(!open_.empty() && open_.back() == raw && "mismatched For nesting");
+  open_.pop_back();
+  last_completed_ = raw;
+}
+
+void KernelBuilder::ParallelFor(Sym v, Ax lo, Ax hi,
+                                const std::function<void()>& body,
+                                std::int64_t step) {
+  auto n = Node::make_loop(v.id, std::move(lo.e), std::move(hi.e), step);
+  n->loop.annot.parallel = true;
+  Node* raw = n.get();
+  attach(std::move(n));
+  open_.push_back(raw);
+  body();
+  assert(!open_.empty() && open_.back() == raw && "mismatched ParallelFor nesting");
+  open_.pop_back();
+  last_completed_ = raw;
+}
+
+void KernelBuilder::assign(ARef target, E value) {
+  attach(Node::make_stmt(std::move(target.acc), std::move(value.p)));
+}
+
+void KernelBuilder::accum(ARef target, E value) {
+  ExprPtr current = Expr::make_load(target.acc.clone());
+  attach(Node::make_stmt(std::move(target.acc),
+                         Expr::make_binary(BinOp::Add, std::move(current),
+                                           std::move(value.p))));
+}
+
+void KernelBuilder::attach(NodePtr n) {
+  last_completed_ = n.get();
+  if (open_.empty()) {
+    kernel_.add_root(std::move(n));
+  } else {
+    open_.back()->loop.body.push_back(std::move(n));
+  }
+}
+
+void KernelBuilder::annotate_last(const std::function<void(Node&)>& fn) {
+  if (last_completed_ != nullptr) fn(*last_completed_);
+}
+
+Kernel KernelBuilder::build() && {
+  if (!open_.empty()) throw std::logic_error("build() called with open loops");
+  return std::move(kernel_);
+}
+
+}  // namespace a64fxcc::ir

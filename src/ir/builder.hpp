@@ -1,0 +1,158 @@
+#pragma once
+// Fluent construction API for kernels.
+//
+// Example (PolyBench atax):
+//
+//   KernelBuilder kb("atax", {.language = Language::C, .suite = "polybench"});
+//   auto M = kb.param("M", 1900), N = kb.param("N", 2100);
+//   auto A = kb.tensor("A", DataType::F64, {M, N});
+//   auto x = kb.tensor("x", DataType::F64, {N});
+//   auto tmp = kb.tensor("tmp", DataType::F64, {M}, /*is_input=*/false);
+//   auto y = kb.tensor("y", DataType::F64, {N}, /*is_input=*/false);
+//   auto i = kb.var("i"), j = kb.var("j");
+//   kb.For(i, 0, M, [&] {
+//     kb.assign(tmp(i), 0.0);
+//     kb.For(j, 0, N, [&] { kb.accum(tmp(i), A(i, j) * x(j)); });
+//   });
+//
+// Handles (Sym, TensorHandle) are plain value types holding ids; the
+// expression wrapper E owns an ExprPtr and is move-only, but all the
+// operator overloads take it by value so normal arithmetic chains work.
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::ir {
+
+/// A named variable handle: either a parameter or a loop variable.
+struct Sym {
+  VarId id = kInvalidVar;
+  [[nodiscard]] AffineExpr ax() const { return AffineExpr::var(id); }
+};
+
+/// Affine-expression wrapper for loop bounds and subscripts; implicitly
+/// constructible from integers, Syms and AffineExprs.
+struct Ax {
+  AffineExpr e;
+  Ax(std::int64_t c) : e(AffineExpr::constant(c)) {}  // NOLINT(google-explicit-constructor)
+  Ax(int c) : e(AffineExpr::constant(c)) {}           // NOLINT(google-explicit-constructor)
+  Ax(Sym s) : e(AffineExpr::var(s.id)) {}             // NOLINT(google-explicit-constructor)
+  Ax(AffineExpr x) : e(std::move(x)) {}               // NOLINT(google-explicit-constructor)
+};
+
+inline AffineExpr operator+(Ax a, Ax b) { return a.e + b.e; }
+inline AffineExpr operator-(Ax a, Ax b) { return a.e - b.e; }
+inline AffineExpr operator*(std::int64_t s, Sym v) { return AffineExpr::var(v.id, s); }
+inline AffineExpr operator*(Sym v, std::int64_t s) { return AffineExpr::var(v.id, s); }
+inline AffineExpr operator+(Sym a, Ax b) { return AffineExpr::var(a.id) + b.e; }
+inline AffineExpr operator-(Sym a, Ax b) { return AffineExpr::var(a.id) - b.e; }
+
+struct ARef;
+
+/// Owned scalar expression under construction.
+struct E {
+  ExprPtr p;
+  E(double v) : p(Expr::make_const(v)) {}  // NOLINT(google-explicit-constructor)
+  E(int v) : p(Expr::make_const(v)) {}     // NOLINT(google-explicit-constructor)
+  E(Sym s) : p(Expr::make_var(s.id)) {}    // NOLINT(google-explicit-constructor)
+  E(ARef r);                               // NOLINT(google-explicit-constructor)
+  explicit E(ExprPtr q) : p(std::move(q)) {}
+};
+
+/// A concrete tensor access (usable as a load expression or store target).
+struct ARef {
+  Access acc;
+  [[nodiscard]] ExprPtr load() const { return Expr::make_load(acc.clone()); }
+};
+
+inline E::E(ARef r) : p(Expr::make_load(std::move(r.acc))) {}
+
+/// One subscript: affine, or indirect (value of an expression).
+struct Sub {
+  Index ix;
+  Sub(std::int64_t c) : ix(AffineExpr::constant(c)) {}  // NOLINT(google-explicit-constructor)
+  Sub(int c) : ix(AffineExpr::constant(c)) {}           // NOLINT(google-explicit-constructor)
+  Sub(Sym s) : ix(AffineExpr::var(s.id)) {}             // NOLINT(google-explicit-constructor)
+  Sub(AffineExpr a) : ix(std::move(a)) {}               // NOLINT(google-explicit-constructor)
+  Sub(Ax a) : ix(std::move(a.e)) {}                     // NOLINT(google-explicit-constructor)
+  Sub(E e) : ix(AffineExpr::constant(0), std::move(e.p)) {}  // NOLINT(google-explicit-constructor)
+  Sub(ARef r) : ix(AffineExpr::constant(0), Expr::make_load(std::move(r.acc))) {}  // NOLINT(google-explicit-constructor)
+};
+
+struct TensorHandle {
+  TensorId id = kInvalidTensor;
+
+  template <typename... S>
+  [[nodiscard]] ARef operator()(S&&... subs) const {
+    ARef r;
+    r.acc.tensor = id;
+    (r.acc.index.push_back(Sub(std::forward<S>(subs)).ix), ...);
+    return r;
+  }
+};
+
+// ---- scalar expression operators -----------------------------------------
+
+inline E operator+(E a, E b) { return E(Expr::make_binary(BinOp::Add, std::move(a.p), std::move(b.p))); }
+inline E operator-(E a, E b) { return E(Expr::make_binary(BinOp::Sub, std::move(a.p), std::move(b.p))); }
+inline E operator*(E a, E b) { return E(Expr::make_binary(BinOp::Mul, std::move(a.p), std::move(b.p))); }
+inline E operator/(E a, E b) { return E(Expr::make_binary(BinOp::Div, std::move(a.p), std::move(b.p))); }
+inline E operator-(E a) { return E(Expr::make_unary(UnOp::Neg, std::move(a.p))); }
+inline E min(E a, E b) { return E(Expr::make_binary(BinOp::Min, std::move(a.p), std::move(b.p))); }
+inline E max(E a, E b) { return E(Expr::make_binary(BinOp::Max, std::move(a.p), std::move(b.p))); }
+inline E mod(E a, E b) { return E(Expr::make_binary(BinOp::Mod, std::move(a.p), std::move(b.p))); }
+inline E lt(E a, E b) { return E(Expr::make_binary(BinOp::Lt, std::move(a.p), std::move(b.p))); }
+inline E select(E c, E t, E f) { return E(Expr::make_select(std::move(c.p), std::move(t.p), std::move(f.p))); }
+inline E sqrt(E a) { return E(Expr::make_unary(UnOp::Sqrt, std::move(a.p))); }
+inline E exp(E a) { return E(Expr::make_unary(UnOp::Exp, std::move(a.p))); }
+inline E log(E a) { return E(Expr::make_unary(UnOp::Log, std::move(a.p))); }
+inline E abs(E a) { return E(Expr::make_unary(UnOp::Abs, std::move(a.p))); }
+inline E sin(E a) { return E(Expr::make_unary(UnOp::Sin, std::move(a.p))); }
+inline E cos(E a) { return E(Expr::make_unary(UnOp::Cos, std::move(a.p))); }
+inline E floor(E a) { return E(Expr::make_unary(UnOp::Floor, std::move(a.p))); }
+
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name, KernelMeta meta = {});
+
+  [[nodiscard]] Sym param(std::string name, std::int64_t value);
+  [[nodiscard]] Sym var(std::string name);
+  [[nodiscard]] TensorHandle tensor(std::string name, DataType type,
+                                    std::initializer_list<Ax> shape,
+                                    bool is_input = true);
+  /// Convenience: 0-d scalar tensor.
+  [[nodiscard]] TensorHandle scalar(std::string name, DataType type = DataType::F64,
+                                    bool is_input = true);
+
+  /// for (v = lo; v < hi; v += step) { body(); }
+  void For(Sym v, Ax lo, Ax hi, const std::function<void()>& body,
+           std::int64_t step = 1);
+  /// Same, but marked as an OpenMP worksharing loop in the source.
+  void ParallelFor(Sym v, Ax lo, Ax hi, const std::function<void()>& body,
+                   std::int64_t step = 1);
+
+  void assign(ARef target, E value);
+  /// target = target + value  (the canonical reduction idiom)
+  void accum(ARef target, E value);
+
+  /// Apply `fn` to the most recently completed node (the loop a For just
+  /// built, or the statement just attached).  Used to attach source-level
+  /// hints such as OCL pragmas.
+  void annotate_last(const std::function<void(Node&)>& fn);
+
+  [[nodiscard]] Kernel build() &&;
+
+ private:
+  void attach(NodePtr n);
+
+  Kernel kernel_;
+  std::vector<Node*> open_;  // stack of loops under construction
+  Node* last_completed_ = nullptr;
+};
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,151 @@
+#include "ir/expr.hpp"
+
+#include <cassert>
+
+namespace a64fxcc::ir {
+
+Index Index::clone() const {
+  Index out(affine);
+  if (indirect) out.indirect = indirect->clone();
+  return out;
+}
+
+Access Access::clone() const {
+  Access out;
+  out.tensor = tensor;
+  out.index.reserve(index.size());
+  for (const auto& ix : index) out.index.push_back(ix.clone());
+  return out;
+}
+
+ExprPtr Expr::make_const(double v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Const;
+  e->fconst = v;
+  return e;
+}
+
+ExprPtr Expr::make_load(Access acc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Load;
+  e->access = std::move(acc);
+  return e;
+}
+
+ExprPtr Expr::make_var(VarId v) {
+  assert(v >= 0);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Var;
+  e->var = v;
+  return e;
+}
+
+ExprPtr Expr::make_unary(UnOp op, ExprPtr x) {
+  assert(x);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Unary;
+  e->un = op;
+  e->a = std::move(x);
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr x, ExprPtr y) {
+  assert(x && y);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Binary;
+  e->bin = op;
+  e->a = std::move(x);
+  e->b = std::move(y);
+  return e;
+}
+
+ExprPtr Expr::make_select(ExprPtr cond, ExprPtr t, ExprPtr f) {
+  assert(cond && t && f);
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::Select;
+  e->a = std::move(cond);
+  e->b = std::move(t);
+  e->c = std::move(f);
+  return e;
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->fconst = fconst;
+  e->var = var;
+  e->un = un;
+  e->bin = bin;
+  if (kind == ExprKind::Load) e->access = access.clone();
+  if (a) e->a = a->clone();
+  if (b) e->b = b->clone();
+  if (c) e->c = c->clone();
+  return e;
+}
+
+void for_each_access(const Expr& e, const std::function<void(const Access&)>& fn) {
+  if (e.kind == ExprKind::Load) {
+    fn(e.access);
+    for (const auto& ix : e.access.index)
+      if (ix.indirect) for_each_access(*ix.indirect, fn);
+  }
+  if (e.a) for_each_access(*e.a, fn);
+  if (e.b) for_each_access(*e.b, fn);
+  if (e.c) for_each_access(*e.c, fn);
+}
+
+int count_flops(const Expr& e) {
+  int n = 0;
+  if (e.kind == ExprKind::Binary) n += 1;
+  if (e.kind == ExprKind::Unary && e.un != UnOp::Neg && e.un != UnOp::Abs &&
+      e.un != UnOp::Floor)
+    n += 1;  // sqrt/exp/... counted once; cost weighting is the perf model's job
+  if (e.a) n += count_flops(*e.a);
+  if (e.b) n += count_flops(*e.b);
+  if (e.c) n += count_flops(*e.c);
+  return n;
+}
+
+int count_loads(const Expr& e) {
+  int n = 0;
+  if (e.kind == ExprKind::Load) {
+    n += 1;
+    for (const auto& ix : e.access.index)
+      if (ix.indirect) n += count_loads(*ix.indirect);
+  }
+  if (e.a) n += count_loads(*e.a);
+  if (e.b) n += count_loads(*e.b);
+  if (e.c) n += count_loads(*e.c);
+  return n;
+}
+
+std::string to_string(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+  }
+  return "?";
+}
+
+std::string to_string(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "-";
+    case UnOp::Sqrt: return "sqrt";
+    case UnOp::Exp: return "exp";
+    case UnOp::Log: return "log";
+    case UnOp::Abs: return "abs";
+    case UnOp::Sin: return "sin";
+    case UnOp::Cos: return "cos";
+    case UnOp::Floor: return "floor";
+    case UnOp::Recip: return "recip";
+  }
+  return "?";
+}
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,90 @@
+#pragma once
+// Scalar expression trees and tensor accesses.
+//
+// An Access subscripts a tensor with one Index per dimension; each Index
+// is an affine expression plus an optional *indirect* part (an arbitrary
+// expression whose value is added to the affine part).  Indirect indices
+// model sparse/Monte-Carlo codes (CSR column arrays, XSBench grid
+// lookups); they are deliberately opaque to dependence analysis, which
+// mirrors how production compilers must treat them.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/affine.hpp"
+#include "ir/types.hpp"
+
+namespace a64fxcc::ir {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Index {
+  AffineExpr affine;
+  ExprPtr indirect;  // may be null; value is truncated to int64 and added
+
+  Index() = default;
+  explicit Index(AffineExpr a) : affine(std::move(a)) {}
+  Index(AffineExpr a, ExprPtr ind) : affine(std::move(a)), indirect(std::move(ind)) {}
+
+  [[nodiscard]] bool is_affine() const noexcept { return indirect == nullptr; }
+  [[nodiscard]] Index clone() const;
+};
+
+struct Access {
+  TensorId tensor = kInvalidTensor;
+  std::vector<Index> index;
+
+  [[nodiscard]] bool is_affine() const noexcept {
+    for (const auto& ix : index)
+      if (!ix.is_affine()) return false;
+    return true;
+  }
+  [[nodiscard]] Access clone() const;
+};
+
+enum class ExprKind : std::uint8_t { Const, Load, Var, Unary, Binary, Select };
+
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div, Min, Max, Mod, Lt };
+enum class UnOp : std::uint8_t { Neg, Sqrt, Exp, Log, Abs, Sin, Cos, Floor, Recip };
+
+/// One node of a scalar expression tree.  A tagged struct rather than a
+/// class hierarchy: the interpreter and analyses switch on `kind`, and
+/// keeping it flat keeps clone/walk code simple and fast.
+struct Expr {
+  ExprKind kind = ExprKind::Const;
+  double fconst = 0.0;          // Const
+  Access access;                // Load
+  VarId var = kInvalidVar;      // Var (loop variable / parameter as a value)
+  UnOp un = UnOp::Neg;          // Unary
+  BinOp bin = BinOp::Add;       // Binary
+  ExprPtr a, b, c;              // children (Unary: a; Binary: a,b; Select: a?b:c)
+
+  [[nodiscard]] static ExprPtr make_const(double v);
+  [[nodiscard]] static ExprPtr make_load(Access acc);
+  [[nodiscard]] static ExprPtr make_var(VarId v);
+  [[nodiscard]] static ExprPtr make_unary(UnOp op, ExprPtr x);
+  [[nodiscard]] static ExprPtr make_binary(BinOp op, ExprPtr x, ExprPtr y);
+  /// select(cond, then, otherwise): cond != 0 ? then : otherwise
+  [[nodiscard]] static ExprPtr make_select(ExprPtr cond, ExprPtr t, ExprPtr f);
+
+  [[nodiscard]] ExprPtr clone() const;
+};
+
+/// Visit every Access in the expression tree (loads and indirect indices).
+void for_each_access(const Expr& e, const std::function<void(const Access&)>& fn);
+
+/// Count of floating-point operations represented by this tree (divides
+/// and transcendental calls are counted with their approximate cost
+/// weight by the performance model, not here — this is a plain count).
+[[nodiscard]] int count_flops(const Expr& e);
+
+/// Number of Load nodes in the tree (including inside indirect indices).
+[[nodiscard]] int count_loads(const Expr& e);
+
+[[nodiscard]] std::string to_string(BinOp op);
+[[nodiscard]] std::string to_string(UnOp op);
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,69 @@
+#include "ir/node.hpp"
+
+#include <cassert>
+
+namespace a64fxcc::ir {
+
+NodePtr Node::make_loop(VarId var, AffineExpr lower, AffineExpr upper,
+                        std::int64_t step) {
+  assert(var >= 0);
+  assert(step != 0);
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::Loop;
+  n->loop.var = var;
+  n->loop.lower = std::move(lower);
+  n->loop.upper = std::move(upper);
+  n->loop.step = step;
+  return n;
+}
+
+NodePtr Node::make_stmt(Access target, ExprPtr value) {
+  assert(value);
+  auto n = std::make_unique<Node>();
+  n->kind = NodeKind::Stmt;
+  n->stmt.target = std::move(target);
+  n->stmt.value = std::move(value);
+  return n;
+}
+
+NodePtr Node::clone() const {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  if (kind == NodeKind::Loop) {
+    n->loop.var = loop.var;
+    n->loop.lower = loop.lower;
+    n->loop.upper = loop.upper;
+    n->loop.upper2 = loop.upper2;
+    n->loop.step = loop.step;
+    n->loop.annot = loop.annot;
+    n->loop.body.reserve(loop.body.size());
+    for (const auto& child : loop.body) n->loop.body.push_back(child->clone());
+  } else {
+    n->stmt.target = stmt.target.clone();
+    n->stmt.value = stmt.value->clone();
+  }
+  return n;
+}
+
+void for_each_stmt(const Node& n, const std::function<void(const Stmt&)>& fn) {
+  if (n.is_stmt()) {
+    fn(n.stmt);
+    return;
+  }
+  for (const auto& child : n.loop.body) for_each_stmt(*child, fn);
+}
+
+void for_each_loop(Node& n, const std::function<void(Loop&)>& fn) {
+  if (!n.is_loop()) return;
+  fn(n.loop);
+  for (auto& child : n.loop.body) for_each_loop(*child, fn);
+}
+
+void for_each_loop(const Node& n, const std::function<void(const Loop&)>& fn) {
+  if (!n.is_loop()) return;
+  fn(n.loop);
+  for (const auto& child : n.loop.body)
+    for_each_loop(static_cast<const Node&>(*child), fn);
+}
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,85 @@
+#pragma once
+// Structural nodes of a kernel: loops and statements, arranged as a tree.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace a64fxcc::ir {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+enum class NodeKind : std::uint8_t { Loop, Stmt };
+
+/// Optimization annotations attached to a loop by compiler-model passes.
+/// They carry no semantics for the interpreter; the performance model
+/// consumes them.
+struct LoopAnnot {
+  int vector_width = 1;    ///< SIMD lanes (>1 means vectorized)
+  int unroll = 1;          ///< unroll factor applied to this loop
+  bool parallel = false;   ///< OpenMP worksharing loop
+  int prefetch_dist = 0;   ///< software-prefetch distance in iterations (0 = none)
+  bool pipelined = false;  ///< software pipelining applied (FJ trad speciality)
+  bool tiled = false;      ///< this loop is a tile (point) loop created by tiling
+
+  // Source-level Optimization Control Line hints (Fujitsu OCL pragmas,
+  // the "ocl" in the paper's -Kfast,ocl,largepage,lto).  Hints, not
+  // decisions: only compilers that honor OCL (trad mode) act on them.
+  int ocl_unroll = 0;       ///< "!ocl unroll(n)" (0 = no hint)
+  int ocl_prefetch = 0;     ///< "!ocl prefetch_sequential" distance
+  bool ocl_simd = false;    ///< "!ocl simd" (programmer asserts safety)
+
+  friend bool operator==(const LoopAnnot&, const LoopAnnot&) = default;
+};
+
+/// A `for (var = lower; var < upper; var += step)` loop.  Bounds are
+/// affine in enclosing loop variables and kernel parameters, which is
+/// exactly the class PolyBench-style kernels (and polyhedral compilers)
+/// live in.
+struct Loop {
+  VarId var = kInvalidVar;
+  AffineExpr lower;
+  AffineExpr upper;  // exclusive
+  /// Optional second exclusive upper bound; the effective bound is
+  /// min(upper, upper2).  Produced by tiling for partial tiles.
+  std::optional<AffineExpr> upper2;
+  std::int64_t step = 1;
+  std::vector<NodePtr> body;
+  LoopAnnot annot;
+};
+
+/// `target = value`.  Reductions appear as loads of the target inside
+/// `value` (e.g. C[i][j] = C[i][j] + ...), which analyses recognize.
+struct Stmt {
+  Access target;
+  ExprPtr value;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::Stmt;
+  Loop loop;  // valid iff kind == Loop
+  Stmt stmt;  // valid iff kind == Stmt
+
+  [[nodiscard]] static NodePtr make_loop(VarId var, AffineExpr lower,
+                                         AffineExpr upper, std::int64_t step = 1);
+  [[nodiscard]] static NodePtr make_stmt(Access target, ExprPtr value);
+
+  [[nodiscard]] bool is_loop() const noexcept { return kind == NodeKind::Loop; }
+  [[nodiscard]] bool is_stmt() const noexcept { return kind == NodeKind::Stmt; }
+
+  [[nodiscard]] NodePtr clone() const;
+};
+
+/// Depth-first visit of all statements under `n` (including n itself if
+/// it is a statement).
+void for_each_stmt(const Node& n, const std::function<void(const Stmt&)>& fn);
+
+/// Depth-first visit of all loops under `n` (including n itself), parents
+/// before children.
+void for_each_loop(Node& n, const std::function<void(Loop&)>& fn);
+void for_each_loop(const Node& n, const std::function<void(const Loop&)>& fn);
+
+}  // namespace a64fxcc::ir

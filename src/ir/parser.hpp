@@ -1,0 +1,51 @@
+#pragma once
+// Textual kernel format: define benchmarks in plain files instead of C++.
+//
+// Grammar (line comments start with '#'):
+//
+//   kernel NAME [lang=C|Cpp|Fortran] [parallel=serial|omp|mpiomp] [suite=STR]
+//   param NAME = INT
+//   tensor NAME TYPE [DIM]...  [output]       # TYPE: f64 f32 i64 i32
+//   for VAR = EXPR .. EXPR [step INT] { ... } # half-open upper bound
+//   parfor VAR = EXPR .. EXPR { ... }         # OpenMP worksharing loop
+//   TENSOR[IDX]... = EXPR ;                   # assignment statement
+//   TENSOR[IDX]... += EXPR ;                  # reduction update
+//
+// Expressions: numbers, parameters/loop variables, tensor accesses
+// (0-d tensors are written NAME[]), + - * / with usual precedence,
+// unary minus, and the calls min max mod lt select sqrt exp log abs
+// sin cos floor.  Subscripts that are affine in loop variables and
+// parameters become affine indices; anything else becomes an indirect
+// index (exactly like the builder API).
+//
+// Parse errors throw ParseError with line/column and a message.
+
+#include <stdexcept>
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::ir {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(int line, int col, const std::string& msg)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg),
+        line_(line),
+        col_(col) {}
+  [[nodiscard]] int line() const noexcept { return line_; }
+  [[nodiscard]] int col() const noexcept { return col_; }
+
+ private:
+  int line_, col_;
+};
+
+/// Parse one kernel from source text.
+[[nodiscard]] Kernel parse_kernel(const std::string& text);
+
+/// Serialize a kernel back into the textual format (round-trips through
+/// parse_kernel up to formatting).
+[[nodiscard]] std::string serialize_kernel(const Kernel& k);
+
+}  // namespace a64fxcc::ir

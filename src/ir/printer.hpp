@@ -1,0 +1,16 @@
+#pragma once
+// Human-readable rendering of kernels (C-like pseudocode), used in
+// examples, debugging, and golden tests of the transformation passes.
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::ir {
+
+[[nodiscard]] std::string to_string(const Kernel& k);
+[[nodiscard]] std::string to_string(const Kernel& k, const Node& n, int indent = 0);
+[[nodiscard]] std::string to_string(const Kernel& k, const Expr& e);
+[[nodiscard]] std::string to_string(const Kernel& k, const Access& a);
+
+}  // namespace a64fxcc::ir

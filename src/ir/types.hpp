@@ -1,0 +1,56 @@
+#pragma once
+// Fundamental identifiers and scalar types of the a64fxcc loop-nest IR.
+//
+// The IR models the class of computations the paper's benchmarks consist
+// of: (mostly) affine loop nests over dense tensors, with an escape hatch
+// for indirect (data-dependent) indexing as found in sparse and Monte-
+// Carlo codes.  Loop variables and symbolic size parameters share one
+// id space so that affine expressions and evaluation environments are
+// uniform.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace a64fxcc::ir {
+
+/// Element type of a tensor.  The interpreter evaluates everything in a
+/// double value domain; DataType primarily drives element *size* (and
+/// therefore memory traffic) in the performance model, and int-ness in
+/// the compiler models' heuristics.
+enum class DataType : std::uint8_t { F64, F32, I64, I32 };
+
+/// Size in bytes of one element of the given type.
+[[nodiscard]] constexpr std::size_t size_of(DataType t) noexcept {
+  switch (t) {
+    case DataType::F64:
+    case DataType::I64: return 8;
+    case DataType::F32:
+    case DataType::I32: return 4;
+  }
+  return 8;
+}
+
+[[nodiscard]] constexpr bool is_integer(DataType t) noexcept {
+  return t == DataType::I64 || t == DataType::I32;
+}
+
+[[nodiscard]] std::string to_string(DataType t);
+
+/// Index of a variable (loop variable or symbolic parameter) within a
+/// kernel.  Environments are dense vectors indexed by VarId.
+using VarId = std::int32_t;
+inline constexpr VarId kInvalidVar = -1;
+
+/// Index of a tensor within a kernel.
+using TensorId = std::int32_t;
+inline constexpr TensorId kInvalidTensor = -1;
+
+/// Source language of a benchmark.  Front-end quality differs per
+/// compiler (e.g. Fujitsu's trad mode excels on Fortran, GNU on C
+/// integer code) and is a first-class input to the compiler models.
+enum class Language : std::uint8_t { C, Cpp, Fortran };
+
+[[nodiscard]] std::string to_string(Language l);
+
+}  // namespace a64fxcc::ir

@@ -1,0 +1,549 @@
+#include "kernels/archetypes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace a64fxcc::kernels {
+
+using namespace ir;
+
+namespace {
+
+KernelBuilder make_builder(const ArchParams& p) {
+  return KernelBuilder(
+      p.name, {.language = p.language, .parallel = p.parallel, .suite = p.suite});
+}
+
+/// Deterministic valid-index initializer for an index tensor whose
+/// values must lie in [0, bound_param_value).
+TensorInitFn perm_init(VarId bound_param) {
+  return [bound_param](std::span<const std::int64_t> idx,
+                       std::span<const std::int64_t> env) {
+    const std::int64_t bound = env[static_cast<std::size_t>(bound_param)];
+    return static_cast<double>((idx[0] * 2654435761LL + 12345) % bound);
+  };
+}
+
+}  // namespace
+
+Kernel stream_triad(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto a = kb.tensor("a", DataType::F64, {N}, false);
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto c = kb.tensor("c", DataType::F64, {N});
+  auto i = kb.var("i");
+  auto body = [&] { kb.assign(a(i), b(i) + c(i) * 0.42); };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  return std::move(kb).build();
+}
+
+Kernel dgemm(const ArchParams& p) {
+  // Production codes (and BLAS implementations) use the locality-friendly
+  // (i,k,j) order: B and C stream unit-stride in the inner loop.  The
+  // textbook (i,j,k) order that separates the compilers in PolyBench is
+  // built explicitly where the study needs it.
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.m);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto C = kb.tensor("C", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  auto body = [&] {
+    kb.For(k, 0, N, [&] {
+      kb.For(j, 0, N, [&] { kb.accum(C(i, j), A(i, k) * B(k, j)); });
+    });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  return std::move(kb).build();
+}
+
+Kernel spmv_csr(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto NNZ = kb.param("NNZ", p.m);  // nonzeros per row
+  auto col = kb.tensor("col", DataType::I32, {N, NNZ});
+  auto val = kb.tensor("val", DataType::F64, {N, NNZ});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  auto body = [&] {
+    kb.For(j, 0, NNZ, [&] { kb.accum(y(i), val(i, j) * x(col(i, j))); });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    // Banded sparsity: columns near the row index, always in range.
+    const std::int64_t n = env[0];
+    return static_cast<double>((idx[0] + idx[1] * 37) % n);
+  });
+  return k;
+}
+
+Kernel stencil7(const ArchParams& p) {
+  auto kb = make_builder(p);
+  const auto side = std::max<std::int64_t>(8, p.m);
+  auto N = kb.param("N", side);
+  auto in = kb.tensor("in", DataType::F64, {N, N, N});
+  auto out = kb.tensor("out", DataType::F64, {N, N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  auto body = [&] {
+    kb.For(j, 1, N - 1, [&] {
+      kb.For(k, 1, N - 1, [&] {
+        kb.assign(out(i, j, k),
+                  (in(i, j, k) * 0.4 + in(i - 1, j, k) + in(i + 1, j, k) +
+                   in(i, j - 1, k) + in(i, j + 1, k) + in(i, j, k - 1) +
+                   in(i, j, k + 1)) *
+                      0.1);
+      });
+    });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 1, N - 1, body);
+  else
+    kb.ParallelFor(i, 1, N - 1, body);
+  return std::move(kb).build();
+}
+
+Kernel stencil5_t(const ArchParams& p, std::int64_t steps) {
+  auto kb = make_builder(p);
+  auto T = kb.param("T", steps);
+  auto N = kb.param("N", p.m);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N}, false);
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j");
+  kb.For(t, 0, T, [&] {
+    auto sweep1 = [&] {
+      kb.For(j, 1, N - 1, [&] {
+        kb.assign(B(i, j), (A(i, j) + A(i - 1, j) + A(i + 1, j) + A(i, j - 1) +
+                            A(i, j + 1)) *
+                               0.2);
+      });
+    };
+    if (p.parallel == ParallelModel::Serial)
+      kb.For(i, 1, N - 1, sweep1);
+    else
+      kb.ParallelFor(i, 1, N - 1, sweep1);
+    auto sweep2 = [&] {
+      kb.For(j, 1, N - 1, [&] { kb.assign(A(i, j), B(i, j)); });
+    };
+    if (p.parallel == ParallelModel::Serial)
+      kb.For(i, 1, N - 1, sweep2);
+    else
+      kb.ParallelFor(i, 1, N - 1, sweep2);
+  });
+  return std::move(kb).build();
+}
+
+Kernel mc_lookup(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);      // lookups
+  auto G = kb.param("G", p.m);      // grid points scanned per lookup
+  auto idx = kb.tensor("idx", DataType::I32, {N});
+  auto grid = kb.tensor("grid", DataType::F64, {G, 8});  // 8 xs values/point
+  auto table = kb.tensor("table", DataType::F64, {N});
+  auto out = kb.tensor("out", DataType::F64, {N}, false);
+  auto i = kb.var("i"), g = kb.var("g");
+  auto body = [&] {
+    kb.assign(out(i), table(idx(i)));
+    // Energy-grid scan: affine inner loop over grid columns — this is
+    // the part a polyhedral scheduler can transform (Sec. 3.2: polly's
+    // 6.7x on XSBench).
+    kb.For(g, 0, G, [&] { kb.accum(out(i), grid(g, 0) * 0.5 + grid(g, 1)); });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  Kernel k = std::move(kb).build();
+  k.set_init(0, perm_init(0));  // idx values in [0, N)
+  return k;
+}
+
+Kernel particle_force(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto M = kb.param("M", p.m);  // neighbours
+  auto nbr = kb.tensor("nbr", DataType::I32, {N, M});
+  auto pos = kb.tensor("pos", DataType::F64, {N});
+  auto f = kb.tensor("f", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  auto body = [&] {
+    kb.For(j, 0, M, [&] {
+      // r = pos[i] - pos[nbr[i][j]]; f[i] += r / sqrt(r*r + eps)
+      kb.accum(f(i), (pos(i) - pos(nbr(i, j))) /
+                         sqrt((pos(i) - pos(nbr(i, j))) *
+                                  (pos(i) - pos(nbr(i, j))) +
+                              0.001));
+    });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((idx[0] * 131 + idx[1] * 7) % env[0]);
+  });
+  return k;
+}
+
+Kernel pointer_chase(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto next = kb.tensor("next", DataType::I64, {N});
+  auto key = kb.tensor("key", DataType::I64, {N});
+  auto cur = kb.scalar("cur", DataType::I64);
+  auto acc = kb.scalar("acc", DataType::I64, false);
+  auto i = kb.var("i");
+  // Serial dependent chain with realistic per-node integer work (key
+  // comparisons, branchless selects, index arithmetic): cur = next[cur];
+  // process(key[cur]).  Real traversal codes execute dozens of integer
+  // instructions per hop, which is where scalar codegen quality matters.
+  kb.For(i, 0, N, [&] {
+    kb.assign(cur(), next(cur()));
+    kb.accum(acc(),
+             max(E(key(cur())) * 31.0 + 7.0, E(key(cur())) * 17.0 - 5.0) +
+                 min(E(key(cur())), 42.0) +
+                 select(lt(E(key(cur())), 21.0), E(i) * 3.0 + 1.0,
+                        E(i) * 5.0 - 2.0));
+  });
+  Kernel k = std::move(kb).build();
+  k.set_init(0, perm_init(0));
+  k.set_init(2, [](std::span<const std::int64_t>, std::span<const std::int64_t>) {
+    return 0.0;
+  });
+  return k;
+}
+
+Kernel int_automata(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto S = kb.param("S", std::max<std::int64_t>(p.m, 16));
+  auto table = kb.tensor("table", DataType::I32, {S, 4});
+  auto input = kb.tensor("input", DataType::I32, {N});
+  auto state = kb.scalar("state", DataType::I64);
+  auto outc = kb.scalar("outc", DataType::I64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] {
+    // state = table[state][input[i] & 3]; out += state < S/2
+    kb.assign(state(), table(state(), mod(input(i), 4.0)));
+    kb.accum(outc(), lt(state(), E(S) / 2.0));
+  });
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((idx[0] * 5 + idx[1] * 3 + 1) % env[1]);
+  });
+  k.set_init(1, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t>) {
+    return static_cast<double>((idx[0] * 7) % 4);
+  });
+  k.set_init(2, [](std::span<const std::int64_t>, std::span<const std::int64_t>) {
+    return 0.0;
+  });
+  return k;
+}
+
+Kernel small_dense_batch(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto B = kb.param("B", p.n);   // batch count
+  auto M = kb.param("M", p.m);   // block size
+  auto A = kb.tensor("A", DataType::F64, {B, M, M});
+  auto x = kb.tensor("x", DataType::F64, {B, M});
+  auto y = kb.tensor("y", DataType::F64, {B, M}, false);
+  auto b = kb.var("b"), i = kb.var("i"), j = kb.var("j");
+  auto body = [&] {
+    kb.For(i, 0, M, [&] {
+      kb.For(j, 0, M, [&] { kb.accum(y(b, i), A(b, i, j) * x(b, j)); });
+    });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(b, 0, B, body);
+  else
+    kb.ParallelFor(b, 0, B, body);
+  return std::move(kb).build();
+}
+
+Kernel cg_core(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto r = kb.tensor("r", DataType::F64, {N});
+  auto q = kb.tensor("q", DataType::F64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto rho = kb.scalar("rho", DataType::F64, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  auto dot = [&] { kb.accum(rho(), r(i) * q(i)); };
+  auto axpy = [&] { kb.assign(x(j), x(j) + r(j) * 0.3); };
+  if (p.parallel == ParallelModel::Serial) {
+    kb.For(i, 0, N, dot);
+    kb.For(j, 0, N, axpy);
+  } else {
+    kb.ParallelFor(i, 0, N, dot);
+    kb.ParallelFor(j, 0, N, axpy);
+  }
+  return std::move(kb).build();
+}
+
+Kernel fft_butterfly(const ArchParams& p) {
+  auto kb = make_builder(p);
+  // One radix-2 pass at a mid stride: re/im planes, strided partner
+  // access.  The pow2 structure is what makes SWFFT demand pow2 ranks.
+  auto N = kb.param("N", p.n);
+  auto H = kb.param("H", p.n / 2);
+  auto re = kb.tensor("re", DataType::F64, {N});
+  auto im = kb.tensor("im", DataType::F64, {N});
+  auto tw = kb.tensor("tw", DataType::F64, {H});
+  auto i = kb.var("i");
+  auto body = [&] {
+    kb.assign(re(i), re(i) + tw(i) * re(i + H.ax()));
+    kb.assign(im(i), im(i) + tw(i) * im(i + H.ax()));
+    kb.assign(re(i + H.ax()), re(i) - tw(i) * re(i + H.ax()));
+    kb.assign(im(i + H.ax()), im(i) - tw(i) * im(i + H.ax()));
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, H, body);
+  else
+    kb.ParallelFor(i, 0, H, body);
+  return std::move(kb).build();
+}
+
+Kernel recurrence(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto c = kb.tensor("c", DataType::F64, {N});
+  auto i = kb.var("i");
+  kb.For(i, 1, N, [&] { kb.assign(x(i), x(i - 1) * c(i) + x(i)); });
+  return std::move(kb).build();
+}
+
+Kernel histogram(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto B = kb.param("B", std::max<std::int64_t>(p.m, 16));
+  auto bin = kb.tensor("bin", DataType::I32, {N});
+  auto h = kb.tensor("h", DataType::F64, {B}, false);
+  auto i = kb.var("i");
+  auto body = [&] { kb.accum(h(bin(i)), 1.0); };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 0, N, body);
+  else
+    kb.ParallelFor(i, 0, N, body);
+  Kernel k = std::move(kb).build();
+  k.set_init(0, perm_init(1));
+  return k;
+}
+
+Kernel dp_table(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.m);
+  auto T = kb.tensor("T", DataType::I32, {N, N});
+  auto s1 = kb.tensor("s1", DataType::I32, {N});
+  auto s2 = kb.tensor("s2", DataType::I32, {N});
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 1, N, [&] {
+    kb.For(j, 1, N, [&] {
+      kb.assign(T(i, j),
+                max(T(i - 1, j) - 1.0,
+                    max(T(i, j - 1) - 1.0,
+                        T(i - 1, j - 1) +
+                            select(lt(abs(s1(i) - s2(j)), 0.5), 2.0, -1.0))));
+    });
+  });
+  return std::move(kb).build();
+}
+
+
+Kernel cg_iteration(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto NNZ = kb.param("NNZ", std::max<std::int64_t>(p.m, 8));
+  auto col = kb.tensor("col", DataType::I32, {N, NNZ});
+  auto val = kb.tensor("val", DataType::F64, {N, NNZ});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto r = kb.tensor("r", DataType::F64, {N});
+  auto pv = kb.tensor("p", DataType::F64, {N});
+  auto q = kb.tensor("q", DataType::F64, {N}, false);
+  auto rho = kb.scalar("rho", DataType::F64, false);
+  auto pq = kb.scalar("pq", DataType::F64, false);
+  auto i1 = kb.var("i1"), j = kb.var("j"), i2 = kb.var("i2"),
+       i3 = kb.var("i3"), i4 = kb.var("i4"), i5 = kb.var("i5");
+  const bool ser = p.parallel == ParallelModel::Serial;
+  const auto spmv = [&] {
+    kb.assign(q(i1), 0.0);
+    kb.For(j, 0, NNZ, [&] { kb.accum(q(i1), val(i1, j) * x(col(i1, j))); });
+  };
+  const auto dot_pq = [&] { kb.accum(pq(), pv(i2) * q(i2)); };
+  const auto axpy_x = [&] { kb.assign(x(i3), x(i3) + pv(i3) * 0.42); };
+  const auto axpy_r = [&] { kb.assign(r(i4), r(i4) - q(i4) * 0.42); };
+  const auto dot_rr = [&] { kb.accum(rho(), r(i5) * r(i5)); };
+  if (ser) {
+    kb.For(i1, 0, N, spmv);
+    kb.For(i2, 0, N, dot_pq);
+    kb.For(i3, 0, N, axpy_x);
+    kb.For(i4, 0, N, axpy_r);
+    kb.For(i5, 0, N, dot_rr);
+  } else {
+    kb.ParallelFor(i1, 0, N, spmv);
+    kb.ParallelFor(i2, 0, N, dot_pq);
+    kb.ParallelFor(i3, 0, N, axpy_x);
+    kb.ParallelFor(i4, 0, N, axpy_r);
+    kb.ParallelFor(i5, 0, N, dot_rr);
+  }
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    const std::int64_t n = env[0];
+    const std::int64_t c = idx[0] + (idx[1] - env[1] / 2) * 9;
+    return static_cast<double>(((c % n) + n) % n);
+  });
+  return k;
+}
+
+Kernel lu_step(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.m);
+  auto NB = kb.param("NB", std::max<std::int64_t>(4, p.m / 8));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto i = kb.var("i"), i2 = kb.var("i2"), j = kb.var("j");
+  const bool ser = p.parallel == ParallelModel::Serial;
+  // Panel scale (HPL is column-major, so the pivot panel is contiguous;
+  // in our row-major IR that is a row): division-bound streaming.
+  kb.For(i, 1, N, [&] {
+    kb.assign(A(0, i), A(0, i) / (A(0, 0) + 2.0));
+  });
+  // Trailing update: rank-NB block update, dgemm-shaped streaming.
+  const auto update = [&] {
+    kb.For(j, 1, N, [&] {
+      kb.assign(A(i2, j), A(i2, j) - A(i2, 0) * A(0, j));
+    });
+  };
+  if (ser)
+    kb.For(i2, 1, N, update);
+  else
+    kb.ParallelFor(i2, 1, N, update);
+  (void)NB;
+  return std::move(kb).build();
+}
+
+Kernel md_step(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto M = kb.param("M", p.m);
+  auto nbr = kb.tensor("nbr", DataType::I32, {N, M});
+  auto px = kb.tensor("px", DataType::F64, {N});
+  auto vx = kb.tensor("vx", DataType::F64, {N});
+  auto fx = kb.tensor("fx", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2");
+  const bool ser = p.parallel == ParallelModel::Serial;
+  // Force phase: gather + cutoff select + Lennard-Jones-ish math.
+  const auto force = [&] {
+    kb.assign(fx(i), 0.0);
+    kb.For(j, 0, M, [&] {
+      kb.accum(fx(i),
+               select(lt(abs(px(i) - px(nbr(i, j))), 0.8),
+                      (px(i) - px(nbr(i, j))) /
+                          ((px(i) - px(nbr(i, j))) * (px(i) - px(nbr(i, j))) +
+                           0.01),
+                      0.0));
+    });
+  };
+  // Integrate phase: streaming update.
+  const auto integrate = [&] {
+    kb.assign(vx(i2), vx(i2) + fx(i2) * 0.005);
+    kb.assign(px(i2), px(i2) + vx(i2) * 0.005);
+  };
+  if (ser) {
+    kb.For(i, 0, N, force);
+    kb.For(i2, 0, N, integrate);
+  } else {
+    kb.ParallelFor(i, 0, N, force);
+    kb.ParallelFor(i2, 0, N, integrate);
+  }
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((idx[0] * 131 + idx[1] * 17 + 1) % env[0]);
+  });
+  return k;
+}
+
+Kernel stencil13(const ArchParams& p) {
+  auto kb = make_builder(p);
+  const auto side = std::max<std::int64_t>(10, p.m);
+  auto N = kb.param("N", side);
+  auto in = kb.tensor("in", DataType::F64, {N, N, N});
+  auto out = kb.tensor("out", DataType::F64, {N, N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k_ = kb.var("k");
+  const auto body = [&] {
+    kb.For(j, 2, N - 2, [&] {
+      kb.For(k_, 2, N - 2, [&] {
+        kb.assign(
+            out(i, j, k_),
+            in(i, j, k_) * 0.5 +
+                (in(i - 1, j, k_) + in(i + 1, j, k_) + in(i, j - 1, k_) +
+                 in(i, j + 1, k_) + in(i, j, k_ - 1) + in(i, j, k_ + 1)) *
+                    0.0667 +
+                (in(i - 2, j, k_) + in(i + 2, j, k_) + in(i, j - 2, k_) +
+                 in(i, j + 2, k_) + in(i, j, k_ - 2) + in(i, j, k_ + 2)) *
+                    0.0167);
+      });
+    });
+  };
+  if (p.parallel == ParallelModel::Serial)
+    kb.For(i, 2, N - 2, body);
+  else
+    kb.ParallelFor(i, 2, N - 2, body);
+  return std::move(kb).build();
+}
+
+Kernel int_sort_pass(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto H = kb.param("H", std::max<std::int64_t>(2, p.n / 2));
+  auto keys = kb.tensor("keys", DataType::I64, {H, 2});
+  auto outk = kb.tensor("outk", DataType::I64, {H, 2}, false);
+  auto i = kb.var("i");
+  // Compare-exchange pass over pairs: min/max networks, integer-typed.
+  kb.For(i, 0, H, [&] {
+    kb.assign(outk(i, 0), min(E(keys(i, 0)), E(keys(i, 1))));
+    kb.assign(outk(i, 1), max(E(keys(i, 0)), E(keys(i, 1))));
+  });
+  return std::move(kb).build();
+}
+
+Kernel graph_relax(const ArchParams& p) {
+  auto kb = make_builder(p);
+  auto N = kb.param("N", p.n);
+  auto D = kb.param("D", std::max<std::int64_t>(p.m, 4));
+  auto adj = kb.tensor("adj", DataType::I32, {N, D});
+  auto w = kb.tensor("w", DataType::I32, {N, D});
+  auto dist = kb.tensor("dist", DataType::I64, {N});
+  auto i = kb.var("i"), d = kb.var("d");
+  // Relaxation sweep: dist[v] = min(dist[v], dist[adj[v][d]] + w[v][d]).
+  kb.For(i, 0, N, [&] {
+    kb.For(d, 0, D, [&] {
+      kb.assign(dist(i), min(E(dist(i)), E(dist(adj(i, d))) + E(w(i, d))));
+    });
+  });
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((idx[0] * 2654435761LL + idx[1] * 97 + 5) %
+                               env[0]);
+  });
+  return k;
+}
+
+}  // namespace a64fxcc::kernels

@@ -1,0 +1,109 @@
+#pragma once
+// Archetype loop patterns for proxy-app / SPEC workload descriptors.
+//
+// Each archetype is a real IR kernel fragment with the characteristic
+// loop structure, operation mix and memory behaviour of a workload
+// class.  Proxy apps and SPEC entries compose one dominant archetype
+// (plus language/threading metadata); the compiler models then transform
+// them exactly like hand-written kernels — nothing about the evaluation
+// is special-cased per benchmark (except the quirk DB).
+
+#include "ir/builder.hpp"
+#include "kernels/benchmark.hpp"
+
+namespace a64fxcc::kernels {
+
+/// Common knobs for an archetype instance.
+struct ArchParams {
+  std::string name;
+  ir::Language language = ir::Language::C;
+  ir::ParallelModel parallel = ir::ParallelModel::OpenMP;
+  std::string suite;
+  std::int64_t n = 1 << 20;  ///< linear size (meaning varies per archetype)
+  std::int64_t m = 64;       ///< secondary size
+};
+
+/// STREAM-class: a[i] = b[i] + s*c[i].
+[[nodiscard]] ir::Kernel stream_triad(const ArchParams& p);
+
+/// Dense matrix multiply C += A*B (the (i,j,k) textbook order).
+[[nodiscard]] ir::Kernel dgemm(const ArchParams& p);
+
+/// CSR sparse matrix-vector product (indirect column gather).
+/// n rows, m nonzeros per row.
+[[nodiscard]] ir::Kernel spmv_csr(const ArchParams& p);
+
+/// 7-point 3-D stencil sweep (n^3 grid, Jacobi style, t steps folded
+/// into the leading dimension factor).
+[[nodiscard]] ir::Kernel stencil7(const ArchParams& p);
+
+/// 2-D 5-point stencil with time loop (seismic / CFD class).
+[[nodiscard]] ir::Kernel stencil5_t(const ArchParams& p, std::int64_t steps);
+
+/// Random gather reduction (Monte Carlo cross-section lookup class):
+/// s += table[idx[i]] with an affine inner scan of m grid points —
+/// the XSBench-like shape where the inner scan is transformable.
+[[nodiscard]] ir::Kernel mc_lookup(const ArchParams& p);
+
+/// Particle force loop: for each particle, loop over m neighbours via an
+/// index list, accumulate a pairwise force with a divide and sqrt.
+[[nodiscard]] ir::Kernel particle_force(const ArchParams& p);
+
+/// Pointer-chase / tree-search class: serial integer traversal with
+/// data-dependent indices (mcf/omnetpp/kdtree shape).
+[[nodiscard]] ir::Kernel pointer_chase(const ArchParams& p);
+
+/// Branchy integer automata / compression class (perlbench, xz, x264):
+/// table-driven state updates, integer ops, short trip inner loop.
+[[nodiscard]] ir::Kernel int_automata(const ArchParams& p);
+
+/// Dense small-block operations (FEM/spectral class, Nekbone/Laghos):
+/// batched m x m matrix-vector products, unit stride.
+[[nodiscard]] ir::Kernel small_dense_batch(const ArchParams& p);
+
+/// Vector reduction chain (dot products + axpys, CG class).
+[[nodiscard]] ir::Kernel cg_core(const ArchParams& p);
+
+/// 1-D FFT butterfly sweep (log passes of strided access, pow2 sizes).
+[[nodiscard]] ir::Kernel fft_butterfly(const ArchParams& p);
+
+/// Sequential recurrence (scan; durbin/ilbdc class): not vectorizable.
+[[nodiscard]] ir::Kernel recurrence(const ArchParams& p);
+
+/// Histogram / binning with indirect store (scatter class).
+[[nodiscard]] ir::Kernel histogram(const ArchParams& p);
+
+/// String/array comparison dynamic programming (smithwa class):
+/// integer max-chains over a 2-D table.
+[[nodiscard]] ir::Kernel dp_table(const ArchParams& p);
+
+// ---- multi-phase composites (higher-fidelity proxy bodies) ---------------
+
+/// Full CG iteration (miniFE/HPCG class): SpMV + two dot products + three
+/// AXPY sweeps, all over the same vectors — the real phase mix, so the
+/// compiler's reduction-vectorization and gather handling both matter.
+[[nodiscard]] ir::Kernel cg_iteration(const ArchParams& p);
+
+/// Right-looking LU step (HPL class): panel scale (division-heavy,
+/// sequential-ish) followed by the trailing-submatrix rank-1 update
+/// (the dgemm-shaped bulk).  p.m = matrix dimension.
+[[nodiscard]] ir::Kernel lu_step(const ArchParams& p);
+
+/// Molecular-dynamics step (CoMD class): neighbor gather + cutoff branch
+/// + force accumulation with divide/sqrt, then a position update sweep.
+[[nodiscard]] ir::Kernel md_step(const ArchParams& p);
+
+/// 4th-order 3-D stencil (SW4lite class): 13-point star, higher
+/// flops-per-point than stencil7.  p.m = grid side.
+[[nodiscard]] ir::Kernel stencil13(const ArchParams& p);
+
+/// Branch-heavy integer sort/merge pass (xz/deepsjeng class): min/max
+/// networks over integer keys, unvectorizable control flow modeled as
+/// selects.
+[[nodiscard]] ir::Kernel int_sort_pass(const ArchParams& p);
+
+/// Graph breadth-first relaxation (mcf class): frontier scan with
+/// indirect neighbor loads and integer distance updates.
+[[nodiscard]] ir::Kernel graph_relax(const ArchParams& p);
+
+}  // namespace a64fxcc::kernels

@@ -1,0 +1,793 @@
+// PolyBench/C 4.2.1 kernels expressed in the IR, with the LARGE dataset
+// sizes the paper uses (exception per Sec. 2.2: MEDIUM for
+// floyd-warshall).  All 30 kernels are single-threaded C, pinned to one
+// core (Sec. 2.3), and exercise exactly the loop/access structures that
+// separated the five compilers in Figure 2: column-major traversals
+// (mvt, gemver, atax), deep multiplicative nests (2mm/3mm/gemm/doitgen),
+// sequential recurrences (durbin, seidel, deriche), triangular solvers
+// (lu, cholesky, trisolv), and DP medleys (floyd-warshall, nussinov).
+
+#include <algorithm>
+
+#include "ir/builder.hpp"
+#include "kernels/benchmark.hpp"
+
+namespace a64fxcc::kernels {
+
+using namespace ir;
+
+namespace {
+
+[[nodiscard]] std::int64_t dim(double scale, std::int64_t n) {
+  return std::max<std::int64_t>(4, static_cast<std::int64_t>(n * scale));
+}
+
+KernelBuilder pb(const std::string& name) {
+  return KernelBuilder(name, {.language = Language::C,
+                              .parallel = ParallelModel::Serial,
+                              .suite = "polybench"});
+}
+
+BenchmarkTraits pb_traits() {
+  return {.explore_placements = false, .single_core = true, .noise_cv = 0.004};
+}
+
+Kernel k_gemm(double s) {
+  auto kb = pb("gemm");
+  auto NI = kb.param("NI", dim(s, 1000)), NJ = kb.param("NJ", dim(s, 1100)),
+       NK = kb.param("NK", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {NI, NK});
+  auto B = kb.tensor("B", DataType::F64, {NK, NJ});
+  auto C = kb.tensor("C", DataType::F64, {NI, NJ});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, NI, [&] {
+    kb.For(j, 0, NJ, [&] { kb.assign(C(i, j), C(i, j) * 1.2); });
+    kb.For(k, 0, NK, [&] {
+      kb.For(j, 0, NJ,
+             [&] { kb.accum(C(i, j), A(i, k) * B(k, j) * 1.5); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_2mm(double s) {
+  auto kb = pb("2mm");
+  auto NI = kb.param("NI", dim(s, 800)), NJ = kb.param("NJ", dim(s, 900)),
+       NK = kb.param("NK", dim(s, 1100)), NL = kb.param("NL", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {NI, NK});
+  auto B = kb.tensor("B", DataType::F64, {NK, NJ});
+  auto C = kb.tensor("C", DataType::F64, {NJ, NL});
+  auto D = kb.tensor("D", DataType::F64, {NI, NL});
+  auto tmp = kb.tensor("tmp", DataType::F64, {NI, NJ}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  auto i2 = kb.var("i2"), j2 = kb.var("j2"), k2 = kb.var("k2");
+  // tmp = alpha*A*B — the (i,j,k) order with strided B[k][j]: the nest
+  // icc reordered and fcc did not (Sec. 2).
+  kb.For(i, 0, NI, [&] {
+    kb.For(j, 0, NJ, [&] {
+      kb.assign(tmp(i, j), 0.0);
+      kb.For(k, 0, NK, [&] { kb.accum(tmp(i, j), A(i, k) * B(k, j) * 1.5); });
+    });
+  });
+  // D = tmp*C + beta*D
+  kb.For(i2, 0, NI, [&] {
+    kb.For(j2, 0, NL, [&] {
+      kb.assign(D(i2, j2), D(i2, j2) * 1.2);
+      kb.For(k2, 0, NJ, [&] { kb.accum(D(i2, j2), tmp(i2, k2) * C(k2, j2)); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_3mm(double s) {
+  auto kb = pb("3mm");
+  auto NI = kb.param("NI", dim(s, 800)), NJ = kb.param("NJ", dim(s, 900)),
+       NK = kb.param("NK", dim(s, 1000)), NL = kb.param("NL", dim(s, 1100)),
+       NM = kb.param("NM", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {NI, NK});
+  auto B = kb.tensor("B", DataType::F64, {NK, NJ});
+  auto C = kb.tensor("C", DataType::F64, {NJ, NM});
+  auto D = kb.tensor("D", DataType::F64, {NM, NL});
+  auto E_ = kb.tensor("E", DataType::F64, {NI, NJ}, false);
+  auto F = kb.tensor("F", DataType::F64, {NJ, NL}, false);
+  auto G = kb.tensor("G", DataType::F64, {NI, NL}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  auto i2 = kb.var("i2"), j2 = kb.var("j2"), k2 = kb.var("k2");
+  auto i3 = kb.var("i3"), j3 = kb.var("j3"), k3 = kb.var("k3");
+  kb.For(i, 0, NI, [&] {
+    kb.For(j, 0, NJ, [&] {
+      kb.assign(E_(i, j), 0.0);
+      kb.For(k, 0, NK, [&] { kb.accum(E_(i, j), A(i, k) * B(k, j)); });
+    });
+  });
+  kb.For(i2, 0, NJ, [&] {
+    kb.For(j2, 0, NL, [&] {
+      kb.assign(F(i2, j2), 0.0);
+      kb.For(k2, 0, NM, [&] { kb.accum(F(i2, j2), C(i2, k2) * D(k2, j2)); });
+    });
+  });
+  kb.For(i3, 0, NI, [&] {
+    kb.For(j3, 0, NL, [&] {
+      kb.assign(G(i3, j3), 0.0);
+      kb.For(k3, 0, NJ, [&] { kb.accum(G(i3, j3), E_(i3, k3) * F(k3, j3)); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_atax(double s) {
+  auto kb = pb("atax");
+  auto M = kb.param("M", dim(s, 1900)), N = kb.param("N", dim(s, 2100));
+  auto A = kb.tensor("A", DataType::F64, {M, N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto tmp = kb.tensor("tmp", DataType::F64, {M}, false);
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"), j2 = kb.var("j2");
+  kb.For(i, 0, M, [&] {
+    kb.assign(tmp(i), 0.0);
+    kb.For(j, 0, N, [&] { kb.accum(tmp(i), A(i, j) * x(j)); });
+  });
+  kb.For(i2, 0, M, [&] {
+    kb.For(j2, 0, N, [&] { kb.accum(y(j2), A(i2, j2) * tmp(i2)); });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_bicg(double s) {
+  auto kb = pb("bicg");
+  auto M = kb.param("M", dim(s, 1900)), N = kb.param("N", dim(s, 2100));
+  auto A = kb.tensor("A", DataType::F64, {N, M});
+  auto p = kb.tensor("p", DataType::F64, {M});
+  auto r = kb.tensor("r", DataType::F64, {N});
+  auto q = kb.tensor("q", DataType::F64, {N}, false);
+  auto s_ = kb.tensor("s", DataType::F64, {M}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.assign(q(i), 0.0);
+    kb.For(j, 0, M, [&] {
+      kb.accum(s_(j), r(i) * A(i, j));
+      kb.accum(q(i), A(i, j) * p(j));
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_mvt(double s) {
+  auto kb = pb("mvt");
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto y1 = kb.tensor("y1", DataType::F64, {N});
+  auto y2 = kb.tensor("y2", DataType::F64, {N});
+  auto x1 = kb.tensor("x1", DataType::F64, {N});
+  auto x2 = kb.tensor("x2", DataType::F64, {N});
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"), j2 = kb.var("j2");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] { kb.accum(x1(i), A(i, j) * y1(j)); });
+  });
+  // The column-major traversal behind the >250,000x Polly gap (Sec. 3.1).
+  kb.For(i2, 0, N, [&] {
+    kb.For(j2, 0, N, [&] { kb.accum(x2(i2), A(j2, i2) * y2(j2)); });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_gemver(double s) {
+  auto kb = pb("gemver");
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto u1 = kb.tensor("u1", DataType::F64, {N});
+  auto v1 = kb.tensor("v1", DataType::F64, {N});
+  auto u2 = kb.tensor("u2", DataType::F64, {N});
+  auto v2 = kb.tensor("v2", DataType::F64, {N});
+  auto w = kb.tensor("w", DataType::F64, {N}, false);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N});
+  auto z = kb.tensor("z", DataType::F64, {N});
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"), j2 = kb.var("j2");
+  auto i3 = kb.var("i3"), i4 = kb.var("i4"), j4 = kb.var("j4");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N,
+           [&] { kb.assign(A(i, j), A(i, j) + u1(i) * v1(j) + u2(i) * v2(j)); });
+  });
+  // x += beta * A^T y : column access A[j][i].
+  kb.For(i2, 0, N, [&] {
+    kb.For(j2, 0, N, [&] { kb.accum(x(i2), A(j2, i2) * y(j2) * 1.2); });
+  });
+  kb.For(i3, 0, N, [&] { kb.accum(x(i3), z(i3)); });
+  kb.For(i4, 0, N, [&] {
+    kb.For(j4, 0, N, [&] { kb.accum(w(i4), A(i4, j4) * x(j4) * 1.5); });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_gesummv(double s) {
+  auto kb = pb("gesummv");
+  auto N = kb.param("N", dim(s, 1300));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto tmp = kb.tensor("tmp", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.assign(tmp(i), 0.0);
+    kb.assign(y(i), 0.0);
+    kb.For(j, 0, N, [&] {
+      kb.accum(tmp(i), A(i, j) * x(j));
+      kb.accum(y(i), B(i, j) * x(j));
+    });
+    kb.assign(y(i), tmp(i) * 1.5 + y(i) * 1.2);
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_symm(double s) {
+  auto kb = pb("symm");
+  auto M = kb.param("M", dim(s, 1000)), N = kb.param("N", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {M, M});
+  auto B = kb.tensor("B", DataType::F64, {M, N});
+  auto C = kb.tensor("C", DataType::F64, {M, N});
+  auto temp = kb.scalar("temp2", DataType::F64, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, M, [&] {
+    kb.For(j, 0, N, [&] {
+      kb.assign(temp(), 0.0);
+      kb.For(k, 0, i, [&] {
+        kb.accum(C(k, j), B(i, j) * A(i, k) * 1.5);  // column write on C
+        kb.accum(temp(), B(k, j) * A(i, k));
+      });
+      kb.assign(C(i, j),
+                C(i, j) * 1.2 + B(i, j) * A(i, i) * 1.5 + temp() * 1.5);
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_syrk(double s) {
+  auto kb = pb("syrk");
+  auto M = kb.param("M", dim(s, 1000)), N = kb.param("N", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {N, M});
+  auto C = kb.tensor("C", DataType::F64, {N, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, i + 1, [&] { kb.assign(C(i, j), C(i, j) * 1.2); });
+    kb.For(k, 0, M, [&] {
+      kb.For(j, 0, i + 1, [&] { kb.accum(C(i, j), A(i, k) * A(j, k) * 1.5); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_syr2k(double s) {
+  auto kb = pb("syr2k");
+  auto M = kb.param("M", dim(s, 1000)), N = kb.param("N", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {N, M});
+  auto B = kb.tensor("B", DataType::F64, {N, M});
+  auto C = kb.tensor("C", DataType::F64, {N, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, i + 1, [&] { kb.assign(C(i, j), C(i, j) * 1.2); });
+    kb.For(k, 0, M, [&] {
+      kb.For(j, 0, i + 1, [&] {
+        kb.accum(C(i, j), (A(j, k) * B(i, k) + B(j, k) * A(i, k)) * 1.5);
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_trmm(double s) {
+  auto kb = pb("trmm");
+  auto M = kb.param("M", dim(s, 1000)), N = kb.param("N", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {M, M});
+  auto B = kb.tensor("B", DataType::F64, {M, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, M, [&] {
+    kb.For(j, 0, N, [&] {
+      kb.For(k, i + 1, M, [&] { kb.accum(B(i, j), A(k, i) * B(k, j)); });
+      kb.assign(B(i, j), B(i, j) * 1.5);
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_doitgen(double s) {
+  auto kb = pb("doitgen");
+  auto NR = kb.param("NR", dim(s, 150)), NQ = kb.param("NQ", dim(s, 140)),
+       NP = kb.param("NP", dim(s, 160));
+  auto A = kb.tensor("A", DataType::F64, {NR, NQ, NP});
+  auto C4 = kb.tensor("C4", DataType::F64, {NP, NP});
+  auto sum = kb.tensor("sum", DataType::F64, {NP}, false);
+  auto r = kb.var("r"), q = kb.var("q"), p = kb.var("p"), s_ = kb.var("s"),
+       p2 = kb.var("p2");
+  kb.For(r, 0, NR, [&] {
+    kb.For(q, 0, NQ, [&] {
+      kb.For(p, 0, NP, [&] {
+        kb.assign(sum(p), 0.0);
+        kb.For(s_, 0, NP, [&] { kb.accum(sum(p), A(r, q, s_) * C4(s_, p)); });
+      });
+      kb.For(p2, 0, NP, [&] { kb.assign(A(r, q, p2), sum(p2)); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_cholesky(double s) {
+  auto kb = pb("cholesky");
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k"), k2 = kb.var("k2");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, i, [&] {
+      kb.For(k, 0, j, [&] {
+        kb.assign(A(i, j), A(i, j) - A(i, k) * A(j, k));
+      });
+      kb.assign(A(i, j), A(i, j) / (A(j, j) + 2.0));
+    });
+    kb.For(k2, 0, i, [&] { kb.assign(A(i, i), A(i, i) - A(i, k2) * A(i, k2)); });
+    kb.assign(A(i, i), sqrt(abs(A(i, i)) + 1.0));
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_durbin(double s) {
+  auto kb = pb("durbin");
+  auto N = kb.param("N", dim(s, 2000));
+  auto r = kb.tensor("r", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto z = kb.tensor("z", DataType::F64, {N}, false);
+  auto alpha = kb.scalar("alpha", DataType::F64, false);
+  auto beta = kb.scalar("beta", DataType::F64, false);
+  auto sum = kb.scalar("sum", DataType::F64, false);
+  auto k = kb.var("k"), i = kb.var("i"), i2 = kb.var("i2");
+  // Sequential recurrence over k: the classic non-parallelizable kernel.
+  kb.For(k, 1, N, [&] {
+    kb.assign(beta(), (1.0 - alpha() * alpha()) * beta() + 0.5);
+    kb.assign(sum(), 0.0);
+    kb.For(i, 0, k, [&] { kb.accum(sum(), r(k - i - 1) * y(i)); });
+    kb.assign(alpha(), -(r(k) + sum()) / (beta() + 2.0));
+    kb.For(i2, 0, k, [&] {
+      kb.assign(z(i2), y(i2) + alpha() * y(k - i2 - 1));
+    });
+    kb.For(i2, 0, k, [&] { kb.assign(y(i2), z(i2)); });
+    kb.assign(y(k), alpha());
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_gramschmidt(double s) {
+  auto kb = pb("gramschmidt");
+  auto M = kb.param("M", dim(s, 1000)), N = kb.param("N", dim(s, 1200));
+  auto A = kb.tensor("A", DataType::F64, {M, N});
+  auto R = kb.tensor("R", DataType::F64, {N, N}, false);
+  auto Q = kb.tensor("Q", DataType::F64, {M, N}, false);
+  auto nrm = kb.scalar("nrm", DataType::F64, false);
+  auto k = kb.var("k"), i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"),
+       i3 = kb.var("i3");
+  kb.For(k, 0, N, [&] {
+    kb.assign(nrm(), 0.0);
+    // Column access A[i][k]: stride N.
+    kb.For(i, 0, M, [&] { kb.accum(nrm(), A(i, k) * A(i, k)); });
+    kb.assign(R(k, k), sqrt(nrm() + 1.0));
+    kb.For(i2, 0, M, [&] { kb.assign(Q(i2, k), A(i2, k) / R(k, k)); });
+    kb.For(j, k + 1, N, [&] {
+      kb.assign(R(k, j), 0.0);
+      kb.For(i3, 0, M, [&] { kb.accum(R(k, j), Q(i3, k) * A(i3, j)); });
+      kb.For(i3, 0, M, [&] {
+        kb.assign(A(i3, j), A(i3, j) - Q(i3, k) * R(k, j));
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_lu(double s) {
+  auto kb = pb("lu");
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k"), j2 = kb.var("j2"),
+       k2 = kb.var("k2");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, i, [&] {
+      kb.For(k, 0, j, [&] { kb.assign(A(i, j), A(i, j) - A(i, k) * A(k, j)); });
+      kb.assign(A(i, j), A(i, j) / (A(j, j) + 2.0));
+    });
+    kb.For(j2, i, N, [&] {
+      kb.For(k2, 0, i,
+             [&] { kb.assign(A(i, j2), A(i, j2) - A(i, k2) * A(k2, j2)); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_ludcmp(double s) {
+  auto kb = pb("ludcmp");
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto w = kb.scalar("w", DataType::F64, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k"), j2 = kb.var("j2"),
+       k2 = kb.var("k2"), i2 = kb.var("i2"), j3 = kb.var("j3"),
+       i3 = kb.var("i3"), j4 = kb.var("j4");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, i, [&] {
+      kb.assign(w(), A(i, j));
+      kb.For(k, 0, j, [&] { kb.assign(w(), w() - A(i, k) * A(k, j)); });
+      kb.assign(A(i, j), w() / (A(j, j) + 2.0));
+    });
+    kb.For(j2, i, N, [&] {
+      kb.assign(w(), A(i, j2));
+      kb.For(k2, 0, i, [&] { kb.assign(w(), w() - A(i, k2) * A(k2, j2)); });
+      kb.assign(A(i, j2), w());
+    });
+  });
+  kb.For(i2, 0, N, [&] {
+    kb.assign(w(), b(i2));
+    kb.For(j3, 0, i2, [&] { kb.assign(w(), w() - A(i2, j3) * y(j3)); });
+    kb.assign(y(i2), w());
+  });
+  kb.For(i3, 0, N, [&] {
+    kb.assign(w(), y(N - i3 - 1));
+    kb.For(j4, N - i3, N,
+           [&] { kb.assign(w(), w() - A(N - i3 - 1, j4) * x(j4)); });
+    kb.assign(x(N - i3 - 1), w() / (A(N - i3 - 1, N - i3 - 1) + 2.0));
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_trisolv(double s) {
+  auto kb = pb("trisolv");
+  auto N = kb.param("N", dim(s, 2000));
+  auto L = kb.tensor("L", DataType::F64, {N, N});
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.assign(x(i), b(i));
+    kb.For(j, 0, i, [&] { kb.assign(x(i), x(i) - L(i, j) * x(j)); });
+    kb.assign(x(i), x(i) / (L(i, i) + 2.0));
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_correlation(double s) {
+  auto kb = pb("correlation");
+  auto M = kb.param("M", dim(s, 1200)), N = kb.param("N", dim(s, 1400));
+  auto data = kb.tensor("data", DataType::F64, {N, M});
+  auto corr = kb.tensor("corr", DataType::F64, {M, M}, false);
+  auto mean = kb.tensor("mean", DataType::F64, {M}, false);
+  auto stddev = kb.tensor("stddev", DataType::F64, {M}, false);
+  auto j = kb.var("j"), i = kb.var("i"), j2 = kb.var("j2"), i2 = kb.var("i2"),
+       i3 = kb.var("i3"), j3 = kb.var("j3"), k = kb.var("k"), j5 = kb.var("j5");
+  // Column reductions: data[i][j] with i inner -> stride M.
+  kb.For(j, 0, M, [&] {
+    kb.assign(mean(j), 0.0);
+    kb.For(i, 0, N, [&] { kb.accum(mean(j), data(i, j)); });
+    kb.assign(mean(j), mean(j) / (E(N) + 1.0));
+  });
+  kb.For(j2, 0, M, [&] {
+    kb.assign(stddev(j2), 0.0);
+    kb.For(i2, 0, N, [&] {
+      kb.accum(stddev(j2),
+               (data(i2, j2) - mean(j2)) * (data(i2, j2) - mean(j2)));
+    });
+    kb.assign(stddev(j2), sqrt(stddev(j2) / (E(N) + 1.0)) + 0.1);
+  });
+  kb.For(i3, 0, N, [&] {
+    kb.For(j3, 0, M, [&] {
+      kb.assign(data(i3, j3), (data(i3, j3) - mean(j3)) / stddev(j3));
+    });
+  });
+  kb.For(j5, 0, M - 1, [&] {
+    kb.assign(corr(j5, j5), 1.0);
+    kb.For(j3, j5 + 1, M, [&] {
+      kb.assign(corr(j5, j3), 0.0);
+      kb.For(k, 0, N, [&] { kb.accum(corr(j5, j3), data(k, j5) * data(k, j3)); });
+      kb.assign(corr(j3, j5), corr(j5, j3));
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_covariance(double s) {
+  auto kb = pb("covariance");
+  auto M = kb.param("M", dim(s, 1200)), N = kb.param("N", dim(s, 1400));
+  auto data = kb.tensor("data", DataType::F64, {N, M});
+  auto cov = kb.tensor("cov", DataType::F64, {M, M}, false);
+  auto mean = kb.tensor("mean", DataType::F64, {M}, false);
+  auto j = kb.var("j"), i = kb.var("i"), i2 = kb.var("i2"), j2 = kb.var("j2"),
+       j3 = kb.var("j3"), k = kb.var("k");
+  kb.For(j, 0, M, [&] {
+    kb.assign(mean(j), 0.0);
+    kb.For(i, 0, N, [&] { kb.accum(mean(j), data(i, j)); });
+    kb.assign(mean(j), mean(j) / (E(N) + 1.0));
+  });
+  kb.For(i2, 0, N, [&] {
+    kb.For(j2, 0, M, [&] { kb.assign(data(i2, j2), data(i2, j2) - mean(j2)); });
+  });
+  kb.For(j3, 0, M, [&] {
+    kb.For(j2, j3, M, [&] {
+      kb.assign(cov(j3, j2), 0.0);
+      kb.For(k, 0, N, [&] { kb.accum(cov(j3, j2), data(k, j3) * data(k, j2)); });
+      kb.assign(cov(j3, j2), cov(j3, j2) / (E(N) + 1.0));
+      kb.assign(cov(j2, j3), cov(j3, j2));
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_deriche(double s) {
+  auto kb = pb("deriche");
+  auto W = kb.param("W", dim(s, 4096)), H = kb.param("H", dim(s, 2160));
+  auto img = kb.tensor("img", DataType::F64, {W, H});
+  auto y1 = kb.tensor("y1", DataType::F64, {W, H}, false);
+  auto y2 = kb.tensor("y2", DataType::F64, {W, H}, false);
+  auto out = kb.tensor("out", DataType::F64, {W, H}, false);
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"), j2 = kb.var("j2"),
+       i3 = kb.var("i3"), j3 = kb.var("j3");
+  // Horizontal IIR pass: recurrence along j.
+  kb.For(i, 0, W, [&] {
+    kb.For(j, 2, H, [&] {
+      kb.assign(y1(i, j),
+                img(i, j) * 0.5 + y1(i, j - 1) * 0.3 + y1(i, j - 2) * 0.1);
+    });
+  });
+  // Vertical IIR pass: recurrence along i, column access.
+  kb.For(j2, 0, H, [&] {
+    kb.For(i2, 2, W, [&] {
+      kb.assign(y2(i2, j2),
+                y1(i2, j2) * 0.5 + y2(i2 - 1, j2) * 0.3 + y2(i2 - 2, j2) * 0.1);
+    });
+  });
+  kb.For(i3, 0, W, [&] {
+    kb.For(j3, 0, H, [&] { kb.assign(out(i3, j3), y1(i3, j3) + y2(i3, j3)); });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_floyd_warshall(double s) {
+  auto kb = pb("floyd-warshall");
+  // Paper exception: MEDIUM input (Sec. 2.2).
+  auto N = kb.param("N", dim(s, 500));
+  auto path = kb.tensor("path", DataType::F64, {N, N});
+  auto k = kb.var("k"), i = kb.var("i"), j = kb.var("j");
+  kb.For(k, 0, N, [&] {
+    kb.For(i, 0, N, [&] {
+      kb.For(j, 0, N, [&] {
+        kb.assign(path(i, j), min(path(i, j), path(i, k) + path(k, j)));
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_nussinov(double s) {
+  auto kb = pb("nussinov");
+  auto N = kb.param("N", dim(s, 2500));
+  auto seq = kb.tensor("seq", DataType::I32, {N});
+  auto table = kb.tensor("table", DataType::I32, {N, N});
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  // DP filled bottom-up: i runs backwards (negative step), j forward.
+  kb.For(
+      i, N - 2, -1,
+      [&] {
+        kb.For(j, i + 1, N, [&] {
+          kb.assign(table(i, j), max(table(i, j), table(i, j - 1)));
+          kb.assign(table(i, j), max(table(i, j), table(i + 1, j)));
+          kb.assign(table(i, j),
+                    max(table(i, j),
+                        table(i + 1, j - 1) +
+                            select(lt(abs(seq(i) + seq(j) - 3.0), 0.5), 1.0,
+                                   0.0)));
+          kb.For(k, i + 1, j, [&] {
+            kb.assign(table(i, j), max(table(i, j), table(i, k) + table(k, j)));
+          });
+        });
+      },
+      -1);
+  return std::move(kb).build();
+}
+
+Kernel k_adi(double s) {
+  auto kb = pb("adi");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500) / 5));
+  auto N = kb.param("N", dim(s, 1000));
+  auto u = kb.tensor("u", DataType::F64, {N, N});
+  auto v = kb.tensor("v", DataType::F64, {N, N}, false);
+  auto p = kb.tensor("p", DataType::F64, {N, N}, false);
+  auto q = kb.tensor("q", DataType::F64, {N, N}, false);
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"),
+       j2 = kb.var("j2");
+  kb.For(t, 0, T, [&] {
+    // Column sweep: recurrence along j, column access on v.
+    kb.For(i, 1, N - 1, [&] {
+      kb.For(j, 1, N - 1, [&] {
+        kb.assign(p(i, j), 0.5 / (p(i, j - 1) * 0.3 + 2.0));
+        kb.assign(q(i, j),
+                  (u(j, i - 1) + u(j, i + 1) - u(j, i)) * 0.25 +
+                      q(i, j - 1) * p(i, j));
+      });
+      kb.For(j, 1, N - 1,
+             [&] { kb.assign(v(j, i), p(i, N - 1 - j) * 0.7 + q(i, N - 1 - j)); });
+    });
+    // Row sweep.
+    kb.For(i2, 1, N - 1, [&] {
+      kb.For(j2, 1, N - 1, [&] {
+        kb.assign(p(i2, j2), 0.5 / (p(i2, j2 - 1) * 0.4 + 2.0));
+        kb.assign(q(i2, j2),
+                  (v(i2 - 1, j2) + v(i2 + 1, j2) - v(i2, j2)) * 0.25 +
+                      q(i2, j2 - 1) * p(i2, j2));
+      });
+      kb.For(j2, 1, N - 1, [&] {
+        kb.assign(u(i2, j2), p(i2, N - 1 - j2) * 0.7 + q(i2, N - 1 - j2));
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_fdtd2d(double s) {
+  auto kb = pb("fdtd-2d");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500) / 5));
+  auto NX = kb.param("NX", dim(s, 1000)), NY = kb.param("NY", dim(s, 1200));
+  auto ex = kb.tensor("ex", DataType::F64, {NX, NY});
+  auto ey = kb.tensor("ey", DataType::F64, {NX, NY});
+  auto hz = kb.tensor("hz", DataType::F64, {NX, NY});
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j");
+  kb.For(t, 0, T, [&] {
+    kb.For(j, 0, NY, [&] { kb.assign(ey(0, j), E(t) * 0.1); });
+    kb.For(i, 1, NX, [&] {
+      kb.For(j, 0, NY,
+             [&] { kb.assign(ey(i, j), ey(i, j) - (hz(i, j) - hz(i - 1, j)) * 0.5); });
+    });
+    kb.For(i, 0, NX, [&] {
+      kb.For(j, 1, NY,
+             [&] { kb.assign(ex(i, j), ex(i, j) - (hz(i, j) - hz(i, j - 1)) * 0.5); });
+    });
+    kb.For(i, 0, NX - 1, [&] {
+      kb.For(j, 0, NY - 1, [&] {
+        kb.assign(hz(i, j), hz(i, j) - (ex(i, j + 1) - ex(i, j) + ey(i + 1, j) -
+                                        ey(i, j)) *
+                                           0.7);
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_heat3d(double s) {
+  auto kb = pb("heat-3d");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500) / 5));
+  auto N = kb.param("N", dim(s, 120));
+  auto A = kb.tensor("A", DataType::F64, {N, N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N, N}, false);
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  auto stencil = [&](TensorHandle dst, TensorHandle src) {
+    kb.For(i, 1, N - 1, [&] {
+      kb.For(j, 1, N - 1, [&] {
+        kb.For(k, 1, N - 1, [&] {
+          kb.assign(dst(i, j, k),
+                    (src(i + 1, j, k) - src(i, j, k) * 2.0 + src(i - 1, j, k)) *
+                            0.125 +
+                        (src(i, j + 1, k) - src(i, j, k) * 2.0 +
+                         src(i, j - 1, k)) *
+                            0.125 +
+                        (src(i, j, k + 1) - src(i, j, k) * 2.0 +
+                         src(i, j, k - 1)) *
+                            0.125 +
+                        src(i, j, k));
+        });
+      });
+    });
+  };
+  kb.For(t, 0, T, [&] {
+    stencil(B, A);
+    stencil(A, B);
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_jacobi1d(double s) {
+  auto kb = pb("jacobi-1d");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500)));
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N});
+  auto B = kb.tensor("B", DataType::F64, {N}, false);
+  auto t = kb.var("t"), i = kb.var("i"), i2 = kb.var("i2");
+  kb.For(t, 0, T, [&] {
+    kb.For(i, 1, N - 1,
+           [&] { kb.assign(B(i), (A(i - 1) + A(i) + A(i + 1)) * 0.33333); });
+    kb.For(i2, 1, N - 1,
+           [&] { kb.assign(A(i2), (B(i2 - 1) + B(i2) + B(i2 + 1)) * 0.33333); });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_jacobi2d(double s) {
+  auto kb = pb("jacobi-2d");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500) / 5));
+  auto N = kb.param("N", dim(s, 1300));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N}, false);
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"),
+       j2 = kb.var("j2");
+  kb.For(t, 0, T, [&] {
+    kb.For(i, 1, N - 1, [&] {
+      kb.For(j, 1, N - 1, [&] {
+        kb.assign(B(i, j), (A(i, j) + A(i, j - 1) + A(i, j + 1) + A(i + 1, j) +
+                            A(i - 1, j)) *
+                               0.2);
+      });
+    });
+    kb.For(i2, 1, N - 1, [&] {
+      kb.For(j2, 1, N - 1, [&] {
+        kb.assign(A(i2, j2), (B(i2, j2) + B(i2, j2 - 1) + B(i2, j2 + 1) +
+                              B(i2 + 1, j2) + B(i2 - 1, j2)) *
+                                 0.2);
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+Kernel k_seidel2d(double s) {
+  auto kb = pb("seidel-2d");
+  auto T = kb.param("T", std::max<std::int64_t>(2, dim(s, 500) / 5));
+  auto N = kb.param("N", dim(s, 2000));
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto t = kb.var("t"), i = kb.var("i"), j = kb.var("j");
+  kb.For(t, 0, T, [&] {
+    kb.For(i, 1, N - 1, [&] {
+      kb.For(j, 1, N - 1, [&] {
+        kb.assign(A(i, j),
+                  (A(i - 1, j - 1) + A(i - 1, j) + A(i - 1, j + 1) +
+                   A(i, j - 1) + A(i, j) + A(i, j + 1) + A(i + 1, j - 1) +
+                   A(i + 1, j) + A(i + 1, j + 1)) /
+                      9.0);
+      });
+    });
+  });
+  return std::move(kb).build();
+}
+
+}  // namespace
+
+std::vector<Benchmark> polybench_suite(double scale) {
+  std::vector<Benchmark> out;
+  const auto traits = pb_traits();
+  out.emplace_back(k_correlation(scale), traits);
+  out.emplace_back(k_covariance(scale), traits);
+  out.emplace_back(k_gemm(scale), traits);
+  out.emplace_back(k_gemver(scale), traits);
+  out.emplace_back(k_gesummv(scale), traits);
+  out.emplace_back(k_symm(scale), traits);
+  out.emplace_back(k_syr2k(scale), traits);
+  out.emplace_back(k_syrk(scale), traits);
+  out.emplace_back(k_trmm(scale), traits);
+  out.emplace_back(k_2mm(scale), traits);
+  out.emplace_back(k_3mm(scale), traits);
+  out.emplace_back(k_atax(scale), traits);
+  out.emplace_back(k_bicg(scale), traits);
+  out.emplace_back(k_doitgen(scale), traits);
+  out.emplace_back(k_mvt(scale), traits);
+  out.emplace_back(k_cholesky(scale), traits);
+  out.emplace_back(k_durbin(scale), traits);
+  out.emplace_back(k_gramschmidt(scale), traits);
+  out.emplace_back(k_lu(scale), traits);
+  out.emplace_back(k_ludcmp(scale), traits);
+  out.emplace_back(k_trisolv(scale), traits);
+  out.emplace_back(k_deriche(scale), traits);
+  out.emplace_back(k_floyd_warshall(scale), traits);
+  out.emplace_back(k_nussinov(scale), traits);
+  out.emplace_back(k_adi(scale), traits);
+  out.emplace_back(k_fdtd2d(scale), traits);
+  out.emplace_back(k_heat3d(scale), traits);
+  out.emplace_back(k_jacobi1d(scale), traits);
+  out.emplace_back(k_jacobi2d(scale), traits);
+  out.emplace_back(k_seidel2d(scale), traits);
+  return out;
+}
+
+}  // namespace a64fxcc::kernels

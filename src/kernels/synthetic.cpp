@@ -1,0 +1,137 @@
+#include "kernels/synthetic.hpp"
+
+#include <random>
+
+#include "ir/builder.hpp"
+
+namespace a64fxcc::kernels {
+
+using namespace ir;
+
+namespace {
+
+/// Small deterministic RNG wrapper.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : g_(seed * 2654435761ULL + 1) {}
+  int upto(int n) {  // [0, n)
+    return static_cast<int>(g_() % static_cast<std::uint64_t>(n));
+  }
+  bool chance(double p) { return upto(1000) < static_cast<int>(p * 1000); }
+
+ private:
+  std::mt19937_64 g_;
+};
+
+}  // namespace
+
+Kernel synthetic_kernel(std::uint64_t seed, const SyntheticOptions& opt) {
+  Rng rng(seed);
+  KernelBuilder kb("synthetic-" + std::to_string(seed),
+                   {.language = Language::C,
+                    .parallel = opt.allow_parallel ? ParallelModel::OpenMP
+                                                   : ParallelModel::Serial,
+                    .suite = "synthetic"});
+  const std::int64_t n = opt.dim + rng.upto(4);
+  auto N = kb.param("N", n);
+
+  // Tensors: two 2-D, two 1-D, one scalar accumulator; optionally an
+  // index tensor for indirect access.
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto u = kb.tensor("u", DataType::F64, {N});
+  auto v = kb.tensor("v", DataType::F64, {N}, false);
+  auto acc = kb.scalar("acc", DataType::F64, false);
+  TensorHandle idx{};
+  if (opt.allow_indirect) idx = kb.tensor("idx", DataType::I64, {N});
+
+  const int depth = 1 + rng.upto(opt.max_depth);
+  std::vector<Sym> ivs;
+  for (int d = 0; d < depth; ++d)
+    ivs.push_back(kb.var("i" + std::to_string(d)));
+
+  // Build a random scalar expression over the declared tensors using the
+  // loop variables in scope.
+  const auto rand_load = [&](int in_scope) -> E {
+    const Sym a = ivs[static_cast<std::size_t>(rng.upto(in_scope))];
+    const Sym b = ivs[static_cast<std::size_t>(rng.upto(in_scope))];
+    switch (rng.upto(opt.allow_indirect ? 6 : 5)) {
+      case 0: return E(A(a, b));
+      case 1: return E(B(b, a));  // transposed
+      case 2: return E(u(a));
+      case 3:
+        // Stencil-style shifted access, clamped by using interior loops
+        // only when depth > 0 (bounds below start at 1).
+        return E(A(a, b)) * 0.5 + E(B(a, b)) * 0.25;
+      case 4: return E(u(b)) * 2.0;
+      default: return E(u(idx(a)));  // gather
+    }
+  };
+
+  const auto rand_expr = [&](int in_scope) -> E {
+    E e = rand_load(in_scope);
+    const int terms = 1 + rng.upto(3);
+    for (int t = 0; t < terms; ++t) {
+      E r = rand_load(in_scope);
+      switch (rng.upto(4)) {
+        case 0: e = std::move(e) + std::move(r); break;
+        case 1: e = std::move(e) - std::move(r); break;
+        case 2: e = std::move(e) * 0.5 + std::move(r); break;
+        default: e = max(std::move(e), std::move(r)); break;
+      }
+    }
+    return e;
+  };
+
+  const auto emit_stmt = [&](int in_scope) {
+    const Sym a = ivs[static_cast<std::size_t>(rng.upto(in_scope))];
+    const Sym b = ivs[static_cast<std::size_t>(rng.upto(in_scope))];
+    switch (rng.upto(4)) {
+      case 0: kb.assign(v(a), rand_expr(in_scope)); break;
+      case 1: kb.accum(acc(), rand_expr(in_scope)); break;
+      case 2: kb.assign(A(a, b), rand_expr(in_scope)); break;
+      default: kb.accum(v(b), rand_expr(in_scope)); break;
+    }
+  };
+
+  // Recursive nest construction.
+  const std::function<void(int)> build = [&](int d) {
+    if (d == depth) {
+      const int stmts = 1 + rng.upto(opt.max_stmts);
+      for (int s = 0; s < stmts; ++s) emit_stmt(depth);
+      return;
+    }
+    const Sym iv = ivs[static_cast<std::size_t>(d)];
+    Ax lo = 0;
+    Ax hi = N;
+    if (opt.allow_triangular && d > 0 && rng.chance(0.3)) {
+      // Triangular inner bound over the previous loop variable.
+      lo = Ax(AffineExpr::var(ivs[static_cast<std::size_t>(d - 1)].id));
+    }
+    const bool par = opt.allow_parallel && d == 0 && rng.chance(0.5);
+    const auto body = [&] {
+      build(d + 1);
+      // Occasionally add a sibling statement between loops (imperfect
+      // nest) using only the variables in scope here.
+      if (rng.chance(0.3)) emit_stmt(d + 1);
+    };
+    if (par)
+      kb.ParallelFor(iv, lo, hi, body);
+    else
+      kb.For(iv, lo, hi, body);
+  };
+  build(0);
+
+  Kernel k = std::move(kb).build();
+  if (opt.allow_indirect) {
+    // idx holds valid positions in [0, N).
+    k.set_init(*k.find_tensor("idx"),
+               [](std::span<const std::int64_t> id,
+                  std::span<const std::int64_t> env) {
+                 return static_cast<double>((id[0] * 7 + 3) % env[0]);
+               });
+  }
+  return k;
+}
+
+}  // namespace a64fxcc::kernels

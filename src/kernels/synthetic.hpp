@@ -1,0 +1,32 @@
+#pragma once
+// Seeded synthetic kernel generator for property/fuzz testing.
+//
+// Generates structurally diverse, *valid* affine (and optionally
+// indirect) kernels: random nest depths, bounds (rectangular or
+// triangular), statement shapes (assignments, reductions, stencils),
+// and access patterns (unit, strided, transposed, indirect).  The same
+// seed always yields the same kernel, so failures reproduce.
+//
+// Used by tests/test_fuzz.cpp to hammer the pass/interpreter agreement
+// far beyond the hand-picked cases.
+
+#include <cstdint>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::kernels {
+
+struct SyntheticOptions {
+  int max_depth = 3;          ///< maximum loop nest depth
+  int max_stmts = 3;          ///< statements per (innermost) body
+  std::int64_t dim = 8;       ///< base tensor extent
+  bool allow_triangular = true;
+  bool allow_indirect = false;  ///< include gather/scatter accesses
+  bool allow_parallel = false;  ///< mark some outer loops OpenMP-parallel
+};
+
+/// Deterministic kernel for (seed, options).
+[[nodiscard]] ir::Kernel synthetic_kernel(std::uint64_t seed,
+                                          const SyntheticOptions& opt = {});
+
+}  // namespace a64fxcc::kernels

@@ -1,0 +1,107 @@
+// HPL, HPCG and BabelStream (Sec. 2.2): the system-ranking trio.
+//
+//  - HPL: N = 36864.  The bulk of the math runs inside Fujitsu's SSL2
+//    BLAS regardless of compiler (library_fraction), which is why the
+//    paper saw only ~5% compiler effect.  The compiled remainder is the
+//    panel factorization / row swaps, dgemm-shaped.
+//  - HPCG: 120^3 local problem; SpMV + CG vector ops, indirect accesses,
+//    memory-bound: the compiler mostly affects the vector-op codegen.
+//  - BabelStream: 2 GiB vectors.  Pure streaming; the paper measured up
+//    to 51% runtime reduction and a run-to-run CV of up to 22% — by far
+//    the noisiest benchmark, which our noise model reproduces.
+
+#include "kernels/archetypes.hpp"
+
+namespace a64fxcc::kernels {
+
+using namespace ir;
+
+namespace {
+
+[[nodiscard]] std::int64_t sz(double scale, std::int64_t n,
+                              std::int64_t floor_ = 4) {
+  return std::max(floor_, static_cast<std::int64_t>(n * scale));
+}
+
+Kernel hpcg_kernel(double s) {
+  KernelBuilder kb("hpcg", {.language = Language::Cpp,
+                            .parallel = ParallelModel::MpiOpenMP,
+                            .suite = "top500"});
+  const std::int64_t rows = sz(s * s * s, 120LL * 120 * 120, 64);
+  auto N = kb.param("N", rows);
+  auto NNZ = kb.param("NNZ", 27);
+  auto col = kb.tensor("col", DataType::I32, {N, NNZ});
+  auto val = kb.tensor("val", DataType::F64, {N, NNZ});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto r = kb.tensor("r", DataType::F64, {N});
+  auto pvec = kb.tensor("p", DataType::F64, {N});
+  auto rho = kb.scalar("rho", DataType::F64, false);
+  auto i = kb.var("i"), j = kb.var("j"), i2 = kb.var("i2"), i3 = kb.var("i3");
+  // SpMV with the 27-point structure.
+  kb.ParallelFor(i, 0, N, [&] {
+    kb.assign(y(i), 0.0);
+    kb.For(j, 0, NNZ, [&] { kb.accum(y(i), val(i, j) * x(col(i, j))); });
+  });
+  // Dot product + WAXPBY (the CG vector kernels).
+  kb.ParallelFor(i2, 0, N, [&] { kb.accum(rho(), r(i2) * y(i2)); });
+  kb.ParallelFor(i3, 0, N, [&] { kb.assign(x(i3), x(i3) + pvec(i3) * 0.7); });
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> idx,
+                   std::span<const std::int64_t> env) {
+    // 27-point band around the row.
+    const std::int64_t n = env[0];
+    const std::int64_t off = idx[1] - 13;
+    const std::int64_t c = idx[0] + off * 11;
+    return static_cast<double>(((c % n) + n) % n);
+  });
+  return k;
+}
+
+Kernel babelstream_kernel(double s) {
+  // 2 GiB vectors => 268M doubles each (scaled).
+  KernelBuilder kb("babelstream", {.language = Language::Cpp,
+                                   .parallel = ParallelModel::OpenMP,
+                                   .suite = "top500"});
+  auto N = kb.param("N", sz(s, 268435456, 64));
+  auto a = kb.tensor("a", DataType::F64, {N});
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto c = kb.tensor("c", DataType::F64, {N});
+  auto sum = kb.scalar("sum", DataType::F64, false);
+  auto i1 = kb.var("i1"), i2 = kb.var("i2"), i3 = kb.var("i3"),
+       i4 = kb.var("i4"), i5 = kb.var("i5");
+  kb.ParallelFor(i1, 0, N, [&] { kb.assign(c(i1), a(i1)); });               // copy
+  kb.ParallelFor(i2, 0, N, [&] { kb.assign(b(i2), c(i2) * 0.4); });         // mul
+  kb.ParallelFor(i3, 0, N, [&] { kb.assign(c(i3), a(i3) + b(i3)); });       // add
+  kb.ParallelFor(i4, 0, N, [&] { kb.assign(a(i4), b(i4) + c(i4) * 0.4); }); // triad
+  kb.ParallelFor(i5, 0, N, [&] { kb.accum(sum(), a(i5) * b(i5)); });        // dot
+  return std::move(kb).build();
+}
+
+}  // namespace
+
+std::vector<Benchmark> top500_suite(double s) {
+  std::vector<Benchmark> out;
+
+  {
+    ArchParams p{.name = "hpl",
+                 .language = Language::C,
+                 .parallel = ParallelModel::MpiOpenMP,
+                 .suite = "top500",
+                 .n = 0,
+                 // Panel-sized working set: the compiled (non-SSL2) part
+                 // of HPL operates on NB-wide panels, cache-resident.
+                 .m = sz(s, 384, 8)};
+    out.emplace_back(lu_step(p),
+                     BenchmarkTraits{.explore_placements = true,
+                                     .noise_cv = 0.003,
+                                     .library_fraction = 0.82});
+  }
+  out.emplace_back(hpcg_kernel(s),
+                   BenchmarkTraits{.explore_placements = true, .noise_cv = 0.01});
+  out.emplace_back(babelstream_kernel(s),
+                   BenchmarkTraits{.explore_placements = true, .noise_cv = 0.22});
+  return out;
+}
+
+}  // namespace a64fxcc::kernels

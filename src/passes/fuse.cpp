@@ -1,0 +1,211 @@
+// Loop fusion and distribution.  Both share the same legality core: the
+// instance pairs between the two statement groups must admit no
+// lexicographically negative dependence distance.
+
+#include <algorithm>
+
+#include "passes/passes.hpp"
+
+namespace a64fxcc::passes {
+
+namespace {
+
+using analysis::Dependence;
+using analysis::Dir;
+using ir::AffineExpr;
+using ir::Expr;
+using ir::Kernel;
+using ir::Loop;
+using ir::Node;
+using ir::NodePtr;
+using ir::VarId;
+
+void rename_in_expr(Expr& e, VarId from, VarId to) {
+  if (e.kind == ir::ExprKind::Var && e.var == from) e.var = to;
+  if (e.kind == ir::ExprKind::Load) {
+    for (auto& ix : e.access.index) {
+      ix.affine = ix.affine.substituted(from, AffineExpr::var(to));
+      if (ix.indirect) rename_in_expr(*ix.indirect, from, to);
+    }
+  }
+  if (e.a) rename_in_expr(*e.a, from, to);
+  if (e.b) rename_in_expr(*e.b, from, to);
+  if (e.c) rename_in_expr(*e.c, from, to);
+}
+
+void rename_var(Node& n, VarId from, VarId to) {
+  if (n.is_stmt()) {
+    for (auto& ix : n.stmt.target.index) {
+      ix.affine = ix.affine.substituted(from, AffineExpr::var(to));
+      if (ix.indirect) rename_in_expr(*ix.indirect, from, to);
+    }
+    rename_in_expr(*n.stmt.value, from, to);
+    return;
+  }
+  Loop& l = n.loop;
+  l.lower = l.lower.substituted(from, AffineExpr::var(to));
+  l.upper = l.upper.substituted(from, AffineExpr::var(to));
+  if (l.upper2.has_value())
+    l.upper2 = l.upper2->substituted(from, AffineExpr::var(to));
+  for (auto& c : l.body) rename_var(*c, from, to);
+}
+
+/// True if dep has an instantiation with lexicographically negative
+/// distance — the shared illegality condition for fusion/distribution.
+bool has_negative_instantiation(const Dependence& d) {
+  // A vector can be lex-negative iff scanning dirs we can reach a Gt (or
+  // choose Gt at a Star) before any forced Lt.
+  for (const Dir dir : d.dirs) {
+    if (dir == Dir::Lt) return false;
+    if (dir == Dir::Gt || dir == Dir::Star) return true;
+    // Eq: continue scanning.
+  }
+  return false;  // all Eq: zero vector
+}
+
+/// Statements (transitively) inside node `n`.
+std::vector<const ir::Stmt*> stmts_in(const Node& n) {
+  std::vector<const ir::Stmt*> out;
+  ir::for_each_stmt(n, [&](const ir::Stmt& s) { out.push_back(&s); });
+  return out;
+}
+
+bool groups_separable(Kernel& k, const Node& a, const Node& b) {
+  const auto ga = stmts_in(a);
+  const auto gb = stmts_in(b);
+  const auto deps = analysis::analyze_dependences(k);
+  for (const auto& d : deps) {
+    const bool src_a = std::find(ga.begin(), ga.end(), d.src) != ga.end();
+    const bool dst_b = std::find(gb.begin(), gb.end(), d.dst) != gb.end();
+    const bool src_b = std::find(gb.begin(), gb.end(), d.src) != gb.end();
+    const bool dst_a = std::find(ga.begin(), ga.end(), d.dst) != ga.end();
+    const bool cross = (src_a && dst_b) || (src_b && dst_a);
+    if (cross && has_negative_instantiation(d)) return false;
+  }
+  return true;
+}
+
+bool same_bounds(const Loop& a, const Loop& b) {
+  return a.lower == b.lower && a.upper == b.upper && a.step == b.step &&
+         a.upper2 == b.upper2 && a.annot.parallel == b.annot.parallel;
+}
+
+bool fuse_in_list(Kernel& k, std::vector<NodePtr>& list, std::string& log) {
+  for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+    Node& a = *list[i];
+    Node& b = *list[i + 1];
+    if (!a.is_loop() || !b.is_loop()) continue;
+    if (!same_bounds(a.loop, b.loop)) continue;
+    // Bounds must not depend on each other's vars (siblings, so only via
+    // sharing — check anyway for safety).
+    if (a.loop.upper.uses(b.loop.var) || b.loop.upper.uses(a.loop.var)) continue;
+
+    // Trial fuse on a clone to evaluate legality with fused iteration
+    // spaces (the dependence solver needs the common loop to be shared).
+    // Cheaper equivalent: rename b's var to a's var *temporarily* is
+    // destructive; instead check separability in the *current* kernel:
+    // all cross-group instance pairs currently execute "all-a then all-b";
+    // after fusion pairs with negative distance would reverse.
+    //
+    // To get distances we need a common loop var, so do the rename on b
+    // first, measure, and undo if illegal.
+    const VarId bv = b.loop.var;
+    const VarId av = a.loop.var;
+    rename_var(b, bv, av);
+    b.loop.var = av;
+    // Temporarily splice b's body into a to make the loop common.
+    const std::size_t a_old = a.loop.body.size();
+    for (auto& c : b.loop.body) a.loop.body.push_back(std::move(c));
+    b.loop.body.clear();
+
+    // Partition a's body into the original part and the appended part.
+    bool legal = true;
+    {
+      // Build pseudo-nodes for group membership: statements from the
+      // appended range vs. the original range.
+      std::vector<const ir::Stmt*> ga, gb;
+      for (std::size_t c = 0; c < a.loop.body.size(); ++c) {
+        ir::for_each_stmt(*a.loop.body[c], [&](const ir::Stmt& s) {
+          (c < a_old ? ga : gb).push_back(&s);
+        });
+      }
+      for (const auto& d : analysis::analyze_dependences(k)) {
+        const bool cross =
+            (std::find(ga.begin(), ga.end(), d.src) != ga.end() &&
+             std::find(gb.begin(), gb.end(), d.dst) != gb.end()) ||
+            (std::find(gb.begin(), gb.end(), d.src) != gb.end() &&
+             std::find(ga.begin(), ga.end(), d.dst) != ga.end());
+        if (cross && has_negative_instantiation(d)) {
+          legal = false;
+          break;
+        }
+      }
+    }
+
+    if (!legal) {
+      // Undo: move the appended children back and restore b's var.
+      for (std::size_t c = a_old; c < a.loop.body.size(); ++c)
+        b.loop.body.push_back(std::move(a.loop.body[c]));
+      a.loop.body.resize(a_old);
+      b.loop.var = bv;
+      rename_var(b, av, bv);
+      continue;
+    }
+
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    log += "fused loops over " + k.var_name(av) + "; ";
+    return true;
+  }
+  // Recurse into children.
+  for (auto& n : list)
+    if (n->is_loop() && fuse_in_list(k, n->loop.body, log)) return true;
+  return false;
+}
+
+bool distribute_in_list(Kernel& k, std::vector<NodePtr>& list,
+                        std::string& log) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    Node& n = *list[i];
+    if (!n.is_loop()) continue;
+    auto& body = n.loop.body;
+    if (body.size() >= 2) {
+      // Try to split off the first child into its own loop.
+      // Build a temporary sibling-group legality check.
+      bool legal = true;
+      for (std::size_t c = 1; c < body.size(); ++c)
+        if (!groups_separable(k, *body[0], *body[c])) legal = false;
+      if (legal) {
+        auto first = Node::make_loop(n.loop.var, n.loop.lower, n.loop.upper,
+                                     n.loop.step);
+        first->loop.upper2 = n.loop.upper2;
+        first->loop.annot = n.loop.annot;
+        first->loop.body.push_back(std::move(body[0]));
+        body.erase(body.begin());
+        list.insert(list.begin() + static_cast<std::ptrdiff_t>(i),
+                    std::move(first));
+        log += "distributed loop over " + k.var_name(n.loop.var) + "; ";
+        return true;
+      }
+    }
+    if (distribute_in_list(k, body, log)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PassResult fuse_loops(Kernel& k) {
+  PassResult r;
+  while (fuse_in_list(k, k.roots(), r.log)) r.changed = true;
+  if (!r.changed) r.log = "no fusable loops";
+  return r;
+}
+
+PassResult distribute_loops(Kernel& k) {
+  PassResult r;
+  while (distribute_in_list(k, k.roots(), r.log)) r.changed = true;
+  if (!r.changed) r.log = "no distributable loops";
+  return r;
+}
+
+}  // namespace a64fxcc::passes

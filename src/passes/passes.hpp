@@ -1,0 +1,114 @@
+#pragma once
+// Transformation passes over the loop-nest IR.
+//
+// Every pass is semantics-preserving by construction *and* verified by
+// interpreter-backed property tests (tests/test_passes.cpp).  Passes that
+// restructure loops consult the dependence analysis for legality and
+// refuse (returning changed=false) rather than transform unsoundly.
+//
+// The passes are deliberately the ones the paper's five compilers differ
+// on: loop interchange (icc did it for 2mm, Fujitsu trad mode did not),
+// vectorization (SVE maturity differs wildly across GCC 10 / LLVM 12 /
+// fcc), polyhedral scheduling (LLVM+Polly's quarter-million-x win on
+// mvt), tiling, unrolling, software prefetch and software pipelining.
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::passes {
+
+struct PassResult {
+  bool changed = false;
+  std::string log;  ///< human-readable description of what was (not) done
+};
+
+/// A maximal perfect loop nest: loops[0] contains exactly loops[1], etc.;
+/// the innermost loop's body holds the statements (and possibly further
+/// non-perfectly-nested loops).
+struct PerfectNest {
+  std::vector<ir::Node*> loop_nodes;  ///< outermost first
+  [[nodiscard]] std::size_t depth() const noexcept { return loop_nodes.size(); }
+  [[nodiscard]] ir::Loop& loop(std::size_t i) const { return loop_nodes[i]->loop; }
+  [[nodiscard]] ir::Node& innermost() const { return *loop_nodes.back(); }
+};
+
+/// All maximal perfect nests in the kernel (each root loop yields one,
+/// plus nests hanging below imperfect points).
+[[nodiscard]] std::vector<PerfectNest> collect_perfect_nests(ir::Kernel& k);
+
+/// Is the sub-nest rectangular, i.e. no loop's bounds reference another
+/// loop's variable within the nest?  (Triangular nests are not
+/// interchanged by our passes, mirroring non-polyhedral compilers.)
+[[nodiscard]] bool is_rectangular(const PerfectNest& nest);
+
+// ---- individual transformations ------------------------------------------
+
+/// Reorder the loops of `nest` according to `perm` (perm[i] = index of
+/// the original loop that moves to position i).  Checks dependence
+/// legality and rectangularity; no-op with explanation on failure.
+PassResult interchange(ir::Kernel& k, const PerfectNest& nest,
+                       std::span<const int> perm);
+
+/// Search all permutations of each rectangular perfect nest (up to
+/// `max_depth` loops) for the dependence-legal order with the lowest
+/// stride cost, and apply it.  `aggressive` lowers the improvement
+/// threshold required to transform (icc/Polly-like vs. conservative).
+PassResult interchange_for_locality(ir::Kernel& k, bool aggressive,
+                                    int max_depth = 4);
+
+/// Tile the outermost `ndims` loops of the nest with the given tile
+/// sizes.  Produces tile loops outside, point loops (with upper2 bounds)
+/// inside.  Legality: full permutation check on the implied order.
+PassResult tile(ir::Kernel& k, const PerfectNest& nest,
+                std::span<const std::int64_t> sizes);
+
+/// Options controlling what the vectorizer is allowed/able to do;
+/// directly parameterized by each compiler model.
+struct VectorizeOptions {
+  int width = 8;                ///< lanes (512-bit SVE: 8 doubles)
+  bool allow_reductions = true; ///< reassociate reductions (-ffast-math class)
+  bool allow_gather = true;     ///< vectorize indirect loads
+  bool allow_scatter = false;   ///< vectorize indirect stores
+  bool allow_strided = true;    ///< vectorize non-unit-stride accesses
+};
+
+/// Mark each innermost loop vectorizable under `opt` with annot.
+/// vector_width = opt.width.
+PassResult vectorize(ir::Kernel& k, const VectorizeOptions& opt);
+
+/// Set unroll annotations on innermost loops (factor clamped to trip).
+PassResult unroll(ir::Kernel& k, int factor);
+
+/// Insert software-prefetch annotations on innermost loops that stream
+/// from memory (unit/strided patterns), with the given distance.
+PassResult prefetch(ir::Kernel& k, int distance);
+
+/// Mark innermost loops of Fortran-style regular bodies as software-
+/// pipelined (Fujitsu trad mode's signature optimization).
+PassResult software_pipeline(ir::Kernel& k);
+
+/// Fuse adjacent sibling loops with identical bounds/step where legal.
+PassResult fuse_loops(ir::Kernel& k);
+
+/// Distribute (fission) loops whose bodies contain multiple independent
+/// statements into separate loops, where legal.
+PassResult distribute_loops(ir::Kernel& k);
+
+/// Polly-class polyhedral driver: on fully affine kernels ("SCoPs"),
+/// run locality interchange (aggressive), tiling of deep nests, and
+/// vectorization; on non-affine kernels, do nothing (mirrors Polly's
+/// applicability gate, which the paper found rarely helps real apps).
+struct PollyOptions {
+  std::int64_t tile_size = 32;
+  VectorizeOptions vec;
+};
+PassResult polly(ir::Kernel& k, const PollyOptions& opt);
+
+/// True iff every access and every loop bound in the kernel is affine —
+/// the SCoP condition for `polly`.
+[[nodiscard]] bool is_static_control_part(const ir::Kernel& k);
+
+}  // namespace a64fxcc::passes

@@ -1,0 +1,59 @@
+// Polly-class polyhedral driver.
+//
+// Mirrors how LLVM+Polly behaved in the paper: spectacular on PolyBench
+// (pure affine static control parts) — e.g. the >250,000x mvt win — and
+// rarely applicable to real applications, whose kernels contain indirect
+// accesses or non-affine control.
+
+#include "passes/passes.hpp"
+
+namespace a64fxcc::passes {
+
+PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
+  PassResult r;
+  if (!is_static_control_part(k)) {
+    r.log = "polly: not a static control part (non-affine access), skipped";
+    return r;
+  }
+
+  // Polyhedral schedulers treat statements individually: distribution is
+  // implicit in the schedule search, which is what lets them reorder the
+  // imperfect gemm-style nests non-polyhedral compilers give up on.
+  const auto dist = distribute_loops(k);
+  if (dist.changed) {
+    r.changed = true;
+    r.log += "polly " + dist.log + "; ";
+  }
+  const auto ic = interchange_for_locality(k, /*aggressive=*/true);
+  if (ic.changed) {
+    r.changed = true;
+    r.log += "polly " + ic.log;
+  }
+
+  // Tile deep rectangular nests (matmul-class) for cache reuse.
+  for (auto& nest : collect_perfect_nests(k)) {
+    if (nest.depth() < 3) continue;
+    if (!is_rectangular(nest)) continue;
+    // Skip nests that are already tiled.
+    bool tiled_already = false;
+    for (std::size_t i = 0; i < nest.depth(); ++i)
+      if (nest.loop(i).annot.tiled) tiled_already = true;
+    if (tiled_already) continue;
+    const std::vector<std::int64_t> sizes(nest.depth(), opt.tile_size);
+    const auto tr = tile(k, nest, sizes);
+    if (tr.changed) {
+      r.changed = true;
+      r.log += "polly " + tr.log + "; ";
+    }
+  }
+
+  const auto vr = vectorize(k, opt.vec);
+  if (vr.changed) {
+    r.changed = true;
+    r.log += "polly vectorized; ";
+  }
+  if (!r.changed) r.log = "polly: SCoP detected but nothing profitable";
+  return r;
+}
+
+}  // namespace a64fxcc::passes

@@ -1,0 +1,144 @@
+// Loop tiling (blocking): strip-mine a permutable band and hoist the
+// tile loops outside, producing point loops bounded by min(N, vT + T).
+
+#include <algorithm>
+
+#include "passes/passes.hpp"
+
+namespace a64fxcc::passes {
+
+namespace {
+
+using analysis::Dependence;
+using analysis::Dir;
+using ir::AffineExpr;
+using ir::Kernel;
+using ir::Loop;
+using ir::Node;
+using ir::NodePtr;
+
+/// Locate the owning child-list and index of `target` within the kernel.
+struct Owner {
+  std::vector<NodePtr>* list = nullptr;
+  std::size_t index = 0;
+};
+
+bool find_owner(std::vector<NodePtr>& list, const Node* target, Owner& out) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].get() == target) {
+      out.list = &list;
+      out.index = i;
+      return true;
+    }
+    if (list[i]->is_loop() && find_owner(list[i]->loop.body, target, out))
+      return true;
+  }
+  return false;
+}
+
+/// Fully-permutable band test: every dependence covering the nest must
+/// have no valid (lex-non-negative) instantiation with a Gt in any of
+/// the first `ndims` band positions.
+bool band_permutable(Kernel& k, const PerfectNest& nest, std::size_t ndims) {
+  const auto deps = analysis::analyze_dependences(k);
+  for (const auto& d : deps) {
+    // Positions of the band loops inside the dependence chain.
+    std::vector<std::size_t> pos;
+    for (std::size_t i = 0; i < ndims; ++i) {
+      const auto it = std::find(d.chain.begin(), d.chain.end(),
+                                &nest.loop_nodes[i]->loop);
+      if (it != d.chain.end())
+        pos.push_back(static_cast<std::size_t>(it - d.chain.begin()));
+    }
+    if (pos.empty()) continue;
+    for (const std::size_t p : pos) {
+      // Conservative: a Gt or Star at a band position may break under
+      // tiling unless the dependence is a recognized reduction.
+      if (d.dirs[p] != Dir::Eq && d.dirs[p] != Dir::Lt && !d.reduction)
+        return false;
+      if (d.dirs[p] == Dir::Gt && !d.reduction) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PassResult tile(Kernel& k, const PerfectNest& nest,
+                std::span<const std::int64_t> sizes) {
+  PassResult r;
+  const std::size_t ndims = sizes.size();
+  if (ndims == 0 || ndims > nest.depth()) {
+    r.log = "invalid tile band size";
+    return r;
+  }
+  if (!is_rectangular(nest)) {
+    r.log = "tiling refused: non-rectangular nest";
+    return r;
+  }
+  for (std::size_t i = 0; i < ndims; ++i) {
+    if (nest.loop(i).step != 1 || nest.loop(i).annot.parallel ||
+        nest.loop(i).upper2.has_value()) {
+      r.log = "tiling refused: unsupported loop shape in band";
+      return r;
+    }
+  }
+  if (!band_permutable(k, nest, ndims)) {
+    r.log = "tiling refused: band not fully permutable";
+    return r;
+  }
+
+  Node* head = nest.loop_nodes[0];
+  Owner owner;
+  bool found = false;
+  for (auto& root : k.roots()) {
+    if (root.get() == head) {
+      // Head is a root: treat the roots vector as the owner list.
+      owner.list = &k.roots();
+      for (std::size_t i = 0; i < k.roots().size(); ++i)
+        if (k.roots()[i].get() == head) owner.index = i;
+      found = true;
+      break;
+    }
+    if (root->is_loop() && find_owner(root->loop.body, head, owner)) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    r.log = "internal: nest head not found";
+    return r;
+  }
+
+  // Build tile loops outermost-in, then rewrite band loops as point loops.
+  NodePtr chain_top;
+  Node* attach_point = nullptr;
+  for (std::size_t i = 0; i < ndims; ++i) {
+    Loop& pt = nest.loop(i);
+    const ir::VarId tv =
+        k.add_loop_var(k.var_name(pt.var) + "T");
+    auto tile_node = Node::make_loop(tv, pt.lower, pt.upper, sizes[i]);
+    Node* raw = tile_node.get();
+    if (attach_point == nullptr) {
+      chain_top = std::move(tile_node);
+    } else {
+      attach_point->loop.body.push_back(std::move(tile_node));
+    }
+    attach_point = raw;
+    // Point loop: v in [vT, min(upper, vT + T)).
+    pt.lower = AffineExpr::var(tv);
+    pt.upper2 = AffineExpr::var(tv) + AffineExpr::constant(sizes[i]);
+    pt.annot.tiled = true;
+  }
+
+  // Splice: attach the original head under the innermost tile loop.
+  NodePtr original = std::move((*owner.list)[owner.index]);
+  attach_point->loop.body.push_back(std::move(original));
+  (*owner.list)[owner.index] = std::move(chain_top);
+
+  r.changed = true;
+  r.log = "tiled band of " + std::to_string(ndims) + " loops";
+  return r;
+}
+
+}  // namespace a64fxcc::passes

@@ -1,0 +1,179 @@
+// Innermost-loop vectorization (legality + annotation).  The actual
+// speedup realized is the performance model's job; this pass decides
+// *whether* a loop is vectorized under a given compiler's capabilities,
+// which is where GCC 10 / LLVM 12 / Fujitsu fcc differ on SVE.
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/access.hpp"
+#include "passes/passes.hpp"
+
+namespace a64fxcc::passes {
+
+namespace {
+
+using analysis::PatternKind;
+using ir::Kernel;
+using ir::Loop;
+using ir::Node;
+
+void innermost_loops(Node& n, std::vector<Loop*>& out) {
+  if (!n.is_loop()) return;
+  bool has_stmt = false;
+  for (const auto& c : n.loop.body)
+    if (c->is_stmt()) has_stmt = true;
+  if (has_stmt) out.push_back(&n.loop);
+  for (auto& c : n.loop.body) innermost_loops(*c, out);
+}
+
+}  // namespace
+
+PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
+  PassResult r;
+  const auto deps = analysis::analyze_dependences(k);
+  const auto stats = analysis::collect_stmt_stats(k);
+
+  std::vector<Loop*> candidates;
+  for (auto& root : k.roots()) innermost_loops(*root, candidates);
+
+  for (Loop* loop : candidates) {
+    bool ok = true;
+    std::string why;
+
+    for (const auto& d : deps) {
+      if (!analysis::carried_by(d, *loop)) continue;
+      if (d.reduction && opt.allow_reductions) continue;
+      // An unprovable dependence caused purely by an indirect store can
+      // be waived when the compiler is willing to emit scatters without
+      // an aliasing proof (simd-pragma / unsafe mode).
+      const bool from_indirect_store =
+          (!d.src->target.is_affine() && d.src->target.tensor == d.tensor) ||
+          (!d.dst->target.is_affine() && d.dst->target.tensor == d.tensor);
+      if (from_indirect_store && opt.allow_scatter) continue;
+      ok = false;
+      why = "carried dependence on " + k.tensor(d.tensor).name;
+      break;
+    }
+    if (!ok) {
+      r.log += k.var_name(loop->var) + ": not vectorized (" + why + "); ";
+      continue;
+    }
+
+    double trip = 0.0;
+    bool shape_ok = true;
+    for (const auto& st : stats) {
+      if (st.ctx.innermost() != loop) continue;
+      trip = st.inner_trip;
+      for (const auto& p : st.accesses) {
+        if (p.kind == PatternKind::Indirect) {
+          if (p.is_write && !opt.allow_scatter) {
+            shape_ok = false;
+            why = "indirect store";
+          }
+          if (!p.is_write && !opt.allow_gather) {
+            shape_ok = false;
+            why = "indirect load";
+          }
+        }
+        if (p.kind == PatternKind::Strided && !opt.allow_strided) {
+          shape_ok = false;
+          why = "strided access";
+        }
+      }
+    }
+    if (!shape_ok) {
+      r.log += k.var_name(loop->var) + ": not vectorized (" + why + "); ";
+      continue;
+    }
+    if (trip < 4.0) {
+      r.log += k.var_name(loop->var) + ": not vectorized (short trip); ";
+      continue;
+    }
+    loop->annot.vector_width = opt.width;
+    r.changed = true;
+    r.log += k.var_name(loop->var) + ": vectorized x" +
+             std::to_string(opt.width) + "; ";
+  }
+  return r;
+}
+
+PassResult unroll(Kernel& k, int factor) {
+  PassResult r;
+  if (factor <= 1) {
+    r.log = "factor <= 1";
+    return r;
+  }
+  std::vector<Loop*> candidates;
+  for (auto& root : k.roots()) innermost_loops(*root, candidates);
+  const auto stats = analysis::collect_stmt_stats(k);
+  for (Loop* loop : candidates) {
+    double trip = 1.0;
+    for (const auto& st : stats)
+      if (st.ctx.innermost() == loop) trip = st.inner_trip;
+    const int f = std::min<int>(factor, std::max(1, static_cast<int>(trip)));
+    if (f > 1) {
+      loop->annot.unroll = f;
+      r.changed = true;
+    }
+  }
+  r.log = r.changed ? "unrolled innermost loops x" + std::to_string(factor)
+                    : "nothing to unroll";
+  return r;
+}
+
+PassResult prefetch(Kernel& k, int distance) {
+  PassResult r;
+  if (distance <= 0) {
+    r.log = "distance <= 0";
+    return r;
+  }
+  const auto stats = analysis::collect_stmt_stats(k);
+  std::set<Loop*> streaming;
+  for (const auto& st : stats) {
+    if (st.ctx.innermost() == nullptr) continue;
+    for (const auto& p : st.accesses) {
+      if (p.kind == PatternKind::Unit || p.kind == PatternKind::Strided)
+        streaming.insert(const_cast<Loop*>(st.ctx.innermost()));
+    }
+  }
+  for (Loop* loop : streaming) {
+    loop->annot.prefetch_dist = distance;
+    r.changed = true;
+  }
+  r.log = r.changed ? "prefetch inserted on " +
+                          std::to_string(streaming.size()) + " loops"
+                    : "no streaming loops";
+  return r;
+}
+
+PassResult software_pipeline(Kernel& k) {
+  PassResult r;
+  const auto deps = analysis::analyze_dependences(k);
+  const auto stats = analysis::collect_stmt_stats(k);
+  std::set<Loop*> eligible;
+  for (const auto& st : stats) {
+    if (st.ctx.innermost() == nullptr) continue;
+    bool affine = st.ctx.stmt->target.is_affine();
+    ir::for_each_access(*st.ctx.stmt->value, [&](const ir::Access& a) {
+      if (!a.is_affine()) affine = false;
+    });
+    if (affine) eligible.insert(const_cast<Loop*>(st.ctx.innermost()));
+  }
+  for (auto it = eligible.begin(); it != eligible.end();) {
+    bool carried = false;
+    for (const auto& d : deps)
+      if (!d.reduction && analysis::carried_by(d, **it)) carried = true;
+    it = carried ? eligible.erase(it) : std::next(it);
+  }
+  for (Loop* loop : eligible) {
+    loop->annot.pipelined = true;
+    r.changed = true;
+  }
+  r.log = r.changed ? "software-pipelined " + std::to_string(eligible.size()) +
+                          " loops"
+                    : "no pipelinable loops";
+  return r;
+}
+
+}  // namespace a64fxcc::passes

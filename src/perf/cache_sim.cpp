@@ -1,0 +1,89 @@
+#include "perf/cache_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "interp/interpreter.hpp"
+
+namespace a64fxcc::perf {
+
+CacheLevel::CacheLevel(std::int64_t size_bytes, int line_bytes, int ways)
+    : ways_(ways), line_bytes_(line_bytes) {
+  assert(size_bytes > 0 && line_bytes > 0 && ways > 0);
+  const auto lines = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, size_bytes / line_bytes));
+  sets_ = std::max<std::size_t>(1, lines / static_cast<std::size_t>(ways));
+  tags_.assign(sets_ * static_cast<std::size_t>(ways_), 0);
+  lru_.assign(sets_ * static_cast<std::size_t>(ways_), 0);
+  valid_.assign(sets_ * static_cast<std::size_t>(ways_), false);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = static_cast<std::size_t>(line) % sets_;
+  const std::uint64_t tag = line / sets_;
+  const std::size_t base = set * static_cast<std::size_t>(ways_);
+  ++clock_;
+
+  std::size_t victim = base;
+  std::uint64_t oldest = ~0ULL;
+  for (std::size_t w = base; w < base + static_cast<std::size_t>(ways_); ++w) {
+    if (valid_[w] && tags_[w] == tag) {
+      lru_[w] = clock_;
+      ++hits_;
+      return false;
+    }
+    const std::uint64_t age = valid_[w] ? lru_[w] : 0;
+    if (age < oldest) {
+      oldest = age;
+      victim = w;
+    }
+  }
+  valid_[victim] = true;
+  tags_[victim] = tag;
+  lru_[victim] = clock_;
+  ++misses_;
+  return true;
+}
+
+void CacheLevel::reset() {
+  std::fill(valid_.begin(), valid_.end(), false);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  clock_ = hits_ = misses_ = 0;
+}
+
+SimTraffic simulate_traffic(const ir::Kernel& k, const machine::Machine& m,
+                            int ways) {
+  CacheLevel l1(static_cast<std::int64_t>(m.l1_bytes), m.line_bytes, ways);
+  CacheLevel l2(static_cast<std::int64_t>(m.l2_bytes), m.line_bytes, ways);
+
+  // Lay tensors out back to back, line-aligned, as a compiler would.
+  std::vector<std::uint64_t> base(k.tensors().size(), 0);
+  std::uint64_t cursor = 0;
+  for (const auto& t : k.tensors()) {
+    base[static_cast<std::size_t>(t.id)] = cursor;
+    const auto bytes = static_cast<std::uint64_t>(k.tensor_elems(t.id)) *
+                       size_of(t.type);
+    const auto line = static_cast<std::uint64_t>(m.line_bytes);
+    cursor += (bytes + line - 1) / line * line;
+  }
+
+  SimTraffic out;
+  out.line_bytes = m.line_bytes;
+
+  interp::Interpreter in(k);
+  in.set_access_hook([&](ir::TensorId t, std::size_t flat, bool) {
+    const auto es = size_of(k.tensor(t).type);
+    const std::uint64_t addr =
+        base[static_cast<std::size_t>(t)] + static_cast<std::uint64_t>(flat) * es;
+    ++out.accesses;
+    if (l1.access(addr)) {
+      ++out.l1_misses;
+      if (l2.access(addr)) ++out.l2_misses;
+    }
+  });
+  in.run();
+  return out;
+}
+
+}  // namespace a64fxcc::perf

@@ -1,0 +1,66 @@
+#pragma once
+// Trace-driven cache simulator: the ground truth the analytic traffic
+// model (perf_model) is validated against (DESIGN.md design decision 2).
+//
+// A set-associative LRU hierarchy is driven by the interpreter's access
+// hook: every executed element access becomes a (tensor-base + flat *
+// elem_size) address.  O(accesses) instead of the analytic model's O(1)
+// per loop nest — usable at test scales, far too slow for the 108 x 5 x
+// placement sweep the Study runs, which is why both exist.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace a64fxcc::perf {
+
+/// One set-associative LRU cache level.
+class CacheLevel {
+ public:
+  CacheLevel(std::int64_t size_bytes, int line_bytes, int ways);
+
+  /// Access the line containing `addr`; returns true on miss.
+  bool access(std::uint64_t addr);
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] int sets() const noexcept { return static_cast<int>(sets_); }
+
+ private:
+  std::size_t sets_;
+  int ways_;
+  int line_bytes_;
+  // tags_[set * ways + way]; lru_[same]: higher = more recent.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint64_t> lru_;
+  std::vector<bool> valid_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+struct SimTraffic {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_misses = 0;  ///< lines fetched from L2
+  std::uint64_t l2_misses = 0;  ///< lines fetched from memory
+  int line_bytes = 0;
+
+  [[nodiscard]] double l2_bytes() const {
+    return static_cast<double>(l1_misses) * line_bytes;
+  }
+  [[nodiscard]] double mem_bytes() const {
+    return static_cast<double>(l2_misses) * line_bytes;
+  }
+};
+
+/// Execute `k` on the interpreter and simulate its access stream through
+/// an L1+L2 hierarchy shaped like `m` (single core: L1 private size,
+/// L2 = the full domain cache).  `ways`: associativity for both levels.
+[[nodiscard]] SimTraffic simulate_traffic(const ir::Kernel& k,
+                                          const machine::Machine& m,
+                                          int ways = 16);
+
+}  // namespace a64fxcc::perf

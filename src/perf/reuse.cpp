@@ -1,0 +1,129 @@
+#include "perf/reuse.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "interp/interpreter.hpp"
+
+namespace a64fxcc::perf {
+
+namespace {
+
+/// Fenwick tree over access timestamps: supports the classical exact
+/// stack-distance algorithm in O(log n) per access.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+  void add(std::size_t i, int v) {
+    for (++i; i < tree_.size(); i += i & (~i + 1)) tree_[i] += v;
+  }
+  [[nodiscard]] std::int64_t prefix(std::size_t i) const {  // sum of [0, i)
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+double ReuseHistogram::hit_ratio(std::uint64_t lines) const {
+  if (total == 0) return 0;
+  std::uint64_t hits = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t lo = b == 0 ? 0 : (1ULL << b);
+    if (lo < lines) hits += buckets[b];  // bucket entirely / mostly below
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+double ReuseHistogram::median_distance() const {
+  std::uint64_t n = 0;
+  for (const auto b : buckets) n += b;
+  if (n == 0) return 0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen * 2 >= n) return std::exp2(static_cast<double>(b));
+  }
+  return 0;
+}
+
+ReuseHistogram profile_reuse(const ir::Kernel& k, int line_bytes) {
+  // Collect the line-granular trace.
+  std::vector<std::uint64_t> trace;
+  {
+    std::vector<std::uint64_t> base(k.tensors().size(), 0);
+    std::uint64_t cursor = 0;
+    for (const auto& t : k.tensors()) {
+      base[static_cast<std::size_t>(t.id)] = cursor;
+      const auto bytes = static_cast<std::uint64_t>(k.tensor_elems(t.id)) *
+                         size_of(t.type);
+      cursor += (bytes + static_cast<std::uint64_t>(line_bytes) - 1) /
+                static_cast<std::uint64_t>(line_bytes) *
+                static_cast<std::uint64_t>(line_bytes);
+    }
+    interp::Interpreter in(k);
+    in.set_access_hook([&](ir::TensorId t, std::size_t flat, bool) {
+      const auto es = size_of(k.tensor(t).type);
+      const std::uint64_t addr =
+          base[static_cast<std::size_t>(t)] +
+          static_cast<std::uint64_t>(flat) * es;
+      trace.push_back(addr / static_cast<std::uint64_t>(line_bytes));
+    });
+    in.run();
+  }
+
+  ReuseHistogram h;
+  h.line_bytes = line_bytes;
+  h.total = trace.size();
+  h.buckets.assign(40, 0);
+
+  Fenwick bit(trace.size());
+  std::unordered_map<std::uint64_t, std::size_t> last;  // line -> last time
+  last.reserve(trace.size() / 4 + 16);
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const std::uint64_t line = trace[t];
+    const auto it = last.find(line);
+    if (it == last.end()) {
+      ++h.cold;
+    } else {
+      // Distinct lines touched strictly after the previous access.
+      const auto d = static_cast<std::uint64_t>(bit.prefix(t) -
+                                                bit.prefix(it->second + 1));
+      const int b = d <= 1 ? 0
+                           : std::min<int>(39, static_cast<int>(
+                                                   std::floor(std::log2(
+                                                       static_cast<double>(d)))));
+      ++h.buckets[static_cast<std::size_t>(b)];
+      bit.add(it->second, -1);
+    }
+    bit.add(t, +1);
+    last[line] = t;
+  }
+  return h;
+}
+
+std::string render_reuse(const ReuseHistogram& h) {
+  std::ostringstream os;
+  os << "Reuse-distance histogram (" << h.line_bytes << "-byte lines, "
+     << h.total << " accesses, " << h.cold << " cold)\n";
+  std::uint64_t peak = 1;
+  for (const auto b : h.buckets) peak = std::max(peak, b);
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    if (h.buckets[b] == 0) continue;
+    char label[32];
+    std::snprintf(label, sizeof label, "2^%zu", b);
+    os << "  " << label << "\t" << h.buckets[b] << "\t";
+    const int bars = static_cast<int>(50.0 * static_cast<double>(h.buckets[b]) /
+                                      static_cast<double>(peak));
+    for (int i = 0; i < bars; ++i) os << '#';
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace a64fxcc::perf

@@ -1,0 +1,43 @@
+#pragma once
+// Reuse-distance profiling on the interpreter's access trace.
+//
+// The reuse distance of an access is the number of *distinct* cache
+// lines touched since the previous access to the same line (cold = inf).
+// Its histogram fully determines miss ratios for fully-associative LRU
+// caches of any size — the classical tool for judging whether a loop
+// transformation improved locality, independent of any particular cache.
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "machine/machine.hpp"
+
+namespace a64fxcc::perf {
+
+struct ReuseHistogram {
+  /// bucket[i] counts accesses with reuse distance in [2^i, 2^(i+1));
+  /// bucket 0 holds distances 0 and 1.
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t cold = 0;   ///< first-touch accesses
+  std::uint64_t total = 0;  ///< all line-granular accesses
+  int line_bytes = 0;
+
+  /// Fraction of accesses whose reuse distance fits within `lines`
+  /// (i.e. the hit ratio of a fully-associative LRU cache of that size,
+  /// by the classical stack-distance argument; cold misses excluded
+  /// from the numerator, included in the denominator).
+  [[nodiscard]] double hit_ratio(std::uint64_t lines) const;
+
+  /// Median reuse distance in lines (among non-cold accesses).
+  [[nodiscard]] double median_distance() const;
+};
+
+/// Execute `k` and profile reuse distances at `line_bytes` granularity.
+/// Exact (tree-based stack distance), O(accesses * log lines).
+[[nodiscard]] ReuseHistogram profile_reuse(const ir::Kernel& k, int line_bytes);
+
+/// Human-readable histogram rendering.
+[[nodiscard]] std::string render_reuse(const ReuseHistogram& h);
+
+}  // namespace a64fxcc::perf

@@ -1,0 +1,28 @@
+#include "perf/scaling.hpp"
+
+#include <cmath>
+
+namespace a64fxcc::perf {
+
+ScaledResult scale_to_nodes(const PerfResult& single_node, int nodes,
+                            const CommModel& cm) {
+  ScaledResult r;
+  r.nodes = nodes < 1 ? 1 : nodes;
+  // Strong scaling: the compute (and the intra-node runtime overhead)
+  // divides across nodes.
+  r.compute_s = single_node.seconds / r.nodes;
+  if (r.nodes == 1) return r;
+
+  // Halo surface shrinks with the 3-D subdomain: (1/N)^(2/3) per node.
+  const double surface =
+      cm.halo_bytes * std::pow(1.0 / static_cast<double>(r.nodes), 2.0 / 3.0);
+  const double halo_s =
+      cm.steps * (cm.messages_per_step * cm.alpha_us * 1e-6 +
+                  surface / (cm.beta_gbs * 1e9));
+  const double allreduce_s = cm.steps * cm.allreduce_per_run * cm.alpha_us *
+                             1e-6 * std::log2(static_cast<double>(r.nodes));
+  r.comm_s = halo_s + allreduce_s;
+  return r;
+}
+
+}  // namespace a64fxcc::perf

@@ -1,0 +1,43 @@
+#pragma once
+// Multi-node strong-scaling projection.
+//
+// The paper is a single-node study, but its related work (Ookami [14],
+// the CLUSTER'20 evaluations [19, 20]) measures multi-node scaling, and
+// its conclusion speculates about MPI library builds.  This module
+// projects a single-node estimate to N nodes with a classical alpha-beta
+// + surface-to-volume communication model, so bench_multinode can show
+// how the *compiler choice* interacts with scale: compute shrinks with
+// N, communication does not, so the compiler's share of time-to-solution
+// falls — compiler gains are a single-node (or comm-light) phenomenon.
+
+#include "perf/perf_model.hpp"
+
+namespace a64fxcc::perf {
+
+struct CommModel {
+  double alpha_us = 8.0;    ///< per-message latency, inter-node
+  double beta_gbs = 6.8;    ///< per-link bandwidth (TofuD class)
+  /// Halo bytes per node at 1 node, scaled by (1/nodes)^(2/3) for 3-D
+  /// domain decomposition (surface-to-volume).
+  double halo_bytes = 64.0 * 1024 * 1024;
+  int messages_per_step = 6;  ///< neighbours in a 3-D decomposition
+  double steps = 1;           ///< communication rounds per run
+  /// Allreduce rounds per run (dot products etc.): log2(nodes) latency.
+  double allreduce_per_run = 2;
+};
+
+struct ScaledResult {
+  int nodes = 1;
+  double compute_s = 0;
+  double comm_s = 0;
+  [[nodiscard]] double seconds() const { return compute_s + comm_s; }
+  [[nodiscard]] double parallel_efficiency(double t1) const {
+    return t1 / (seconds() * nodes);
+  }
+};
+
+/// Project a single-node result to `nodes` nodes (strong scaling).
+[[nodiscard]] ScaledResult scale_to_nodes(const PerfResult& single_node,
+                                          int nodes, const CommModel& cm);
+
+}  // namespace a64fxcc::perf

@@ -1,0 +1,72 @@
+#include "report/roofline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace a64fxcc::report {
+
+RooflinePoint roofline_point(const std::string& name,
+                             const perf::PerfResult& r,
+                             const machine::Machine& m, int cores,
+                             int domains) {
+  RooflinePoint p;
+  p.name = name;
+  p.arithmetic_intensity =
+      r.mem_bytes > 0 ? r.total_flops / r.mem_bytes : 1e3;
+  p.achieved_gflops = r.gflops();
+  const double peak = m.peak_gflops_core() * cores;
+  const double bw = m.mem_bw_gbs_domain * domains;
+  p.roof_gflops = std::min(peak, p.arithmetic_intensity * bw);
+  return p;
+}
+
+std::string render_roofline(const std::vector<RooflinePoint>& pts,
+                            const machine::Machine& m, int cores,
+                            int domains) {
+  // Log-log canvas: x = AI in [2^-6, 2^8], y = GF/s in [2^-2, peak*2].
+  constexpr int kW = 64;
+  constexpr int kH = 20;
+  const double peak = m.peak_gflops_core() * cores;
+  const double bw = m.mem_bw_gbs_domain * domains;
+  const double x_lo = -6, x_hi = 8;                      // log2(AI)
+  const double y_hi = std::log2(peak * 2), y_lo = y_hi - kH * 0.75;
+
+  std::vector<std::string> canvas(kH, std::string(kW, ' '));
+  const auto plot = [&](double ai, double gf, char c) {
+    const double lx = std::clamp(std::log2(std::max(ai, 1e-9)), x_lo, x_hi);
+    const double ly = std::clamp(std::log2(std::max(gf, 1e-9)), y_lo, y_hi);
+    const int col = static_cast<int>((lx - x_lo) / (x_hi - x_lo) * (kW - 1));
+    const int row =
+        kH - 1 - static_cast<int>((ly - y_lo) / (y_hi - y_lo) * (kH - 1));
+    canvas[static_cast<std::size_t>(std::clamp(row, 0, kH - 1))]
+          [static_cast<std::size_t>(std::clamp(col, 0, kW - 1))] = c;
+  };
+
+  // Roof: y = min(peak, AI*bw).
+  for (int col = 0; col < kW; ++col) {
+    const double lx = x_lo + (x_hi - x_lo) * col / (kW - 1);
+    const double roof = std::min(peak, std::exp2(lx) * bw);
+    plot(std::exp2(lx), roof, '-');
+  }
+  char marker = 'A';
+  std::ostringstream legend;
+  for (const auto& p : pts) {
+    plot(p.arithmetic_intensity, p.achieved_gflops, marker);
+    legend << "  " << marker << ": " << p.name << " (AI "
+           << std::round(p.arithmetic_intensity * 100) / 100 << ", "
+           << std::round(p.achieved_gflops * 10) / 10 << " GF/s, "
+           << std::round(p.efficiency() * 100) << "% of roof)\n";
+    marker = marker == 'Z' ? 'a' : static_cast<char>(marker + 1);
+  }
+
+  std::ostringstream os;
+  os << "Roofline: " << m.name << ", " << cores << " cores / " << domains
+     << " domain(s); peak " << peak << " GF/s, " << bw << " GB/s\n";
+  for (const auto& line : canvas) os << "|" << line << "\n";
+  os << "+" << std::string(kW, '-') << "> log2(AI)\n";
+  os << legend.str();
+  return os.str();
+}
+
+}  // namespace a64fxcc::report

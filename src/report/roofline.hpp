@@ -1,0 +1,47 @@
+#pragma once
+// Roofline analysis: where each benchmark sits against the machine's
+// bandwidth and compute roofs, and how close each compiler's code comes.
+// The paper's intro argues most HPC codes are memory-bound but A64FX's
+// different compute-to-bandwidth ratio "might challenge this view in
+// individual cases resulting in a greater influence by the compiler" —
+// this module makes that quantitative.
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "perf/perf_model.hpp"
+
+namespace a64fxcc::report {
+
+struct RooflinePoint {
+  std::string name;
+  double arithmetic_intensity = 0;  ///< flops per byte of memory traffic
+  double achieved_gflops = 0;
+  double roof_gflops = 0;  ///< min(peak, AI * BW) at this AI
+  /// Fraction of the attainable roof achieved: the compiler-quality
+  /// signal (roof is machine-limited, the gap is software).
+  [[nodiscard]] double efficiency() const {
+    return roof_gflops > 0 ? achieved_gflops / roof_gflops : 0;
+  }
+  [[nodiscard]] bool memory_bound(const machine::Machine& m,
+                                  int domains = 1) const {
+    const double knee = m.peak_gflops_core() * m.cores_per_domain * domains /
+                        m.mem_bw_gbs_domain / domains;
+    return arithmetic_intensity < knee;
+  }
+};
+
+/// Build a roofline point from a performance estimate.  `domains` scales
+/// the roofs to the portion of the machine in use.
+[[nodiscard]] RooflinePoint roofline_point(const std::string& name,
+                                           const perf::PerfResult& r,
+                                           const machine::Machine& m,
+                                           int cores, int domains);
+
+/// ASCII log-log roofline chart with one marker per point.
+[[nodiscard]] std::string render_roofline(const std::vector<RooflinePoint>& pts,
+                                          const machine::Machine& m, int cores,
+                                          int domains);
+
+}  // namespace a64fxcc::report

@@ -1,0 +1,187 @@
+#include "runtime/harness.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "stats/stats.hpp"
+
+namespace a64fxcc::runtime {
+
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Placement Harness::recommended_placement() const {
+  return {machine_.domains, machine_.cores_per_domain};
+}
+
+Placement Harness::recommended_for(ir::ParallelModel model,
+                                   const kernels::BenchmarkTraits& traits) const {
+  if (traits.single_core || model == ir::ParallelModel::Serial) return {1, 1};
+  if (traits.one_cmg) return {1, machine_.cores_per_domain};
+  if (model == ir::ParallelModel::OpenMP) return {1, machine_.total_cores()};
+  return recommended_placement();
+}
+
+std::vector<Placement> Harness::candidate_placements(
+    const kernels::BenchmarkTraits& traits, ir::ParallelModel model) const {
+  if (traits.single_core || model == ir::ParallelModel::Serial) return {{1, 1}};
+  const int cpd = machine_.cores_per_domain;
+  const int total = machine_.total_cores();
+  if (!traits.explore_placements) {
+    // Weak-scaling / SPEC: the recommended mapping only.
+    return {recommended_for(model, traits)};
+  }
+
+  std::vector<Placement> out;
+  if (traits.one_cmg) {
+    for (const int t : {1, 2, 4, 6, 8, 12})
+      if (t <= cpd) out.push_back({1, t});
+    return out;
+  }
+  // The recommended mapping first (ties resolve toward it).
+  out.push_back(recommended_for(model, traits));
+  if (model == ir::ParallelModel::OpenMP) {
+    for (const int t : {1, 2, 4, 8, 12, 16, 24, 32, 48})
+      if (t <= total) {
+        const Placement p{1, t};
+        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+      }
+    return out;
+  }
+  const int rank_candidates[] = {1, 2, 4, 8, 12, 16, 32, 48};
+  const int thread_candidates[] = {1, 2, 4, 6, 8, 12, 24, 48};
+  for (const int r : rank_candidates) {
+    for (const int t : thread_candidates) {
+      if (r * t > total) continue;
+      if (r * t < std::min(4, total)) continue;  // skip degenerate configs
+      Placement p{r, t};
+      if (traits.pow2_ranks_only && !is_pow2(r)) continue;
+      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    }
+  }
+  if (traits.pow2_ranks_only)
+    std::erase_if(out, [](const Placement& p) { return !is_pow2(p.ranks); });
+  return out;
+}
+
+namespace {
+
+/// Time of one compiled configuration, including the compiler-independent
+/// vendor-library component (derived from the FJtrad reference).
+double time_of(const compilers::CompileOutcome& out,
+               const compilers::CompileOutcome* ref, double library_fraction,
+               const machine::Machine& m, Placement p) {
+  if (!out.ok()) return std::numeric_limits<double>::infinity();
+  const auto cfg = perf::make_config(p.ranks, p.threads, m);
+  const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
+  double t = r.seconds * out.time_multiplier;
+  if (library_fraction > 0 && ref != nullptr && ref->ok()) {
+    const double t_ref = perf::estimate(*ref->kernel, m, cfg, ref->profile).seconds;
+    t += t_ref * library_fraction / (1.0 - library_fraction);
+  }
+  return t;
+}
+
+}  // namespace
+
+double Harness::model_time(const compilers::CompilerSpec& spec,
+                           const kernels::Benchmark& bench, Placement p) const {
+  const auto out = compilers::compile(spec, bench.kernel, apply_quirks_);
+  if (bench.traits.library_fraction > 0) {
+    const auto ref = compilers::compile(compilers::fjtrad(), bench.kernel, apply_quirks_);
+    return time_of(out, &ref, bench.traits.library_fraction, machine_, p);
+  }
+  return time_of(out, nullptr, 0.0, machine_, p);
+}
+
+double Harness::noisy(double t, double cv, std::uint64_t stream) const {
+  if (cv <= 0 || !std::isfinite(t)) return t;
+  std::mt19937_64 rng(hash_mix(seed_ ^ stream));
+  std::normal_distribution<double> n(0.0, 1.0);
+  // Lognormal multiplicative noise; sigma chosen so the sample CV ~ cv.
+  const double sigma = std::sqrt(std::log1p(cv * cv));
+  return t * std::exp(sigma * n(rng));
+}
+
+MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
+                         const kernels::Benchmark& bench) const {
+  MeasuredRun m;
+  m.benchmark = bench.name();
+  m.compiler = spec.name;
+
+  const auto out = compilers::compile(spec, bench.kernel, apply_quirks_);
+  m.status = out.status;
+  if (!out.ok()) return m;
+
+  const std::uint64_t base =
+      hash_str(bench.name()) ^ hash_mix(hash_str(spec.name));
+
+  // Library-heavy benchmarks need the FJtrad reference for the SSL2 part.
+  compilers::CompileOutcome ref;
+  const compilers::CompileOutcome* refp = nullptr;
+  if (bench.traits.library_fraction > 0) {
+    ref = compilers::compile(compilers::fjtrad(), bench.kernel, apply_quirks_);
+    refp = &ref;
+  }
+
+  // ---- exploration phase: 3 trials per placement ----
+  const auto placements =
+      candidate_placements(bench.traits, bench.kernel.meta().parallel);
+  Placement best_p = placements.front();
+  double best_trial = std::numeric_limits<double>::infinity();
+  for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+    const double t = time_of(out, refp, bench.traits.library_fraction,
+                             machine_, placements[pi]);
+    for (int trial = 0; trial < 3; ++trial) {
+      const double sample =
+          noisy(t, bench.traits.noise_cv, base ^ (pi * 8191 + trial));
+      if (sample < best_trial) {
+        best_trial = sample;
+        best_p = placements[pi];
+      }
+    }
+  }
+  m.placement = best_p;
+
+  // ---- performance phase: 10 runs at the chosen placement ----
+  const double t_model =
+      time_of(out, refp, bench.traits.library_fraction, machine_, best_p);
+  std::vector<double> samples;
+  samples.reserve(10);
+  for (int r = 0; r < 10; ++r)
+    samples.push_back(
+        noisy(t_model, bench.traits.noise_cv, base ^ (0xABCD0000ULL + r)));
+  m.best_seconds = stats::min(samples);
+  m.median_seconds = stats::median(samples);
+  m.cv = stats::cv(samples);
+
+  // Characterize the best run via the noise-free model.
+  const auto cfg = perf::make_config(best_p.ranks, best_p.threads, machine_);
+  const auto pr = perf::estimate(*out.kernel, machine_, cfg, out.profile);
+  m.bottleneck = pr.bottleneck;
+  m.gflops = pr.total_flops / m.best_seconds / 1e9;
+  m.mem_gbs = pr.mem_bytes / m.best_seconds / 1e9;
+  return m;
+}
+
+}  // namespace a64fxcc::runtime

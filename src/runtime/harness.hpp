@@ -1,0 +1,97 @@
+#pragma once
+// Measurement harness reproducing the paper's methodology (Sec. 2.3/2.4):
+//
+//  1. Compile the benchmark under a compiler environment.
+//  2. Exploration phase: for strong-scaling parallel codes, try a set of
+//     MPI-rank x OMP-thread placements (respecting pow2 / one-CMG /
+//     single-core constraints), three trial runs each; the fastest
+//     time-to-solution picks the placement, individually per compiler.
+//  3. Performance phase: ten runs at the chosen placement; report the
+//     fastest, plus median and CV.
+//
+// "Runs" are performance-model evaluations perturbed by a seeded
+// lognormal noise whose CV is a per-benchmark trait (AMG 0.114%,
+// BabelStream up to 22% — Sec. 2.4), so best-of-N semantics are
+// faithful yet bit-reproducible.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "compilers/compiler_model.hpp"
+#include "kernels/benchmark.hpp"
+#include "machine/machine.hpp"
+#include "perf/perf_model.hpp"
+
+namespace a64fxcc::runtime {
+
+struct Placement {
+  int ranks = 1;
+  int threads = 1;
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+struct MeasuredRun {
+  std::string benchmark;
+  std::string compiler;
+  compilers::CompileOutcome::Status status =
+      compilers::CompileOutcome::Status::Ok;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  double median_seconds = std::numeric_limits<double>::infinity();
+  double cv = 0;
+  Placement placement;
+  std::string bottleneck;
+  double gflops = 0;
+  double mem_gbs = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return status == compilers::CompileOutcome::Status::Ok;
+  }
+};
+
+class Harness {
+ public:
+  explicit Harness(machine::Machine m, std::uint64_t seed = 42,
+                   bool apply_quirks = true)
+      : machine_(std::move(m)), seed_(seed), apply_quirks_(apply_quirks) {}
+
+  /// Full methodology: exploration + 10 performance runs.
+  [[nodiscard]] MeasuredRun run(const compilers::CompilerSpec& spec,
+                                const kernels::Benchmark& bench) const;
+
+  /// Placement candidates for a benchmark under this machine's topology
+  /// (the paper's --mpi max-proc-per-node exploration set).  Pure-OpenMP
+  /// codes only vary thread counts; MPI+OpenMP codes sweep the rank x
+  /// thread grid.
+  [[nodiscard]] std::vector<Placement> candidate_placements(
+      const kernels::BenchmarkTraits& traits,
+      ir::ParallelModel model = ir::ParallelModel::MpiOpenMP) const;
+
+  /// The reference placement the paper's recommendation implies for this
+  /// parallel model: 4x12 for MPI+OpenMP, 1 x all-cores for pure OpenMP.
+  [[nodiscard]] Placement recommended_for(
+      ir::ParallelModel model, const kernels::BenchmarkTraits& traits) const;
+
+  /// Noise-free model time of one configuration (exposed for tests and
+  /// the ablation benches).
+  [[nodiscard]] double model_time(const compilers::CompilerSpec& spec,
+                                  const kernels::Benchmark& bench,
+                                  Placement p) const;
+
+  [[nodiscard]] const machine::Machine& machine() const noexcept {
+    return machine_;
+  }
+
+  /// The recommended A64FX usage model the paper questions: 4 ranks
+  /// (one per CMG) x 12 threads.
+  [[nodiscard]] Placement recommended_placement() const;
+
+ private:
+  double noisy(double t, double cv, std::uint64_t stream) const;
+
+  machine::Machine machine_;
+  std::uint64_t seed_;
+  bool apply_quirks_ = true;
+};
+
+}  // namespace a64fxcc::runtime

@@ -1,0 +1,34 @@
+#pragma once
+// Statistics helpers following Hoefler & Belli, "Scientific benchmarking
+// of parallel computing systems" (SC'15) — the paper's reference [12]
+// for reporting: medians for skewed distributions, CV for variability,
+// explicit min (fastest-of-N is the paper's reported metric).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace a64fxcc::stats {
+
+[[nodiscard]] double min(std::span<const double> v);
+[[nodiscard]] double max(std::span<const double> v);
+[[nodiscard]] double mean(std::span<const double> v);
+[[nodiscard]] double median(std::span<const double> v);
+[[nodiscard]] double geomean(std::span<const double> v);  ///< requires v > 0
+[[nodiscard]] double stddev(std::span<const double> v);
+/// Coefficient of variation: stddev / mean (0 when mean == 0).
+[[nodiscard]] double cv(std::span<const double> v);
+/// p in [0,1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::span<const double> v, double p);
+
+/// Bootstrap confidence interval of the median (for EXPERIMENTS.md's
+/// aggregate claims): returns {lo, hi} at the given confidence.
+struct Interval {
+  double lo = 0, hi = 0;
+};
+[[nodiscard]] Interval bootstrap_median_ci(std::span<const double> v,
+                                           double confidence = 0.95,
+                                           int resamples = 1000,
+                                           std::uint64_t seed = 0);
+
+}  // namespace a64fxcc::stats

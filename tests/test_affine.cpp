@@ -1,0 +1,106 @@
+// Unit tests for AffineExpr: construction, canonicalization, arithmetic,
+// substitution, evaluation.
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.hpp"
+
+namespace {
+
+using a64fxcc::ir::AffineExpr;
+using a64fxcc::ir::VarId;
+
+TEST(Affine, ConstantOnly) {
+  const auto e = AffineExpr::constant(42);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_term(), 42);
+  std::vector<std::int64_t> env;
+  EXPECT_EQ(e.evaluate(env), 42);
+}
+
+TEST(Affine, SingleVar) {
+  const auto e = AffineExpr::var(0);
+  EXPECT_FALSE(e.is_constant());
+  EXPECT_EQ(e.coeff(0), 1);
+  EXPECT_EQ(e.coeff(1), 0);
+  std::vector<std::int64_t> env = {7};
+  EXPECT_EQ(e.evaluate(env), 7);
+}
+
+TEST(Affine, ArithmeticCombines) {
+  const auto e = AffineExpr::var(0) + AffineExpr::var(1, 3) - AffineExpr::constant(2);
+  std::vector<std::int64_t> env = {5, 10};
+  EXPECT_EQ(e.evaluate(env), 5 + 30 - 2);
+}
+
+TEST(Affine, CancellationRemovesTerm) {
+  const auto e = AffineExpr::var(0) - AffineExpr::var(0);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_term(), 0);
+}
+
+TEST(Affine, MergeSameVar) {
+  const auto e = AffineExpr::var(2) + AffineExpr::var(2);
+  EXPECT_EQ(e.coeff(2), 2);
+  EXPECT_EQ(e.terms().size(), 1u);
+}
+
+TEST(Affine, ScalarMultiply) {
+  auto e = AffineExpr::var(0) + AffineExpr::constant(3);
+  e *= -2;
+  EXPECT_EQ(e.coeff(0), -2);
+  EXPECT_EQ(e.constant_term(), -6);
+}
+
+TEST(Affine, MultiplyByZeroIsConstantZero) {
+  auto e = AffineExpr::var(0) + AffineExpr::constant(3);
+  e *= 0;
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant_term(), 0);
+}
+
+TEST(Affine, IsVarPlusConst) {
+  EXPECT_TRUE((AffineExpr::var(1) + AffineExpr::constant(4)).is_var_plus_const(1));
+  EXPECT_TRUE(AffineExpr::var(1).is_var_plus_const(1));
+  EXPECT_FALSE(AffineExpr::var(1, 2).is_var_plus_const(1));
+  EXPECT_FALSE((AffineExpr::var(1) + AffineExpr::var(0)).is_var_plus_const(1));
+  EXPECT_FALSE(AffineExpr::constant(4).is_var_plus_const(1));
+}
+
+TEST(Affine, Substitution) {
+  // e = 2*v0 + v1 + 1; substitute v0 := 3*v2 + 5  ->  6*v2 + v1 + 11
+  const auto e = AffineExpr::var(0, 2) + AffineExpr::var(1) + AffineExpr::constant(1);
+  const auto repl = AffineExpr::var(2, 3) + AffineExpr::constant(5);
+  const auto s = e.substituted(0, repl);
+  EXPECT_EQ(s.coeff(0), 0);
+  EXPECT_EQ(s.coeff(1), 1);
+  EXPECT_EQ(s.coeff(2), 6);
+  EXPECT_EQ(s.constant_term(), 11);
+}
+
+TEST(Affine, SubstitutionNoOpWhenVarAbsent) {
+  const auto e = AffineExpr::var(1) + AffineExpr::constant(7);
+  const auto s = e.substituted(0, AffineExpr::var(2));
+  EXPECT_EQ(s, e);
+}
+
+TEST(Affine, EqualityIsStructural) {
+  const auto a = AffineExpr::var(0) + AffineExpr::var(1);
+  const auto b = AffineExpr::var(1) + AffineExpr::var(0);
+  EXPECT_EQ(a, b);  // canonical ordering makes these equal
+}
+
+TEST(Affine, ToStringReadable) {
+  std::vector<std::string> names = {"i", "j"};
+  const auto e = AffineExpr::var(0) + AffineExpr::var(1, -1) + AffineExpr::constant(3);
+  EXPECT_EQ(e.to_string(names), "i - j + 3");
+  EXPECT_EQ(AffineExpr::constant(0).to_string(names), "0");
+}
+
+TEST(Affine, UsesVar) {
+  const auto e = AffineExpr::var(3, 2);
+  EXPECT_TRUE(e.uses(3));
+  EXPECT_FALSE(e.uses(2));
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Structural tests for the archetype kernels: each must exhibit the
+// access-pattern and operation-mix characteristics its workload class is
+// defined by (that is what the compiler models key off), execute in
+// bounds, and carry valid indirect indices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/access.hpp"
+#include "analysis/dependence.hpp"
+#include "interp/interpreter.hpp"
+#include "kernels/archetypes.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+using namespace a64fxcc::ir;
+using namespace a64fxcc::analysis;
+using kernels::ArchParams;
+
+ArchParams small(const char* name, std::int64_t n = 64, std::int64_t m = 8) {
+  return {.name = name,
+          .language = Language::C,
+          .parallel = ParallelModel::Serial,
+          .suite = "t",
+          .n = n,
+          .m = m};
+}
+
+bool has_pattern(const Kernel& k, PatternKind kind) {
+  for (const auto& st : collect_stmt_stats(k))
+    for (const auto& p : st.accesses)
+      if (p.kind == kind) return true;
+  return false;
+}
+
+void runs_in_bounds(const Kernel& k) {
+  interp::Interpreter in(k);
+  ASSERT_NO_THROW(in.run());
+  EXPECT_TRUE(std::isfinite(in.checksum()));
+}
+
+TEST(Archetypes, StreamTriadIsPureUnitStride) {
+  const Kernel k = kernels::stream_triad(small("t"));
+  EXPECT_TRUE(has_pattern(k, PatternKind::Unit));
+  EXPECT_FALSE(has_pattern(k, PatternKind::Indirect));
+  EXPECT_FALSE(has_pattern(k, PatternKind::Strided));
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, SpmvGathersThroughColumnIndex) {
+  const Kernel k = kernels::spmv_csr(small("s", 32, 6));
+  EXPECT_TRUE(has_pattern(k, PatternKind::Indirect));
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, DgemmUsesLocalityFriendlyOrder) {
+  // The production (i,k,j) order: no strided access w.r.t. the innermost
+  // loop (B and C stream, A is invariant).
+  const Kernel k = kernels::dgemm(small("d", 0, 12));
+  EXPECT_FALSE(has_pattern(k, PatternKind::Strided));
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, PointerChaseIsSerialAndIndirect) {
+  const Kernel k = kernels::pointer_chase(small("p", 128));
+  EXPECT_TRUE(has_pattern(k, PatternKind::Indirect));
+  // The chain must carry a dependence on the single loop (not
+  // vectorizable by anyone).
+  const auto deps = analyze_dependences(k);
+  const Loop& loop = k.roots()[0]->loop;
+  bool carried_nonreduction = false;
+  for (const auto& d : deps)
+    if (!d.reduction && carried_by(d, loop)) carried_nonreduction = true;
+  EXPECT_TRUE(carried_nonreduction);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, RecurrenceBlocksVectorization) {
+  const Kernel k = kernels::recurrence(small("r", 128));
+  const auto deps = analyze_dependences(k);
+  const Loop& loop = k.roots()[0]->loop;
+  bool carried = false;
+  for (const auto& d : deps)
+    if (!d.reduction && carried_by(d, loop)) carried = true;
+  EXPECT_TRUE(carried);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, ParticleForceHasDivideAndSqrt) {
+  const Kernel k = kernels::particle_force(small("f", 32, 4));
+  double divs = 0, specials = 0;
+  for (const auto& st : collect_stmt_stats(k)) {
+    divs += st.ops.divs;
+    specials += st.ops.specials;
+  }
+  EXPECT_GT(divs, 0);
+  EXPECT_GT(specials, 0);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, IntegerKernelsCountIntOps) {
+  for (const Kernel& k :
+       {kernels::int_automata(small("a", 128, 16)),
+        kernels::dp_table(small("dp", 0, 24)),
+        kernels::int_sort_pass(small("so", 64)),
+        kernels::graph_relax(small("g", 64, 4))}) {
+    double int_ops = 0, flops = 0;
+    for (const auto& st : collect_stmt_stats(k)) {
+      int_ops += st.ops.int_ops * st.iters;
+      flops += st.ops.flops * st.iters;
+    }
+    EXPECT_GT(int_ops, flops) << k.name();  // integer-dominated
+    runs_in_bounds(k);
+  }
+}
+
+TEST(Archetypes, CgIterationHasAllPhaseClasses) {
+  const Kernel k = kernels::cg_iteration(small("cg", 64, 8));
+  // SpMV gather + unit-stride axpys + reduction dots.
+  EXPECT_TRUE(has_pattern(k, PatternKind::Indirect));
+  EXPECT_TRUE(has_pattern(k, PatternKind::Unit));
+  bool reduction = false;
+  for (const auto& d : analyze_dependences(k))
+    if (d.reduction) reduction = true;
+  EXPECT_TRUE(reduction);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, Stencil13TouchesThirteenPoints) {
+  const Kernel k = kernels::stencil13(small("s13", 0, 12));
+  int loads = 0;
+  for_each_stmt(*k.roots()[0],
+                [&](const Stmt& s) { loads = count_loads(*s.value); });
+  EXPECT_EQ(loads, 13);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, MdStepHasForceAndIntegratePhases) {
+  const Kernel k = kernels::md_step(small("md", 32, 4));
+  EXPECT_EQ(k.roots().size(), 2u);  // force loop + integrate loop
+  EXPECT_TRUE(has_pattern(k, PatternKind::Indirect));
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, LuStepPanelThenUpdate) {
+  const Kernel k = kernels::lu_step(small("lu", 0, 16));
+  ASSERT_EQ(k.roots().size(), 2u);
+  // Panel divides; update multiplies.
+  const auto stats = collect_stmt_stats(k);
+  EXPECT_GT(stats[0].ops.divs, 0);
+  EXPECT_GT(stats[1].ops.flops, 0);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, HistogramScattersIndirectly) {
+  const Kernel k = kernels::histogram(small("h", 128, 16));
+  const auto stats = collect_stmt_stats(k);
+  bool indirect_write = false;
+  for (const auto& st : stats)
+    for (const auto& p : st.accesses)
+      if (p.is_write && p.kind == PatternKind::Indirect) indirect_write = true;
+  EXPECT_TRUE(indirect_write);
+  runs_in_bounds(k);
+}
+
+TEST(Archetypes, FftButterflyStridesByHalf) {
+  const Kernel k = kernels::fft_butterfly(small("fft", 64));
+  runs_in_bounds(k);
+  // re[i + H] accesses: affine with offset H — still classified Unit
+  // w.r.t. i (stride 1), the pow2 structure lives in the bounds.
+  EXPECT_TRUE(has_pattern(k, PatternKind::Unit));
+}
+
+TEST(Archetypes, ParallelVariantsCarryAnnotations) {
+  ArchParams p = small("par", 64, 8);
+  p.parallel = ParallelModel::OpenMP;
+  for (const Kernel& k :
+       {kernels::stream_triad(p), kernels::spmv_csr(p), kernels::md_step(p)}) {
+    bool parallel = false;
+    for (const auto& r : k.roots())
+      for_each_loop(static_cast<const Node&>(*r),
+                    [&](const Loop& l) { parallel |= l.annot.parallel; });
+    EXPECT_TRUE(parallel) << k.name();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Additional builder-DSL and expression-layer coverage: Ax arithmetic
+// combinations, scalar tensors, annotate_last, mixed subscript kinds,
+// deep nesting, and the E operator set.
+
+#include <gtest/gtest.h>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "ir/validate.hpp"
+
+namespace {
+
+using namespace a64fxcc::ir;
+using a64fxcc::interp::Interpreter;
+
+TEST(BuilderExtra, AffineArithmeticCombinations) {
+  KernelBuilder kb("ax");
+  auto N = kb.param("N", 10);
+  auto M = kb.param("M", 3);
+  auto x = kb.tensor("x", DataType::F64, {N + M, 2 * N}, false);
+  auto i = kb.var("i");
+  // Subscripts exercising Sym+Sym, k*Sym, Sym-const, const+Sym.
+  kb.For(i, 0, M, [&] {
+    kb.assign(x(i + N, 2 * i), 1.0);
+    kb.assign(x(N - i, i + 1), 2.0);
+  });
+  const Kernel k = std::move(kb).build();
+  EXPECT_TRUE(is_valid(k));
+  Interpreter in(k);
+  EXPECT_NO_THROW(in.run());
+  EXPECT_DOUBLE_EQ(in.checksum(), 3 * 3.0);
+}
+
+TEST(BuilderExtra, ScalarTensorsAndZeroDimAccess) {
+  KernelBuilder kb("sc");
+  auto a = kb.scalar("a");
+  auto b = kb.scalar("b", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, 4, [&] { kb.accum(b(), a() * 2.0); });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  const double a0 = in.buffer(0)[0];
+  EXPECT_DOUBLE_EQ(in.buffer(1)[0], 8.0 * a0);
+}
+
+TEST(BuilderExtra, AnnotateLastTargetsTheLoopJustClosed) {
+  KernelBuilder kb("al");
+  auto N = kb.param("N", 4);
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] { kb.assign(x(i), 1.0); });
+  kb.annotate_last([](Node& n) { n.loop.annot.unroll = 7; });
+  kb.For(j, 0, N, [&] { kb.assign(x(j), 2.0); });
+  const Kernel k = std::move(kb).build();
+  EXPECT_EQ(k.roots()[0]->loop.annot.unroll, 7);
+  EXPECT_EQ(k.roots()[1]->loop.annot.unroll, 1);
+}
+
+TEST(BuilderExtra, MixedAffineAndIndirectSubscripts) {
+  KernelBuilder kb("mix");
+  auto N = kb.param("N", 8);
+  auto idx = kb.tensor("idx", DataType::I64, {N});
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  // One affine dim, one indirect dim in the same access.
+  kb.For(i, 0, N, [&] { kb.assign(y(i), A(i, idx(i))); });
+  Kernel k = std::move(kb).build();
+  k.set_init(0, [](std::span<const std::int64_t> id,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((id[0] * 5 + 2) % env[0]);
+  });
+  EXPECT_TRUE(is_valid(k));
+  Interpreter in(k);
+  EXPECT_NO_THROW(in.run());
+  const auto& acc = k.roots()[0]->loop.body[0]->stmt.value->access;
+  EXPECT_TRUE(acc.index[0].is_affine());
+  EXPECT_FALSE(acc.index[1].is_affine());
+}
+
+TEST(BuilderExtra, DeepNestingSixLevels) {
+  KernelBuilder kb("deep");
+  auto c = kb.scalar("c", DataType::F64, false);
+  std::vector<Sym> vs;
+  for (int d = 0; d < 6; ++d) vs.push_back(kb.var("v" + std::to_string(d)));
+  std::function<void(int)> nest = [&](int d) {
+    if (d == 6) {
+      kb.accum(c(), 1.0);
+      return;
+    }
+    kb.For(vs[static_cast<std::size_t>(d)], 0, 2, [&] { nest(d + 1); });
+  };
+  nest(0);
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  EXPECT_DOUBLE_EQ(in.buffer(0)[0], 64.0);  // 2^6
+}
+
+TEST(BuilderExtra, ExprOperatorsCompose) {
+  KernelBuilder kb("ops");
+  auto o = kb.tensor("o", DataType::F64, {6}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, 1, [&] {
+    kb.assign(o(0), -(E(2.0) + 3.0) * 2.0);            // -10
+    kb.assign(o(1), exp(log(E(5.0))));                 // 5
+    kb.assign(o(2), sin(E(0.0)) + cos(E(0.0)));        // 1
+    kb.assign(o(3), E(7.0) / 2.0 - 0.5);               // 3
+    kb.assign(o(4), select(E(0.0), 1.0, 2.0));         // 2 (false branch)
+    kb.assign(o(5), E(i) + 1.0);                       // 1 (var as value)
+  });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  const auto o0 = in.buffer(0);
+  EXPECT_DOUBLE_EQ(o0[0], -10.0);
+  EXPECT_NEAR(o0[1], 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(o0[2], 1.0);
+  EXPECT_DOUBLE_EQ(o0[3], 3.0);
+  EXPECT_DOUBLE_EQ(o0[4], 2.0);
+  EXPECT_DOUBLE_EQ(o0[5], 1.0);
+}
+
+TEST(BuilderExtra, CloneOfAnnotatedKernelPreservesHints) {
+  KernelBuilder kb("cl");
+  auto N = kb.param("N", 4);
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(x(i), 1.0); });
+  kb.annotate_last([](Node& n) {
+    n.loop.annot.ocl_unroll = 5;
+    n.loop.annot.ocl_simd = true;
+  });
+  const Kernel k = std::move(kb).build();
+  const Kernel c = k.clone();
+  EXPECT_EQ(c.roots()[0]->loop.annot.ocl_unroll, 5);
+  EXPECT_TRUE(c.roots()[0]->loop.annot.ocl_simd);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// Tests for the beyond-paper extensions: the armclang / Cray CCE models,
+// the what-if variants, and the FX700 / ThunderX2 machine models.
+
+#include <gtest/gtest.h>
+
+#include "compilers/compiler_model.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+#include "kernels/archetypes.hpp"
+#include "machine/machine.hpp"
+#include "perf/perf_model.hpp"
+#include "runtime/harness.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+using namespace a64fxcc::ir;
+
+Kernel dot_kernel(std::int64_t n = 1 << 14) {
+  KernelBuilder kb("dot", {.language = Language::C, .suite = "test"});
+  auto N = kb.param("N", n);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N});
+  auto s = kb.scalar("s", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.accum(s(), x(i) * y(i)); });
+  return std::move(kb).build();
+}
+
+TEST(Extensions, AllExtensionCompilersPreserveSemantics) {
+  const Kernel src = dot_kernel(512);
+  for (const auto& spec :
+       {compilers::armclang(), compilers::cray_cce(), compilers::gnu_fastmath(),
+        compilers::fjtrad_with_interchange()}) {
+    const auto out = compilers::compile(spec, src);
+    ASSERT_TRUE(out.ok()) << spec.name;
+    std::string why;
+    EXPECT_TRUE(interp::equivalent(src, *out.kernel, 1e-9, 1e-12, &why))
+        << spec.name << ": " << why;
+  }
+}
+
+TEST(Extensions, GnuFastmathUnlocksReductionVectorization) {
+  const Kernel src = dot_kernel();
+  const auto plain = compilers::compile(compilers::gnu(), src);
+  const auto fast = compilers::compile(compilers::gnu_fastmath(), src);
+  EXPECT_EQ(plain.kernel->roots()[0]->loop.annot.vector_width, 1);
+  EXPECT_GT(fast.kernel->roots()[0]->loop.annot.vector_width, 1);
+}
+
+TEST(Extensions, FjtradWhatIfInterchangesCNest) {
+  KernelBuilder kb("mm", {.language = Language::C, .suite = "test"});
+  auto N = kb.param("N", 300);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto C = kb.tensor("C", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] {
+      kb.For(k, 0, N, [&] { kb.accum(C(i, j), A(i, k) * B(k, j)); });
+    });
+  });
+  const Kernel src = std::move(kb).build();
+  auto plain = compilers::compile(compilers::fjtrad(), src);
+  auto whatif = compilers::compile(compilers::fjtrad_with_interchange(), src);
+  auto n1 = passes::collect_perfect_nests(*plain.kernel);
+  auto n2 = passes::collect_perfect_nests(*whatif.kernel);
+  EXPECT_EQ(plain.kernel->var_name(n1[0].loop(n1[0].depth() - 1).var), "k");
+  EXPECT_EQ(whatif.kernel->var_name(n2[0].loop(n2[0].depth() - 1).var), "j");
+}
+
+TEST(Extensions, ArmclangBehavesLikeTunedLlvm) {
+  const auto a = compilers::armclang();
+  const auto l = compilers::llvm12();
+  EXPECT_LE(a.fp_core_factor, l.fp_core_factor);
+  EXPECT_GE(a.vec_efficiency, l.vec_efficiency);
+  EXPECT_TRUE(a.interchange);
+}
+
+TEST(Machines, Fx700IsAClockedDownA64fx) {
+  const auto fugaku = machine::a64fx();
+  const auto fx700 = machine::a64fx_fx700();
+  EXPECT_LT(fx700.clock_ghz, fugaku.clock_ghz);
+  EXPECT_EQ(fx700.mem_bw_gbs_domain, fugaku.mem_bw_gbs_domain);
+  EXPECT_EQ(fx700.line_bytes, fugaku.line_bytes);
+}
+
+TEST(Machines, ThunderX2HasNarrowSimdAndDdr) {
+  const auto tx2 = machine::thunderx2();
+  const auto a64 = machine::a64fx();
+  EXPECT_EQ(tx2.simd_lanes_f64, 2);  // NEON-128
+  EXPECT_LT(tx2.mem_bw_gbs_domain, a64.mem_bw_gbs_domain);
+  EXPECT_LT(tx2.mem_latency_ns, a64.mem_latency_ns);  // DDR4 vs HBM2
+}
+
+TEST(Machines, A64fxWinsBandwidthTx2WinsNothingComputeBound) {
+  // dgemm-class compute: A64FX's SVE-512 must beat TX2's NEON-128.
+  kernels::ArchParams p{.name = "mm",
+                        .language = Language::Fortran,
+                        .parallel = ParallelModel::OpenMP,
+                        .suite = "test",
+                        .m = 256};
+  const auto b = kernels::Benchmark(kernels::dgemm(p), {});
+  const runtime::Harness ha(machine::a64fx(), 42);
+  const runtime::Harness ht(machine::thunderx2(), 42);
+  const double ta = ha.run(compilers::fjtrad(), b).best_seconds;
+  const double tt = ht.run(compilers::armclang(), b).best_seconds;
+  EXPECT_LT(ta, tt);
+}
+
+TEST(Machines, StreamShapeAcrossPlatforms) {
+  // babelstream-class: A64FX's HBM2 beats both DDR platforms at node
+  // scale.
+  kernels::ArchParams p{.name = "triad",
+                        .language = Language::Cpp,
+                        .parallel = ParallelModel::OpenMP,
+                        .suite = "test",
+                        .n = 1 << 24};
+  const auto b = kernels::Benchmark(kernels::stream_triad(p), {});
+  const runtime::Harness ha(machine::a64fx(), 42);
+  const runtime::Harness ht(machine::thunderx2(), 42);
+  const runtime::Harness hx(machine::xeon_cascadelake(), 42);
+  const double ta = ha.run(compilers::llvm12(), b).best_seconds;
+  const double tt = ht.run(compilers::armclang(), b).best_seconds;
+  const double tx = hx.run(compilers::icc(), b).best_seconds;
+  EXPECT_LT(ta, tt);
+  EXPECT_LT(ta, tx);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Fuzz-style property tests: seeded synthetic kernels hammer the
+// invariants that hold for *every* kernel:
+//
+//  P1. every pass preserves semantics (interpreter agreement);
+//  P2. every compiler model's full pipeline preserves semantics;
+//  P3. the parser/serializer round-trip preserves semantics;
+//  P4. the performance model returns finite positive times;
+//  P5. dependence analysis legality: applying a pass never changes the
+//      statement-instance count for annotation-only passes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compilers/compiler_model.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "kernels/synthetic.hpp"
+#include "machine/machine.hpp"
+#include "passes/passes.hpp"
+#include "perf/perf_model.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+using ir::Kernel;
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+kernels::SyntheticOptions opts_for(int seed) {
+  kernels::SyntheticOptions o;
+  o.allow_indirect = seed % 3 == 0;
+  o.allow_parallel = seed % 4 == 0;
+  o.allow_triangular = seed % 2 == 0;
+  o.max_depth = 2 + seed % 2;
+  return o;
+}
+
+TEST_P(FuzzTest, P1_PassesPreserveSemantics) {
+  const int seed = GetParam();
+  const Kernel src =
+      kernels::synthetic_kernel(static_cast<std::uint64_t>(seed), opts_for(seed));
+  std::string why;
+  {
+    Kernel k = src.clone();
+    passes::distribute_loops(k);
+    ASSERT_TRUE(interp::equivalent(src, k, 1e-9, 1e-12, &why))
+        << "distribute seed " << seed << ": " << why;
+    passes::interchange_for_locality(k, true);
+    ASSERT_TRUE(interp::equivalent(src, k, 1e-9, 1e-12, &why))
+        << "interchange seed " << seed << ": " << why;
+    passes::fuse_loops(k);
+    ASSERT_TRUE(interp::equivalent(src, k, 1e-9, 1e-12, &why))
+        << "fuse seed " << seed << ": " << why;
+  }
+  {
+    Kernel k = src.clone();
+    auto nests = passes::collect_perfect_nests(k);
+    if (!nests.empty() && nests[0].depth() >= 2) {
+      const std::int64_t sizes[2] = {3, 5};
+      passes::tile(k, nests[0], std::span<const std::int64_t>(sizes, 2));
+      ASSERT_TRUE(interp::equivalent(src, k, 1e-9, 1e-12, &why))
+          << "tile seed " << seed << ": " << why;
+    }
+  }
+  {
+    Kernel k = src.clone();
+    passes::polly(k, {.tile_size = 4, .vec = {.width = 8}});
+    ASSERT_TRUE(interp::equivalent(src, k, 1e-9, 1e-12, &why))
+        << "polly seed " << seed << ": " << why;
+  }
+}
+
+TEST_P(FuzzTest, P2_CompilerPipelinesPreserveSemantics) {
+  const int seed = GetParam();
+  const Kernel src =
+      kernels::synthetic_kernel(static_cast<std::uint64_t>(seed), opts_for(seed));
+  std::string why;
+  for (const auto& spec : compilers::paper_compilers()) {
+    const auto out = compilers::compile(spec, src);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(interp::equivalent(src, *out.kernel, 1e-9, 1e-12, &why))
+        << spec.name << " seed " << seed << ": " << why;
+  }
+}
+
+TEST_P(FuzzTest, P3_ParserRoundTrip) {
+  const int seed = GetParam();
+  const Kernel src =
+      kernels::synthetic_kernel(static_cast<std::uint64_t>(seed), opts_for(seed));
+  const Kernel back = ir::parse_kernel(ir::serialize_kernel(src));
+  std::string why;
+  // Indirect-index kernels have custom initializers that the textual
+  // format does not carry: compare only when all accesses are affine.
+  if (!opts_for(seed).allow_indirect) {
+    EXPECT_TRUE(interp::equivalent(src, back, 1e-9, 1e-12, &why))
+        << "seed " << seed << ": " << why;
+  } else {
+    EXPECT_EQ(back.tensors().size(), src.tensors().size());
+  }
+}
+
+TEST_P(FuzzTest, P4_PerfModelIsFiniteAndPositive) {
+  const int seed = GetParam();
+  const Kernel src =
+      kernels::synthetic_kernel(static_cast<std::uint64_t>(seed), opts_for(seed));
+  for (const auto& m : {machine::a64fx(), machine::xeon_cascadelake(),
+                        machine::thunderx2()}) {
+    for (const auto cfg :
+         {perf::make_config(1, 1, m), perf::make_config(4, 12, m)}) {
+      const auto r = perf::estimate(src, m, cfg);
+      EXPECT_TRUE(std::isfinite(r.seconds)) << m.name << " seed " << seed;
+      EXPECT_GT(r.seconds, 0) << m.name << " seed " << seed;
+      EXPECT_GE(r.total_flops, 0);
+      EXPECT_GE(r.mem_bytes, 0);
+    }
+  }
+}
+
+TEST_P(FuzzTest, P5_AnnotationPassesKeepInstanceCounts) {
+  const int seed = GetParam();
+  const Kernel src =
+      kernels::synthetic_kernel(static_cast<std::uint64_t>(seed), opts_for(seed));
+  interp::Interpreter before(src);
+  before.run();
+  Kernel k = src.clone();
+  passes::vectorize(k, {.width = 8});
+  passes::unroll(k, 4);
+  passes::prefetch(k, 16);
+  passes::software_pipeline(k);
+  interp::Interpreter after(k);
+  after.run();
+  EXPECT_EQ(before.stmts_executed(), after.stmts_executed()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+}  // namespace

@@ -1,0 +1,224 @@
+// Tests for the reference interpreter: arithmetic, loops, triangular
+// bounds, indirect accesses, custom initializers, bounds checking, and
+// the kernel-equivalence helper.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "interp/interpreter.hpp"
+#include "ir/builder.hpp"
+
+namespace {
+
+using namespace a64fxcc::ir;
+using a64fxcc::interp::equivalent;
+using a64fxcc::interp::Interpreter;
+
+TEST(Interp, MatmulMatchesManualComputation) {
+  KernelBuilder kb("mm");
+  auto N = kb.param("N", 5);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto C = kb.tensor("C", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] {
+      kb.assign(C(i, j), 0.0);
+      kb.For(k, 0, N, [&] { kb.accum(C(i, j), A(i, k) * B(k, j)); });
+    });
+  });
+  const Kernel kern = std::move(kb).build();
+
+  Interpreter in(kern);
+  in.run();
+  const auto a = in.buffer(0);
+  const auto b = in.buffer(1);
+  const auto c = in.buffer(2);
+  for (int ii = 0; ii < 5; ++ii) {
+    for (int jj = 0; jj < 5; ++jj) {
+      double expect = 0.0;
+      for (int kk = 0; kk < 5; ++kk) expect += a[ii * 5 + kk] * b[kk * 5 + jj];
+      EXPECT_NEAR(c[ii * 5 + jj], expect, 1e-12);
+    }
+  }
+  EXPECT_EQ(in.stmts_executed(), 25u + 125u);
+}
+
+TEST(Interp, TriangularLoopBounds) {
+  // Count iterations of for i in [0,N) for j in [i+1,N).
+  KernelBuilder kb("tri");
+  auto N = kb.param("N", 6);
+  auto cnt = kb.scalar("count", DataType::F64, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, i + 1, N, [&] { kb.accum(cnt(), 1.0); });
+  });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  EXPECT_DOUBLE_EQ(in.buffer(0)[0], 15.0);  // C(6,2)
+}
+
+TEST(Interp, NegativeStepLoop) {
+  // Reverse loop writes positions N-1..0.
+  KernelBuilder kb("rev");
+  auto N = kb.param("N", 4);
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, AffineExpr::var(N.id) - AffineExpr::constant(1), -1,
+         [&] { kb.assign(y(i), E(i) + 1.0); }, -1);
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  const auto y0 = in.buffer(0);
+  for (int v = 0; v < 4; ++v) EXPECT_DOUBLE_EQ(y0[v], v + 1.0);
+}
+
+TEST(Interp, UnaryAndBinaryOps) {
+  KernelBuilder kb("ops");
+  auto out = kb.tensor("out", DataType::F64, {8}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, 1, [&] {
+    kb.assign(out(0), sqrt(E(16.0)));
+    kb.assign(out(1), min(E(3.0), 2.0));
+    kb.assign(out(2), max(E(3.0), 2.0));
+    kb.assign(out(3), abs(E(-5.0)));
+    kb.assign(out(4), select(lt(E(1.0), 2.0), 10.0, 20.0));
+    kb.assign(out(5), mod(E(7.0), 3.0));
+    kb.assign(out(6), E(1.0) / 4.0);
+    kb.assign(out(7), floor(E(2.9)));
+  });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  const auto o = in.buffer(0);
+  EXPECT_DOUBLE_EQ(o[0], 4.0);
+  EXPECT_DOUBLE_EQ(o[1], 2.0);
+  EXPECT_DOUBLE_EQ(o[2], 3.0);
+  EXPECT_DOUBLE_EQ(o[3], 5.0);
+  EXPECT_DOUBLE_EQ(o[4], 10.0);
+  EXPECT_DOUBLE_EQ(o[5], 1.0);
+  EXPECT_DOUBLE_EQ(o[6], 0.25);
+  EXPECT_DOUBLE_EQ(o[7], 2.0);
+}
+
+TEST(Interp, IndirectGatherUsesIndexTensor) {
+  KernelBuilder kb("gather");
+  auto N = kb.param("N", 8);
+  auto idx = kb.tensor("idx", DataType::I64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(y(i), x(idx(i))); });
+  Kernel k = std::move(kb).build();
+  // idx[i] = (i * 3) % N — a valid permutation for N=8.
+  k.set_init(0, [](std::span<const std::int64_t> id,
+                   std::span<const std::int64_t> env) {
+    return static_cast<double>((id[0] * 3) % env[0]);
+  });
+  Interpreter in(k);
+  in.run();
+  const auto xv = in.buffer(1);
+  const auto yv = in.buffer(2);
+  for (int v = 0; v < 8; ++v) EXPECT_DOUBLE_EQ(yv[v], xv[(v * 3) % 8]);
+}
+
+TEST(Interp, OutOfBoundsThrows) {
+  KernelBuilder kb("oob");
+  auto N = kb.param("N", 4);
+  auto x = kb.tensor("x", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(x(i + 1), 0.0); });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  EXPECT_THROW(in.run(), std::out_of_range);
+}
+
+TEST(Interp, RankMismatchThrows) {
+  KernelBuilder kb("rank");
+  auto N = kb.param("N", 4);
+  auto x = kb.tensor("x", DataType::F64, {N, N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(x(i), 0.0); });  // 1 subscript on a 2-d tensor
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  EXPECT_THROW(in.run(), std::out_of_range);
+}
+
+TEST(Interp, ResetIsDeterministicPerSeed) {
+  KernelBuilder kb("det");
+  auto N = kb.param("N", 16);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto s = kb.scalar("s", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.accum(s(), x(i)); });
+  const Kernel k = std::move(kb).build();
+  Interpreter a(k);
+  Interpreter b(k);
+  a.reset(7);
+  b.reset(7);
+  a.run();
+  b.run();
+  EXPECT_DOUBLE_EQ(a.buffer(1)[0], b.buffer(1)[0]);
+  b.reset(8);
+  b.run();
+  EXPECT_NE(a.buffer(1)[0], b.buffer(1)[0]);
+}
+
+TEST(Interp, DefaultInitInUnitInterval) {
+  KernelBuilder kb("rng");
+  auto N = kb.param("N", 64);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto i = kb.var("i");
+  kb.For(i, 0, 1, [&] { kb.assign(x(0), x(0)); });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  for (double v : in.buffer(0)) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Equivalent, IdenticalKernelsMatch) {
+  KernelBuilder kb("id");
+  auto N = kb.param("N", 8);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(y(i), x(i) * 2.0); });
+  const Kernel a = std::move(kb).build();
+  const Kernel b = a.clone();
+  std::string why;
+  EXPECT_TRUE(equivalent(a, b, 1e-9, 1e-12, &why)) << why;
+}
+
+TEST(Equivalent, DetectsSemanticDifference) {
+  KernelBuilder kb1("k1");
+  auto N1 = kb1.param("N", 8);
+  auto x1 = kb1.tensor("x", DataType::F64, {N1});
+  auto y1 = kb1.tensor("y", DataType::F64, {N1}, false);
+  auto i1 = kb1.var("i");
+  kb1.For(i1, 0, N1, [&] { kb1.assign(y1(i1), x1(i1) * 2.0); });
+  const Kernel a = std::move(kb1).build();
+
+  Kernel b = a.clone();
+  // Change the multiplier constant in the clone.
+  b.roots()[0]->loop.body[0]->stmt.value->b->fconst = 3.0;
+  std::string why;
+  EXPECT_FALSE(equivalent(a, b, 1e-9, 1e-12, &why));
+  EXPECT_NE(why.find("tensor y"), std::string::npos);
+}
+
+TEST(Interp, ChecksumAggregatesAllTensors) {
+  KernelBuilder kb("sum");
+  auto out = kb.tensor("out", DataType::F64, {2}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, 2, [&] { kb.assign(out(i), E(i) + 1.0); });
+  const Kernel k = std::move(kb).build();
+  Interpreter in(k);
+  in.run();
+  EXPECT_DOUBLE_EQ(in.checksum(), 3.0);
+}
+
+}  // namespace

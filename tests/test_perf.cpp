@@ -1,0 +1,301 @@
+// Tests for the machine models and the performance estimator.  We do not
+// test absolute seconds (that is calibration), but physical invariants:
+// bandwidth-bound kernels track bandwidth, compute-bound kernels track
+// peak, vectorization helps compute-bound code, interchange fixes
+// strided traffic, parallel speedup saturates at the bandwidth roof, and
+// so on.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "machine/machine.hpp"
+#include "passes/passes.hpp"
+#include "perf/perf_model.hpp"
+
+namespace {
+
+using namespace a64fxcc::ir;
+using namespace a64fxcc::perf;
+using a64fxcc::machine::a64fx;
+using a64fxcc::machine::Machine;
+using a64fxcc::machine::xeon_cascadelake;
+
+/// STREAM-triad-like kernel a[i] = b[i] + s*c[i], openmp-parallel.
+Kernel triad(std::int64_t n, bool parallel = false) {
+  KernelBuilder kb("triad",
+                   {.language = Language::C,
+                    .parallel = parallel ? ParallelModel::OpenMP
+                                         : ParallelModel::Serial,
+                    .suite = "test"});
+  auto N = kb.param("N", n);
+  auto a = kb.tensor("a", DataType::F64, {N}, false);
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto c = kb.tensor("c", DataType::F64, {N});
+  auto i = kb.var("i");
+  auto body = [&] { kb.assign(a(i), b(i) + c(i) * 3.0); };
+  if (parallel)
+    kb.ParallelFor(i, 0, N, body);
+  else
+    kb.For(i, 0, N, body);
+  return std::move(kb).build();
+}
+
+Kernel matmul(std::int64_t n) {
+  KernelBuilder kb("mm");
+  auto N = kb.param("N", n);
+  auto A = kb.tensor("A", DataType::F64, {N, N});
+  auto B = kb.tensor("B", DataType::F64, {N, N});
+  auto C = kb.tensor("C", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j"), k = kb.var("k");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] {
+      kb.For(k, 0, N, [&] { kb.accum(C(i, j), A(i, k) * B(k, j)); });
+    });
+  });
+  return std::move(kb).build();
+}
+
+TEST(Machine, PeakNumbers) {
+  const auto m = a64fx();
+  EXPECT_EQ(m.total_cores(), 48);
+  // 2.2 GHz * 8 lanes * 2 pipes * 2 flops = 70.4 GF/core.
+  EXPECT_NEAR(m.peak_gflops_core(), 70.4, 0.01);
+  const auto x = xeon_cascadelake();
+  EXPECT_GT(x.scalar_fp_per_cycle, m.scalar_fp_per_cycle);
+  EXPECT_GT(m.line_bytes, x.line_bytes);  // 256 vs 64: key asymmetry
+}
+
+TEST(Config, PlacementFourRanksTwelveThreads) {
+  const auto m = a64fx();
+  const auto c = make_config(4, 12, m);
+  EXPECT_EQ(c.domains_used, 4);
+  EXPECT_EQ(c.threads_per_domain, 12);
+  EXPECT_EQ(c.total_workers(), 48);
+}
+
+TEST(Config, SingleRankFewThreadsStaysInOneDomain) {
+  const auto m = a64fx();
+  const auto c = make_config(1, 12, m);
+  EXPECT_EQ(c.domains_used, 1);
+  EXPECT_EQ(c.threads_per_domain, 12);
+}
+
+TEST(Config, OneRankManyThreadsSpansDomains) {
+  const auto m = a64fx();
+  const auto c = make_config(1, 48, m);
+  EXPECT_EQ(c.domains_used, 4);
+  EXPECT_EQ(c.threads_per_domain, 12);
+}
+
+TEST(Perf, TriadIsMemoryBoundAtScale) {
+  // 2 GiB-class vectors, vectorized, on a full CMG: memory bound.
+  Kernel k = triad(32 * 1024 * 1024, /*parallel=*/true);
+  const auto m = a64fx();
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto r = estimate(k, m, make_config(1, 12, m));
+  EXPECT_EQ(r.bottleneck, "mem");
+  // Achieved bandwidth must not exceed one CMG's HBM2 roof.
+  EXPECT_LE(r.mem_gbs(), m.mem_bw_gbs_domain * 1.01);
+  EXPECT_GT(r.mem_gbs(), m.mem_bw_gbs_domain * 0.5);
+}
+
+TEST(Perf, SingleCoreTriadCannotSaturateHBM) {
+  // A single A64FX core cannot saturate a CMG's HBM2 — a documented
+  // A64FX property (and why BabelStream rewards better codegen so much).
+  Kernel k = triad(32 * 1024 * 1024);
+  const auto m = a64fx();
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto r = estimate(k, m, make_config(1, 1, m));
+  EXPECT_NE(r.bottleneck, "mem");
+  EXPECT_LT(r.mem_gbs(), 150.0);
+}
+
+TEST(Perf, TriadScalesAcrossDomains) {
+  Kernel k = triad(32 * 1024 * 1024, /*parallel=*/true);
+  const auto m = a64fx();
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto r1 = estimate(k, m, make_config(1, 12, m));
+  const auto r4 = estimate(k, m, make_config(4, 12, m));
+  // 4 CMGs => ~4x the bandwidth.
+  EXPECT_NEAR(r1.seconds / r4.seconds, 4.0, 1.0);
+}
+
+TEST(Perf, TriadThreadScalingSaturates) {
+  // Within one CMG, 12 threads cannot beat the HBM2 roof by much vs 4.
+  Kernel k = triad(32 * 1024 * 1024, /*parallel=*/true);
+  const auto m = a64fx();
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto r4 = estimate(k, m, make_config(1, 4, m));
+  const auto r12 = estimate(k, m, make_config(1, 12, m));
+  EXPECT_LT(r4.seconds / r12.seconds, 2.0);  // far from 3x
+}
+
+TEST(Perf, SmallTriadIsNotMemoryBound) {
+  Kernel k = triad(512);  // fits L1
+  const auto m = a64fx();
+  const auto r = estimate(k, m, make_config(1, 1, m));
+  EXPECT_NE(r.bottleneck, "mem");
+}
+
+TEST(Perf, VectorizationSpeedsUpComputeBoundLoop) {
+  Kernel k = triad(2048);  // L1/L2-resident: core-bound
+  const auto m = a64fx();
+  const auto base = estimate(k, m, make_config(1, 1, m));
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto vec = estimate(k, m, make_config(1, 1, m));
+  EXPECT_GT(base.seconds / vec.seconds, 2.0);
+  EXPECT_LT(base.seconds / vec.seconds, 16.0);
+}
+
+TEST(Perf, VectorizationBarelyHelpsBandwidthSaturatedLoop) {
+  // On a full node the HBM2 roof dominates; vectorization's benefit must
+  // shrink to a small factor (it is >2x when core-bound, cf. the
+  // compute-bound test above).  A single scalar core, by contrast, can't
+  // even reach its L2 roof — which is why the paper saw 51% BabelStream
+  // gains from switching compilers.
+  Kernel k = triad(32 * 1024 * 1024, /*parallel=*/true);
+  const auto m = a64fx();
+  const auto base = estimate(k, m, make_config(4, 12, m));
+  a64fxcc::passes::vectorize(k, {.width = m.simd_lanes_f64});
+  const auto vec = estimate(k, m, make_config(4, 12, m));
+  // Scalar code pays per-element load/store issue costs, so the gap is
+  // not 1.0 — but it must stay well below the compute-bound case's >2x.
+  EXPECT_LT(base.seconds / vec.seconds, 2.2);
+  EXPECT_GE(base.seconds / vec.seconds, 1.0);
+}
+
+TEST(Perf, InterchangeFixesStridedMatmulTraffic) {
+  // (i,j,k) order: B[k][j] strided => massive line overfetch on A64FX.
+  // (i,k,j) order: B unit stride.  The model must show a large gap.
+  Kernel bad = matmul(1000);
+  Kernel good = bad.clone();
+  auto nests = a64fxcc::passes::collect_perfect_nests(good);
+  const int perm[3] = {0, 2, 1};
+  ASSERT_TRUE(
+      a64fxcc::passes::interchange(good, nests[0], std::span<const int>(perm, 3))
+          .changed);
+  const auto m = a64fx();
+  a64fxcc::passes::vectorize(bad, {.width = m.simd_lanes_f64});
+  a64fxcc::passes::vectorize(good, {.width = m.simd_lanes_f64});
+  const auto rb = estimate(bad, m, make_config(1, 1, m));
+  const auto rg = estimate(good, m, make_config(1, 1, m));
+  EXPECT_GT(rb.seconds / rg.seconds, 3.0);
+}
+
+TEST(Perf, StridedPenaltyWorseOnA64FXThanXeon) {
+  // 256-byte lines waste 32x on 8-byte strided access vs 8x on Xeon:
+  // the relative cost of the bad loop order must be higher on A64FX.
+  Kernel bad = matmul(1000);
+  Kernel good = bad.clone();
+  auto nests = a64fxcc::passes::collect_perfect_nests(good);
+  const int perm[3] = {0, 2, 1};
+  ASSERT_TRUE(
+      a64fxcc::passes::interchange(good, nests[0], std::span<const int>(perm, 3))
+          .changed);
+  const auto a = a64fx();
+  const auto x = xeon_cascadelake();
+  const double ratio_a = estimate(bad, a, make_config(1, 1, a)).seconds /
+                         estimate(good, a, make_config(1, 1, a)).seconds;
+  const double ratio_x = estimate(bad, x, make_config(1, 1, x)).seconds /
+                         estimate(good, x, make_config(1, 1, x)).seconds;
+  EXPECT_GT(ratio_a, ratio_x);
+}
+
+TEST(Perf, GatherKernelIsLatencyBound) {
+  KernelBuilder kb("gather");
+  auto N = kb.param("N", 8 * 1024 * 1024);
+  auto idx = kb.tensor("idx", DataType::I64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto s = kb.scalar("s", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.accum(s(), x(idx(i))); });
+  Kernel k = std::move(kb).build();
+  const auto m = a64fx();
+  const auto r = estimate(k, m, make_config(1, 1, m));
+  EXPECT_EQ(r.bottleneck, "latency");
+}
+
+TEST(Perf, XeonFasterOnScalarLatencyBoundCode) {
+  // Lower latency + higher MLP + stronger scalar core: Xeon should win
+  // clearly on a random-gather reduction, mirroring Figure 1's story.
+  KernelBuilder kb("gather");
+  auto N = kb.param("N", 4 * 1024 * 1024);
+  auto idx = kb.tensor("idx", DataType::I64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto s = kb.scalar("s", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.accum(s(), x(idx(i))); });
+  Kernel k = std::move(kb).build();
+  const auto a = a64fx();
+  const auto x86 = xeon_cascadelake();
+  const double ta = estimate(k, a, make_config(1, 1, a)).seconds;
+  const double tx = estimate(k, x86, make_config(1, 1, x86)).seconds;
+  EXPECT_GT(ta / tx, 2.0);
+}
+
+TEST(Perf, UnrollReducesLoopOverhead) {
+  Kernel k = triad(4096);
+  const auto m = a64fx();
+  const auto base = estimate(k, m, make_config(1, 1, m));
+  a64fxcc::passes::unroll(k, 8);
+  const auto unrolled = estimate(k, m, make_config(1, 1, m));
+  EXPECT_LT(unrolled.seconds, base.seconds);
+}
+
+TEST(Perf, SoftwarePrefetchHidesStridedLatency) {
+  // Strided stream with hardware prefetch weak: software prefetch should
+  // reduce the latency term.
+  KernelBuilder kb("strided");
+  auto N = kb.param("N", 1024 * 1024);
+  auto x = kb.tensor("x", DataType::F64, {N, 8});
+  auto s = kb.scalar("s", DataType::F64, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.accum(s(), x(i, 0)); });
+  Kernel k = std::move(kb).build();
+  auto m = a64fx();
+  m.hw_prefetch_strided = false;  // isolate the software-prefetch effect
+  const auto base = estimate(k, m, make_config(1, 1, m));
+  a64fxcc::passes::prefetch(k, 16);
+  const auto pf = estimate(k, m, make_config(1, 1, m));
+  EXPECT_LT(pf.seconds, base.seconds * 0.7);
+}
+
+TEST(Perf, OmpOverheadChargedOncePerParallelLoop) {
+  Kernel k = triad(1024, /*parallel=*/true);
+  const auto m = a64fx();
+  const auto r = estimate(k, m, make_config(4, 12, m));
+  EXPECT_GT(r.runtime_overhead_s, 0.0);
+  const auto r1 = estimate(k, m, make_config(1, 1, m));
+  EXPECT_DOUBLE_EQ(r1.runtime_overhead_s, 0.0);
+}
+
+TEST(Perf, SerialKernelIgnoresWorkerCount) {
+  Kernel k = matmul(64);  // no parallel annotations
+  const auto m = a64fx();
+  const auto r1 = estimate(k, m, make_config(1, 1, m));
+  const auto r48 = estimate(k, m, make_config(4, 12, m));
+  EXPECT_DOUBLE_EQ(r1.seconds, r48.seconds);
+}
+
+TEST(Perf, FlopsAccounting) {
+  Kernel k = matmul(50);
+  const auto m = a64fx();
+  const auto r = estimate(k, m, make_config(1, 1, m));
+  EXPECT_NEAR(r.total_flops, 2.0 * 50 * 50 * 50, 1.0);
+}
+
+TEST(Perf, TiledMatmulReducesMemoryTraffic) {
+  Kernel flat = matmul(700);
+  Kernel tiled = flat.clone();
+  auto nests = a64fxcc::passes::collect_perfect_nests(tiled);
+  const std::int64_t sizes[3] = {64, 64, 64};
+  ASSERT_TRUE(
+      a64fxcc::passes::tile(tiled, nests[0], std::span<const std::int64_t>(sizes, 3))
+          .changed);
+  const auto m = a64fx();
+  const auto rf = estimate(flat, m, make_config(1, 1, m));
+  const auto rt = estimate(tiled, m, make_config(1, 1, m));
+  EXPECT_LT(rt.mem_bytes, rf.mem_bytes);
+}
+
+}  // namespace

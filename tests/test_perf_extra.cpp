@@ -1,0 +1,152 @@
+// Additional performance-model properties: energy accounting, scaling
+// monotonicity, NUMA/imbalance effects, and codegen-profile behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/builder.hpp"
+#include "machine/machine.hpp"
+#include "passes/passes.hpp"
+#include "perf/perf_model.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+using namespace a64fxcc::ir;
+using perf::estimate;
+using perf::make_config;
+
+Kernel par_triad(std::int64_t n) {
+  KernelBuilder kb("t", {.language = Language::C,
+                         .parallel = ParallelModel::MpiOpenMP,
+                         .suite = "x"});
+  auto N = kb.param("N", n);
+  auto a = kb.tensor("a", DataType::F64, {N}, false);
+  auto b = kb.tensor("b", DataType::F64, {N});
+  auto c = kb.tensor("c", DataType::F64, {N});
+  auto i = kb.var("i");
+  kb.ParallelFor(i, 0, N, [&] { kb.assign(a(i), b(i) + c(i) * 3.0); });
+  return std::move(kb).build();
+}
+
+TEST(Energy, JoulesArePowerTimesTime) {
+  Kernel k = par_triad(1 << 22);
+  const auto m = machine::a64fx();
+  const auto r = estimate(k, m, make_config(4, 12, m));
+  ASSERT_GT(r.joules, 0);
+  const double watts = r.joules / r.seconds;
+  // 48 active cores: base 60 + 48*5 = 300 W plus memory I/O energy.
+  EXPECT_GT(watts, 290);
+  EXPECT_LT(watts, 420);
+}
+
+TEST(Energy, FewerCoresDrawLessPower) {
+  Kernel k = par_triad(1 << 22);
+  const auto m = machine::a64fx();
+  const auto r12 = estimate(k, m, make_config(1, 12, m));
+  const auto r48 = estimate(k, m, make_config(4, 12, m));
+  EXPECT_LT(r12.joules / r12.seconds, r48.joules / r48.seconds);
+}
+
+TEST(Energy, FasterCompilerSavesEnergy) {
+  // Race-to-idle: same placement, faster code, less energy.
+  Kernel slow = par_triad(1 << 22);
+  Kernel fast = slow.clone();
+  passes::vectorize(fast, {.width = 8});
+  const auto m = machine::a64fx();
+  const auto cfg = make_config(1, 4, m);  // core-bound regime
+  const auto rs = estimate(slow, m, cfg);
+  const auto rf = estimate(fast, m, cfg);
+  ASSERT_LT(rf.seconds, rs.seconds);
+  EXPECT_LT(rf.joules, rs.joules);
+}
+
+TEST(Scaling, TimeMonotoneInProblemSize) {
+  const auto m = machine::a64fx();
+  double prev = 0;
+  for (const std::int64_t n : {1 << 14, 1 << 16, 1 << 18, 1 << 20}) {
+    Kernel k = par_triad(n);
+    const double t = estimate(k, m, make_config(1, 1, m)).seconds;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Scaling, WorkersNeverHurtBandwidthBoundMuch) {
+  Kernel k = par_triad(1 << 24);
+  const auto m = machine::a64fx();
+  passes::vectorize(k, {.width = 8});
+  double prev = 1e300;
+  for (const int ranks : {1, 2, 4}) {
+    const double t = estimate(k, m, make_config(ranks, 12, m)).seconds;
+    EXPECT_LT(t, prev * 1.05);
+    prev = t;
+  }
+}
+
+TEST(Numa, SpanningRankLosesToCompactPlacement) {
+  Kernel k = par_triad(1 << 24);
+  const auto m = machine::a64fx();
+  passes::vectorize(k, {.width = 8});
+  const double compact = estimate(k, m, make_config(4, 12, m)).seconds;
+  const double spanning = estimate(k, m, make_config(1, 48, m)).seconds;
+  EXPECT_GT(spanning, compact * 1.2);  // the 1x48-vs-4x12 lesson
+}
+
+TEST(Imbalance, MoreThreadsPerRankCostATail) {
+  // Same worker count, thread-heavy vs rank-heavy: the worksharing
+  // imbalance tail penalizes the former once the kernel is large enough
+  // that the fixed MPI sync costs amortize (the "legacy code prefers
+  // MPI-heavy placements" effect behind TAB-EXPLORE).
+  Kernel k = par_triad(1 << 26);  // 1.6 GB: overheads amortized
+  const auto m = machine::a64fx();
+  const double rank_heavy = estimate(k, m, make_config(48, 1, m)).seconds;
+  const double thread_heavy = estimate(k, m, make_config(4, 12, m)).seconds;
+  EXPECT_GT(thread_heavy, rank_heavy);
+}
+
+TEST(Profile, CoreFactorScalesComputeBoundTimeLinearly) {
+  Kernel k = par_triad(1 << 12);
+  const auto m = machine::a64fx();
+  const auto cfg = make_config(1, 1, m);
+  const double t1 = estimate(k, m, cfg, {.core_factor = 1.0}).seconds;
+  const double t2 = estimate(k, m, cfg, {.core_factor = 2.0}).seconds;
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+}
+
+TEST(Profile, VecEfficiencyZeroEqualsScalar) {
+  Kernel k = par_triad(1 << 12);
+  passes::vectorize(k, {.width = 8});
+  const auto m = machine::a64fx();
+  const auto cfg = make_config(1, 1, m);
+  const double t_eff0 = estimate(k, m, cfg, {.vec_efficiency = 0.0}).seconds;
+  Kernel scalar = par_triad(1 << 12);
+  const double t_scalar = estimate(scalar, m, cfg).seconds;
+  EXPECT_NEAR(t_eff0, t_scalar, t_scalar * 0.35);  // same regime
+}
+
+TEST(Profile, BarrierFactorScalesOverheadOnly) {
+  // Single rank: the runtime overhead is pure OpenMP fork/barrier, which
+  // must scale exactly with the profile's barrier factor (the MPI share,
+  // when present, must not).
+  Kernel k = par_triad(1 << 12);
+  const auto m = machine::a64fx();
+  const auto cfg = make_config(1, 12, m);
+  const auto r1 = estimate(k, m, cfg, {.barrier_factor = 1.0});
+  const auto r3 = estimate(k, m, cfg, {.barrier_factor = 3.0});
+  ASSERT_GT(r1.runtime_overhead_s, 0);
+  EXPECT_NEAR(r3.runtime_overhead_s, 3.0 * r1.runtime_overhead_s, 1e-12);
+}
+
+TEST(Config, WorkerCountsClampAndDerive) {
+  const auto m = machine::a64fx();
+  const auto c = make_config(0, 0, m);  // degenerate input
+  EXPECT_EQ(c.ranks, 1);
+  EXPECT_EQ(c.threads, 1);
+  const auto big = make_config(100, 100, m);
+  EXPECT_EQ(big.domains_used, 4);
+  EXPECT_TRUE(big.numa_spanning);
+}
+
+}  // namespace

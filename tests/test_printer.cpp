@@ -1,0 +1,106 @@
+// Golden tests for the IR printer: exact rendering of kernels before and
+// after transformation, so diffs in pass output are caught verbatim.
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "passes/passes.hpp"
+
+namespace {
+
+using namespace a64fxcc::ir;
+
+Kernel axpy() {
+  KernelBuilder kb("axpy", {.language = Language::C, .suite = "golden"});
+  auto N = kb.param("N", 32);
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N});
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(y(i), y(i) + x(i) * 2.0); });
+  return std::move(kb).build();
+}
+
+TEST(PrinterGolden, PlainKernel) {
+  const Kernel k = axpy();
+  EXPECT_EQ(to_string(k),
+            "kernel axpy [C]\n"
+            "  param N = 32\n"
+            "  tensor x : f64[N]\n"
+            "  tensor y : f64[N]\n"
+            "  for (i = 0; i < N; i++) {\n"
+            "    y[i] = (y[i] + (x[i] * 2));\n"
+            "  }\n");
+}
+
+TEST(PrinterGolden, AfterVectorizeAndUnroll) {
+  Kernel k = axpy();
+  a64fxcc::passes::vectorize(k, {.width = 8});
+  a64fxcc::passes::unroll(k, 4);
+  const std::string s = to_string(k);
+  EXPECT_NE(s.find("#simd(8) #unroll(4) for (i = 0; i < N; i++) {"),
+            std::string::npos);
+}
+
+TEST(PrinterGolden, TiledLoopShowsMinBound) {
+  KernelBuilder kb("t");
+  auto N = kb.param("N", 10);
+  auto A = kb.tensor("A", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(i, 0, N, [&] {
+    kb.For(j, 0, N, [&] { kb.assign(A(i, j), 1.0); });
+  });
+  Kernel k = std::move(kb).build();
+  auto nests = a64fxcc::passes::collect_perfect_nests(k);
+  const std::int64_t sizes[2] = {4, 4};
+  ASSERT_TRUE(
+      a64fxcc::passes::tile(k, nests[0], std::span<const std::int64_t>(sizes, 2))
+          .changed);
+  const std::string s = to_string(k);
+  EXPECT_NE(s.find("for (iT = 0; iT < N; iT += 4)"), std::string::npos);
+  EXPECT_NE(s.find("for (i = iT; i < min(N, iT + 4); i++)"), std::string::npos);
+}
+
+TEST(PrinterGolden, IndirectAccessUsesAtSyntax) {
+  KernelBuilder kb("g");
+  auto N = kb.param("N", 4);
+  auto idx = kb.tensor("idx", DataType::I64, {N});
+  auto x = kb.tensor("x", DataType::F64, {N});
+  auto y = kb.tensor("y", DataType::F64, {N}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, N, [&] { kb.assign(y(i), x(idx(i))); });
+  const Kernel k = std::move(kb).build();
+  const std::string s = to_string(k);
+  EXPECT_NE(s.find("y[i] = x[0 @ idx[i]];"), std::string::npos);
+}
+
+TEST(PrinterGolden, NegativeStepAndTriangularBounds) {
+  KernelBuilder kb("n");
+  auto N = kb.param("N", 6);
+  auto A = kb.tensor("A", DataType::F64, {N, N}, false);
+  auto i = kb.var("i"), j = kb.var("j");
+  kb.For(
+      i, N - 2, -1,
+      [&] {
+        kb.For(j, i + 1, N, [&] { kb.assign(A(i, j), 0.0); });
+      },
+      -1);
+  const Kernel k = std::move(kb).build();
+  const std::string s = to_string(k);
+  EXPECT_NE(s.find("for (i = N - 2; i < -1; i += -1)"), std::string::npos);
+  EXPECT_NE(s.find("for (j = i + 1; j < N; j++)"), std::string::npos);
+}
+
+TEST(PrinterGolden, ExprFunctions) {
+  KernelBuilder kb("fn");
+  auto out = kb.tensor("o", DataType::F64, {4}, false);
+  auto i = kb.var("i");
+  kb.For(i, 0, 1, [&] {
+    kb.assign(out(0), select(lt(E(1.0), 2.0), sqrt(E(4.0)), max(E(1.0), 2.0)));
+  });
+  const Kernel k = std::move(kb).build();
+  EXPECT_NE(to_string(k).find("o[0] = select((1 < 2), sqrt(4), max(1, 2));"),
+            std::string::npos);
+}
+
+}  // namespace

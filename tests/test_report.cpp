@@ -1,0 +1,102 @@
+// Tests for the report formats (JSON, roofline) beyond the basics in
+// test_report_core.cpp.
+
+#include <gtest/gtest.h>
+
+#include "report/figure2.hpp"
+#include "report/roofline.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+report::Table tiny_table() {
+  report::Table t;
+  t.compilers = {"FJtrad", "LLVM"};
+  report::Row r;
+  r.benchmark = "demo\"k";  // exercises escaping
+  r.suite = "test";
+  r.language = "C";
+  runtime::MeasuredRun base;
+  base.best_seconds = 2.0;
+  base.median_seconds = 2.1;
+  base.cv = 0.01;
+  base.placement = {4, 12};
+  base.bottleneck = "mem";
+  runtime::MeasuredRun fast = base;
+  fast.best_seconds = 1.0;
+  r.cells = {base, fast};
+  t.rows.push_back(std::move(r));
+
+  report::Row err_row;
+  err_row.benchmark = "broken";
+  err_row.suite = "test";
+  err_row.language = "C";
+  runtime::MeasuredRun err;
+  err.status = compilers::CompileOutcome::Status::RuntimeError;
+  err_row.cells = {base, err};
+  t.rows.push_back(std::move(err_row));
+  return t;
+}
+
+TEST(Json, ContainsResultsAndEscapes) {
+  const auto s = report::render_json(tiny_table());
+  EXPECT_NE(s.find("\"benchmark\": \"demo\\\"k\""), std::string::npos);
+  EXPECT_NE(s.find("\"gain\": 2"), std::string::npos);
+  EXPECT_NE(s.find("\"error\": \"runtime error\""), std::string::npos);
+  EXPECT_NE(s.find("\"ranks\": 4"), std::string::npos);
+  // Balanced brackets (cheap structural check).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+  EXPECT_EQ(std::count(s.begin(), s.end(), '['),
+            std::count(s.begin(), s.end(), ']'));
+}
+
+TEST(Roofline, PointClassification) {
+  const auto m = machine::a64fx();
+  perf::PerfResult r;
+  r.seconds = 1.0;
+  r.total_flops = 1e9;   // 1 GF/s achieved
+  r.mem_bytes = 100e9;   // AI = 0.01: deep in the bandwidth regime
+  const auto p = report::roofline_point("low-ai", r, m, 12, 1);
+  EXPECT_TRUE(p.memory_bound(m, 1));
+  EXPECT_NEAR(p.roof_gflops, 0.01 * m.mem_bw_gbs_domain, 1e-9);
+  EXPECT_NEAR(p.efficiency(), 1.0 / (0.01 * m.mem_bw_gbs_domain), 1e-9);
+
+  perf::PerfResult c;
+  c.seconds = 1.0;
+  c.total_flops = 500e9;
+  c.mem_bytes = 1e9;  // AI = 500: compute regime
+  const auto q = report::roofline_point("high-ai", c, m, 12, 1);
+  EXPECT_FALSE(q.memory_bound(m, 1));
+  EXPECT_NEAR(q.roof_gflops, m.peak_gflops_core() * 12, 1e-6);
+}
+
+TEST(Roofline, RendersChartWithRoofAndMarkers) {
+  const auto m = machine::a64fx();
+  perf::PerfResult r;
+  r.seconds = 1.0;
+  r.total_flops = 50e9;
+  r.mem_bytes = 50e9;
+  const auto p = report::roofline_point("x", r, m, 12, 1);
+  const auto s = report::render_roofline({p}, m, 12, 1);
+  EXPECT_NE(s.find("Roofline: A64FX"), std::string::npos);
+  EXPECT_NE(s.find('A'), std::string::npos);   // marker
+  EXPECT_NE(s.find("---"), std::string::npos); // roof line
+  EXPECT_NE(s.find("% of roof"), std::string::npos);
+}
+
+TEST(Roofline, EfficiencyNeverExceedsOneForModelResults) {
+  // Any estimate's achieved GF/s must sit at or below its roof.
+  const auto m = machine::a64fx();
+  for (const auto& b : kernels::microkernel_suite(0.05)) {
+    const auto out = compilers::compile(compilers::fjtrad(), b.kernel);
+    if (!out.ok()) continue;
+    const auto cfg = perf::make_config(1, 12, m);
+    const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
+    const auto p = report::roofline_point(b.name(), r, m, 12, 1);
+    EXPECT_LE(p.efficiency(), 1.02) << b.name();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for the measurement harness: placement candidates respect the
+// benchmark traits, exploration picks sensible placements, noise is
+// deterministic per seed, errors propagate, and the library-fraction
+// model caps compiler influence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/archetypes.hpp"
+#include "runtime/harness.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+using kernels::ArchParams;
+using kernels::Benchmark;
+using runtime::Harness;
+using runtime::Placement;
+
+Harness make_harness(std::uint64_t seed = 42) {
+  return Harness(machine::a64fx(), seed);
+}
+
+Benchmark triad_bench(std::int64_t n = 1 << 22) {
+  ArchParams p{.name = "t",
+               .language = ir::Language::C,
+               .parallel = ir::ParallelModel::OpenMP,
+               .suite = "test",
+               .n = n};
+  return {kernels::stream_triad(p), kernels::BenchmarkTraits{}};
+}
+
+TEST(Placements, SingleCoreGetsOnlyOne) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({.single_core = true});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (Placement{1, 1}));
+}
+
+TEST(Placements, WeakScalingGetsRecommendedOnly) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({.explore_placements = false});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (Placement{4, 12}));
+}
+
+TEST(Placements, OneCmgLimitedToTwelveThreads) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({.one_cmg = true});
+  for (const auto& p : c) {
+    EXPECT_EQ(p.ranks, 1);
+    EXPECT_LE(p.threads, 12);
+  }
+  EXPECT_GE(c.size(), 4u);
+}
+
+TEST(Placements, Pow2RanksRespected) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({.pow2_ranks_only = true});
+  for (const auto& p : c) EXPECT_EQ(p.ranks & (p.ranks - 1), 0) << p.ranks;
+}
+
+TEST(Placements, DefaultSetIncludesRecommendedFirstAndFits) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({});
+  ASSERT_FALSE(c.empty());
+  EXPECT_EQ(c[0], (Placement{4, 12}));
+  for (const auto& p : c) EXPECT_LE(p.ranks * p.threads, 48);
+}
+
+TEST(Harness, RunProducesOrderedStats) {
+  const auto h = make_harness();
+  const auto b = triad_bench();
+  const auto m = h.run(compilers::fjtrad(), b);
+  ASSERT_TRUE(m.valid());
+  EXPECT_GT(m.best_seconds, 0);
+  EXPECT_LE(m.best_seconds, m.median_seconds);
+  EXPECT_GE(m.cv, 0);
+  EXPECT_FALSE(m.bottleneck.empty());
+}
+
+TEST(Harness, DeterministicPerSeed) {
+  const auto b = triad_bench();
+  const auto m1 = make_harness(7).run(compilers::gnu(), b);
+  const auto m2 = make_harness(7).run(compilers::gnu(), b);
+  EXPECT_DOUBLE_EQ(m1.best_seconds, m2.best_seconds);
+  const auto m3 = make_harness(8).run(compilers::gnu(), b);
+  EXPECT_NE(m1.best_seconds, m3.best_seconds);
+}
+
+TEST(Harness, QuirkErrorsPropagate) {
+  // k22 under FJclang is a declared compile error.
+  for (const auto& b : kernels::microkernel_suite(0.01)) {
+    if (b.name() != "k22") continue;
+    const auto m = make_harness().run(compilers::fjclang(), b);
+    EXPECT_EQ(m.status, compilers::CompileOutcome::Status::CompileError);
+    EXPECT_FALSE(m.valid());
+    EXPECT_TRUE(std::isinf(m.best_seconds));
+  }
+}
+
+TEST(Harness, ExplorationBeatsOrMatchesRecommended) {
+  // The chosen placement can never be slower (in model time) than the
+  // model-appropriate recommended placement by more than noise.
+  const auto h = make_harness();
+  const auto b = triad_bench(1 << 24);
+  const auto m = h.run(compilers::llvm12(), b);
+  const auto rec_p = h.recommended_for(b.kernel.meta().parallel, b.traits);
+  const double rec = h.model_time(compilers::llvm12(), b, rec_p);
+  EXPECT_LE(m.best_seconds, rec * 1.10);
+}
+
+TEST(Harness, RecommendedPlacementPerModel) {
+  const auto h = make_harness();
+  EXPECT_EQ(h.recommended_for(ir::ParallelModel::MpiOpenMP, {}),
+            (Placement{4, 12}));
+  EXPECT_EQ(h.recommended_for(ir::ParallelModel::OpenMP, {}),
+            (Placement{1, 48}));
+  EXPECT_EQ(h.recommended_for(ir::ParallelModel::Serial, {}), (Placement{1, 1}));
+  EXPECT_EQ(h.recommended_for(ir::ParallelModel::OpenMP, {.one_cmg = true}),
+            (Placement{1, 12}));
+}
+
+TEST(Placements, OpenMpKernelsOnlyVaryThreads) {
+  const auto h = make_harness();
+  const auto c = h.candidate_placements({}, ir::ParallelModel::OpenMP);
+  for (const auto& p : c) EXPECT_EQ(p.ranks, 1);
+  EXPECT_GE(c.size(), 5u);
+}
+
+TEST(Harness, LibraryFractionCapsCompilerInfluence) {
+  // With 93% of time in SSL2, even a compiler that doubles user-code
+  // speed moves total time by only a few percent (the HPL observation).
+  auto b = triad_bench(1 << 22);
+  b.traits.library_fraction = 0.93;
+  const auto h = make_harness();
+  const double fj = h.model_time(compilers::fjtrad(), b, {4, 12});
+  const double lv = h.model_time(compilers::llvm12(), b, {4, 12});
+  const double gain = fj / lv;
+  EXPECT_LT(gain, 1.15);
+  EXPECT_GT(gain, 0.9);
+}
+
+TEST(Harness, NoiseCvRoughlyMatchesTrait) {
+  auto b = triad_bench();
+  b.traits.noise_cv = 0.22;  // BabelStream-class
+  const auto m = make_harness().run(compilers::fjtrad(), b);
+  // 10 samples of a CV=0.22 lognormal: sample CV within a loose band.
+  EXPECT_GT(m.cv, 0.05);
+  EXPECT_LT(m.cv, 0.5);
+}
+
+TEST(Harness, BestOfTenBelowModelTime) {
+  // Reporting the fastest of 10 noisy runs biases below the model mean.
+  auto b = triad_bench();
+  b.traits.noise_cv = 0.1;
+  const auto h = make_harness();
+  const auto m = h.run(compilers::fjtrad(), b);
+  const double t_model = h.model_time(compilers::fjtrad(), b, m.placement);
+  EXPECT_LT(m.best_seconds, t_model * 1.02);
+}
+
+}  // namespace

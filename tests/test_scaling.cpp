@@ -1,0 +1,63 @@
+// Tests for the multi-node strong-scaling projection.
+
+#include <gtest/gtest.h>
+
+#include "perf/scaling.hpp"
+
+namespace {
+
+using namespace a64fxcc::perf;
+
+PerfResult one_second() {
+  PerfResult r;
+  r.seconds = 1.0;
+  return r;
+}
+
+TEST(Scaling, OneNodeIsIdentity) {
+  const auto s = scale_to_nodes(one_second(), 1, {});
+  EXPECT_DOUBLE_EQ(s.seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(s.comm_s, 0.0);
+}
+
+TEST(Scaling, ComputeDividesCommGrows) {
+  const CommModel cm{.alpha_us = 10, .beta_gbs = 5, .halo_bytes = 1e9,
+                     .messages_per_step = 6, .steps = 10,
+                     .allreduce_per_run = 4};
+  const auto s2 = scale_to_nodes(one_second(), 2, cm);
+  const auto s8 = scale_to_nodes(one_second(), 8, cm);
+  EXPECT_NEAR(s2.compute_s, 0.5, 1e-12);
+  EXPECT_NEAR(s8.compute_s, 0.125, 1e-12);
+  EXPECT_GT(s2.comm_s, 0.0);
+  // Per-node halo shrinks with surface-to-volume, but allreduce latency
+  // grows with log2(nodes).
+  EXPECT_LT(s8.comm_s, s2.comm_s * 1.2);
+}
+
+TEST(Scaling, EfficiencyDecaysMonotonically) {
+  const CommModel cm{.halo_bytes = 256e6, .steps = 50};
+  const double t1 = 1.0;
+  double prev_eff = 1.1;
+  for (const int n : {1, 2, 4, 8, 16, 32}) {
+    const auto s = scale_to_nodes(one_second(), n, cm);
+    const double eff = s.parallel_efficiency(t1);
+    EXPECT_LE(eff, prev_eff + 1e-9) << n;
+    EXPECT_GT(eff, 0.0);
+    prev_eff = eff;
+  }
+}
+
+TEST(Scaling, CompilerGainDecaysWithNodes) {
+  // A 2x single-node compiler gain shrinks once comm dominates.
+  const CommModel cm{.halo_bytes = 512e6, .steps = 100,
+                     .allreduce_per_run = 10};
+  PerfResult fast = one_second();
+  fast.seconds = 0.5;
+  const auto slow64 = scale_to_nodes(one_second(), 64, cm);
+  const auto fast64 = scale_to_nodes(fast, 64, cm);
+  const double gain64 = slow64.seconds() / fast64.seconds();
+  EXPECT_LT(gain64, 1.6);  // down from 2.0
+  EXPECT_GT(gain64, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Unit tests for the statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hpp"
+
+namespace {
+
+using namespace a64fxcc::stats;
+
+TEST(Stats, BasicAggregates) {
+  const std::vector<double> v = {4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(min(v), 1);
+  EXPECT_DOUBLE_EQ(max(v), 5);
+  EXPECT_DOUBLE_EQ(mean(v), 3);
+  EXPECT_DOUBLE_EQ(median(v), 3);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  const std::vector<double> v = {1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> v = {1, 4, 16};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Stats, StddevAndCv) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(v), 2.138089935299395, 1e-12);
+  EXPECT_NEAR(cv(v), stddev(v) / 5.0, 1e-12);
+}
+
+TEST(Stats, CvOfConstantIsZero) {
+  const std::vector<double> v = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(cv(v), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  const std::vector<double> v = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 50);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 20);
+}
+
+TEST(Stats, BootstrapCiCoversMedian) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);
+  const auto ci = bootstrap_median_ci(v, 0.95, 500, 1);
+  EXPECT_LE(ci.lo, 51);
+  EXPECT_GE(ci.hi, 51);
+  EXPECT_LT(ci.hi - ci.lo, 40);
+}
+
+TEST(Stats, BootstrapDeterministicPerSeed) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto a = bootstrap_median_ci(v, 0.9, 200, 9);
+  const auto b = bootstrap_median_ci(v, 0.9, 200, 9);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace

@@ -1,0 +1,269 @@
+// a64fxcc — command-line front end.
+//
+//   a64fxcc list [suite]                 list benchmarks (all suites or one)
+//   a64fxcc table <suite> [--scale=f] [--csv|--json|--md]
+//                                        Figure-2 block for one suite
+//   a64fxcc run <benchmark> [--scale=f]  five-compiler row for one benchmark
+//   a64fxcc show <benchmark> [compiler]  pass log + transformed IR
+//   a64fxcc file <path> [compiler]       compile a .kernel file (textual
+//                                        format, see src/ir/parser.hpp)
+//   a64fxcc roofline <benchmark>         roofline placement per compiler
+//
+// Exit code 0 on success, 1 on bad usage / unknown names, 2 on errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/codegen_c.hpp"
+#include "core/study.hpp"
+#include "ir/parser.hpp"
+#include "ir/validate.hpp"
+#include "ir/printer.hpp"
+#include "report/roofline.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+double arg_scale(int argc, char** argv, double def = 0.25) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) return std::atof(argv[i] + 8);
+  return def;
+}
+
+bool has_flag(int argc, char** argv, const char* f) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], f) == 0) return true;
+  return false;
+}
+
+std::vector<kernels::Benchmark> suite_by_name(const std::string& s, double scale) {
+  if (s == "microkernel" || s == "micro") return kernels::microkernel_suite(scale);
+  if (s == "polybench") return kernels::polybench_suite(scale);
+  if (s == "top500") return kernels::top500_suite(scale);
+  if (s == "ecp") return kernels::ecp_suite(scale);
+  if (s == "fiber") return kernels::fiber_suite(scale);
+  if (s == "spec-cpu") return kernels::spec_cpu_suite(scale);
+  if (s == "spec-omp") return kernels::spec_omp_suite(scale);
+  if (s == "all" || s.empty()) return kernels::all_benchmarks(scale);
+  return {};
+}
+
+std::optional<compilers::CompilerSpec> compiler_by_name(const std::string& n) {
+  for (auto& s : compilers::paper_compilers())
+    if (s.name == n) return s;
+  if (n == "ICC") return compilers::icc();
+  if (n == "armclang") return compilers::armclang();
+  if (n == "CrayCCE") return compilers::cray_cce();
+  return std::nullopt;
+}
+
+int cmd_list(const std::string& suite) {
+  const auto benches = suite_by_name(suite.empty() ? "all" : suite, 0.01);
+  if (benches.empty()) {
+    std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
+    return 1;
+  }
+  std::printf("%-18s %-12s %-8s %-8s %s\n", "benchmark", "suite", "lang",
+              "model", "traits");
+  for (const auto& b : benches) {
+    std::string traits;
+    if (b.traits.single_core) traits += "single-core ";
+    if (b.traits.one_cmg) traits += "one-cmg ";
+    if (b.traits.pow2_ranks_only) traits += "pow2-ranks ";
+    if (!b.traits.explore_placements) traits += "no-explore ";
+    if (b.traits.library_fraction > 0)
+      traits += "lib=" + std::to_string(b.traits.library_fraction) + " ";
+    const auto par = b.kernel.meta().parallel;
+    std::printf("%-18s %-12s %-8s %-8s %s\n", b.name().c_str(),
+                b.suite().c_str(),
+                ir::to_string(b.kernel.meta().language).c_str(),
+                par == ir::ParallelModel::Serial   ? "serial"
+                : par == ir::ParallelModel::OpenMP ? "omp"
+                                                   : "mpi+omp",
+                traits.c_str());
+  }
+  return 0;
+}
+
+int cmd_table(const std::string& suite, int argc, char** argv) {
+  const double scale = arg_scale(argc, argv);
+  auto benches = suite_by_name(suite, scale);
+  if (benches.empty()) {
+    std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
+    return 1;
+  }
+  core::StudyOptions opt;
+  opt.scale = scale;
+  const core::Study study(std::move(opt));
+  const auto t = study.run_suite(benches);
+  if (has_flag(argc, argv, "--csv"))
+    std::fputs(report::render_csv(t).c_str(), stdout);
+  else if (has_flag(argc, argv, "--json"))
+    std::fputs(report::render_json(t).c_str(), stdout);
+  else if (has_flag(argc, argv, "--md"))
+    std::fputs(report::render_markdown(t).c_str(), stdout);
+  else
+    std::fputs(report::render_ansi(t).c_str(), stdout);
+  const auto s = core::summarize(t);
+  std::printf("\nmedian best-compiler gain: %.3fx (mean %.3fx, peak %.3fx)\n",
+              s.median_best_gain, s.mean_best_gain, s.max_best_gain);
+  return 0;
+}
+
+int cmd_run(const std::string& name, int argc, char** argv) {
+  const double scale = arg_scale(argc, argv);
+  for (auto& b : kernels::all_benchmarks(scale)) {
+    if (b.name() != name) continue;
+    core::StudyOptions opt;
+    opt.scale = scale;
+    const core::Study study(std::move(opt));
+    std::vector<kernels::Benchmark> one;
+    one.push_back(std::move(b));
+    const auto t = study.run_suite(one);
+    std::fputs(report::render_ansi(t).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s' (try: a64fxcc list)\n",
+               name.c_str());
+  return 1;
+}
+
+int show_kernel(const ir::Kernel& kernel, const std::string& compiler_name) {
+  std::vector<compilers::CompilerSpec> specs;
+  if (compiler_name.empty()) {
+    specs = compilers::paper_compilers();
+  } else if (auto s = compiler_by_name(compiler_name)) {
+    specs.push_back(std::move(*s));
+  } else {
+    std::fprintf(stderr, "unknown compiler '%s'\n", compiler_name.c_str());
+    return 1;
+  }
+  std::printf("source:\n%s\n", ir::to_string(kernel).c_str());
+  const auto m = machine::a64fx();
+  for (const auto& spec : specs) {
+    std::printf("======== %s ========\n", spec.name.c_str());
+    const auto out = compilers::compile(spec, kernel);
+    std::fputs(out.log.c_str(), stdout);
+    if (!out.ok()) {
+      std::printf("=> fails by declared quirk\n\n");
+      continue;
+    }
+    std::fputs(ir::to_string(*out.kernel).c_str(), stdout);
+    const auto cfg = perf::make_config(1, 1, m);
+    const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
+    std::printf("=> %.6g s single-core (bottleneck %s)\n\n",
+                r.seconds * out.time_multiplier, r.bottleneck.c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const std::string& name, const std::string& compiler_name) {
+  for (const auto& b : kernels::all_benchmarks(0.25))
+    if (b.name() == name) return show_kernel(b.kernel, compiler_name);
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  return 1;
+}
+
+int cmd_file(const std::string& path, const std::string& compiler_name) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  try {
+    const ir::Kernel k = ir::parse_kernel(ss.str());
+    const auto diags = ir::validate(k);
+    if (!diags.empty()) std::fputs(ir::to_string(diags).c_str(), stderr);
+    if (!ir::is_valid(k)) return 2;
+    return show_kernel(k, compiler_name);
+  } catch (const ir::ParseError& e) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+}
+
+int cmd_emit(const std::string& name, const std::string& compiler_name) {
+  for (const auto& b : kernels::all_benchmarks(0.25)) {
+    if (b.name() != name) continue;
+    if (compiler_name.empty()) {
+      std::fputs(ir::emit_c(b.kernel).c_str(), stdout);
+      return 0;
+    }
+    const auto spec = compiler_by_name(compiler_name);
+    if (!spec) {
+      std::fprintf(stderr, "unknown compiler '%s'\n", compiler_name.c_str());
+      return 1;
+    }
+    const auto out = compilers::compile(*spec, b.kernel);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s fails on %s (declared quirk)\n",
+                   compiler_name.c_str(), name.c_str());
+      return 2;
+    }
+    std::fputs(ir::emit_c(*out.kernel).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  return 1;
+}
+
+int cmd_roofline(const std::string& name) {
+  const auto m = machine::a64fx();
+  for (const auto& b : kernels::all_benchmarks(0.25)) {
+    if (b.name() != name) continue;
+    std::vector<report::RooflinePoint> pts;
+    for (const auto& spec : compilers::paper_compilers()) {
+      const auto out = compilers::compile(spec, b.kernel);
+      if (!out.ok()) continue;
+      const auto cfg = perf::make_config(1, 12, m);
+      const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
+      pts.push_back(report::roofline_point(spec.name, r, m, 12, 1));
+    }
+    std::fputs(report::render_roofline(pts, m, 12, 1).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+  return 1;
+}
+
+void usage() {
+  std::fputs(
+      "usage: a64fxcc <command> [args]\n"
+      "  list [suite]                  suites: micro polybench top500 ecp fiber\n"
+      "                                        spec-cpu spec-omp all\n"
+      "  table <suite> [--scale=f] [--csv|--json|--md]\n"
+      "  run <benchmark> [--scale=f]\n"
+      "  show <benchmark> [compiler]\n"
+      "  file <path.kernel> [compiler]\n"
+      "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
+      "  roofline <benchmark>\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const std::string a2 = argc > 2 ? argv[2] : "";
+  const std::string a3 =
+      argc > 3 && argv[3][0] != '-' ? argv[3] : "";
+  if (cmd == "list") return cmd_list(a2);
+  if (cmd == "table") return cmd_table(a2, argc, argv);
+  if (cmd == "run") return cmd_run(a2, argc, argv);
+  if (cmd == "show") return cmd_show(a2, a3);
+  if (cmd == "file") return cmd_file(a2, a3);
+  if (cmd == "emit") return cmd_emit(a2, a3);
+  if (cmd == "roofline") return cmd_roofline(a2);
+  usage();
+  return 1;
+}
