@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cachemodel.dir/bench_ablation_cachemodel.cpp.o"
+  "CMakeFiles/bench_ablation_cachemodel.dir/bench_ablation_cachemodel.cpp.o.d"
+  "bench_ablation_cachemodel"
+  "bench_ablation_cachemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cachemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

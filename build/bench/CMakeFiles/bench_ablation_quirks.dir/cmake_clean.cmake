@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quirks.dir/bench_ablation_quirks.cpp.o"
+  "CMakeFiles/bench_ablation_quirks.dir/bench_ablation_quirks.cpp.o.d"
+  "bench_ablation_quirks"
+  "bench_ablation_quirks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quirks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_sweep.dir/bench_dataset_sweep.cpp.o"
+  "CMakeFiles/bench_dataset_sweep.dir/bench_dataset_sweep.cpp.o.d"
+  "bench_dataset_sweep"
+  "bench_dataset_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ecp.dir/bench_fig2_ecp.cpp.o"
+  "CMakeFiles/bench_fig2_ecp.dir/bench_fig2_ecp.cpp.o.d"
+  "bench_fig2_ecp"
+  "bench_fig2_ecp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ecp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_fiber.dir/bench_fig2_fiber.cpp.o"
+  "CMakeFiles/bench_fig2_fiber.dir/bench_fig2_fiber.cpp.o.d"
+  "bench_fig2_fiber"
+  "bench_fig2_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_polybench.cpp" "bench/CMakeFiles/bench_fig2_polybench.dir/bench_fig2_polybench.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_polybench.dir/bench_fig2_polybench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/a64fxcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/a64fxcc_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/a64fxcc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/compilers/CMakeFiles/a64fxcc_compilers.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/a64fxcc_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/a64fxcc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/a64fxcc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/a64fxcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/a64fxcc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/a64fxcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/a64fxcc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/a64fxcc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_spec.dir/bench_fig2_spec.cpp.o"
+  "CMakeFiles/bench_fig2_spec.dir/bench_fig2_spec.cpp.o.d"
+  "bench_fig2_spec"
+  "bench_fig2_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

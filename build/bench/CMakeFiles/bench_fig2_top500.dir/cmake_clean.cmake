@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_top500.dir/bench_fig2_top500.cpp.o"
+  "CMakeFiles/bench_fig2_top500.dir/bench_fig2_top500.cpp.o.d"
+  "bench_fig2_top500"
+  "bench_fig2_top500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_top500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

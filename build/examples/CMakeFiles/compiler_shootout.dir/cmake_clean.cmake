@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_shootout.dir/compiler_shootout.cpp.o"
+  "CMakeFiles/compiler_shootout.dir/compiler_shootout.cpp.o.d"
+  "compiler_shootout"
+  "compiler_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ir")
+subdirs("interp")
+subdirs("analysis")
+subdirs("passes")
+subdirs("machine")
+subdirs("perf")
+subdirs("compilers")
+subdirs("kernels")
+subdirs("stats")
+subdirs("runtime")
+subdirs("report")
+subdirs("core")
+subdirs("codegen")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_analysis.dir/access.cpp.o"
+  "CMakeFiles/a64fxcc_analysis.dir/access.cpp.o.d"
+  "CMakeFiles/a64fxcc_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/a64fxcc_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/a64fxcc_analysis.dir/stmt_ctx.cpp.o"
+  "CMakeFiles/a64fxcc_analysis.dir/stmt_ctx.cpp.o.d"
+  "liba64fxcc_analysis.a"
+  "liba64fxcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_codegen.dir/codegen_c.cpp.o"
+  "CMakeFiles/a64fxcc_codegen.dir/codegen_c.cpp.o.d"
+  "liba64fxcc_codegen.a"
+  "liba64fxcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

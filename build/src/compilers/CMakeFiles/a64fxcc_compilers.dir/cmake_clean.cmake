@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_compilers.dir/compiler_model.cpp.o"
+  "CMakeFiles/a64fxcc_compilers.dir/compiler_model.cpp.o.d"
+  "CMakeFiles/a64fxcc_compilers.dir/extensions.cpp.o"
+  "CMakeFiles/a64fxcc_compilers.dir/extensions.cpp.o.d"
+  "CMakeFiles/a64fxcc_compilers.dir/quirks.cpp.o"
+  "CMakeFiles/a64fxcc_compilers.dir/quirks.cpp.o.d"
+  "liba64fxcc_compilers.a"
+  "liba64fxcc_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_core.dir/study.cpp.o"
+  "CMakeFiles/a64fxcc_core.dir/study.cpp.o.d"
+  "liba64fxcc_core.a"
+  "liba64fxcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

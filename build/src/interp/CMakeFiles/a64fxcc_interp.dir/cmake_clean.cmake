@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/a64fxcc_interp.dir/interpreter.cpp.o.d"
+  "liba64fxcc_interp.a"
+  "liba64fxcc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/affine.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/builder.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/builder.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/kernel.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/kernel.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/kernel.cpp.o.d"
+  "/root/repo/src/ir/node.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/node.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/node.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/parser.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/a64fxcc_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/a64fxcc_ir.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_ir.dir/affine.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/builder.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/expr.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/kernel.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/kernel.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/node.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/node.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/parser.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/printer.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/a64fxcc_ir.dir/validate.cpp.o"
+  "CMakeFiles/a64fxcc_ir.dir/validate.cpp.o.d"
+  "liba64fxcc_ir.a"
+  "liba64fxcc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

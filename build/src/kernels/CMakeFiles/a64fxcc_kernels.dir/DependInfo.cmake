@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/archetypes.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/archetypes.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/archetypes.cpp.o.d"
+  "/root/repo/src/kernels/microkernels.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/microkernels.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/microkernels.cpp.o.d"
+  "/root/repo/src/kernels/polybench.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/polybench.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/polybench.cpp.o.d"
+  "/root/repo/src/kernels/proxies.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/proxies.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/proxies.cpp.o.d"
+  "/root/repo/src/kernels/spec.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/spec.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/spec.cpp.o.d"
+  "/root/repo/src/kernels/synthetic.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/synthetic.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/synthetic.cpp.o.d"
+  "/root/repo/src/kernels/top500.cpp" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/top500.cpp.o" "gcc" "src/kernels/CMakeFiles/a64fxcc_kernels.dir/top500.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/a64fxcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_kernels.dir/archetypes.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/archetypes.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/microkernels.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/microkernels.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/polybench.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/polybench.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/proxies.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/proxies.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/spec.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/spec.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/synthetic.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/synthetic.cpp.o.d"
+  "CMakeFiles/a64fxcc_kernels.dir/top500.cpp.o"
+  "CMakeFiles/a64fxcc_kernels.dir/top500.cpp.o.d"
+  "liba64fxcc_kernels.a"
+  "liba64fxcc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

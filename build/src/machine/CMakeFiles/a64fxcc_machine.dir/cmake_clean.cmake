@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_machine.dir/machine.cpp.o"
+  "CMakeFiles/a64fxcc_machine.dir/machine.cpp.o.d"
+  "liba64fxcc_machine.a"
+  "liba64fxcc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

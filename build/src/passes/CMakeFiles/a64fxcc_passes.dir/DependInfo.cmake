@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/fuse.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/fuse.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/fuse.cpp.o.d"
+  "/root/repo/src/passes/interchange.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/interchange.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/interchange.cpp.o.d"
+  "/root/repo/src/passes/nest.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/nest.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/nest.cpp.o.d"
+  "/root/repo/src/passes/polly.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/polly.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/polly.cpp.o.d"
+  "/root/repo/src/passes/tile.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/tile.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/tile.cpp.o.d"
+  "/root/repo/src/passes/vectorize.cpp" "src/passes/CMakeFiles/a64fxcc_passes.dir/vectorize.cpp.o" "gcc" "src/passes/CMakeFiles/a64fxcc_passes.dir/vectorize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/a64fxcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/a64fxcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_passes.dir/fuse.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/fuse.cpp.o.d"
+  "CMakeFiles/a64fxcc_passes.dir/interchange.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/interchange.cpp.o.d"
+  "CMakeFiles/a64fxcc_passes.dir/nest.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/nest.cpp.o.d"
+  "CMakeFiles/a64fxcc_passes.dir/polly.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/polly.cpp.o.d"
+  "CMakeFiles/a64fxcc_passes.dir/tile.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/tile.cpp.o.d"
+  "CMakeFiles/a64fxcc_passes.dir/vectorize.cpp.o"
+  "CMakeFiles/a64fxcc_passes.dir/vectorize.cpp.o.d"
+  "liba64fxcc_passes.a"
+  "liba64fxcc_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

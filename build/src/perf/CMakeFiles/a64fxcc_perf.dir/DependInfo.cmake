@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/cache_sim.cpp" "src/perf/CMakeFiles/a64fxcc_perf.dir/cache_sim.cpp.o" "gcc" "src/perf/CMakeFiles/a64fxcc_perf.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/perf/perf_model.cpp" "src/perf/CMakeFiles/a64fxcc_perf.dir/perf_model.cpp.o" "gcc" "src/perf/CMakeFiles/a64fxcc_perf.dir/perf_model.cpp.o.d"
+  "/root/repo/src/perf/reuse.cpp" "src/perf/CMakeFiles/a64fxcc_perf.dir/reuse.cpp.o" "gcc" "src/perf/CMakeFiles/a64fxcc_perf.dir/reuse.cpp.o.d"
+  "/root/repo/src/perf/scaling.cpp" "src/perf/CMakeFiles/a64fxcc_perf.dir/scaling.cpp.o" "gcc" "src/perf/CMakeFiles/a64fxcc_perf.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/a64fxcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/a64fxcc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/a64fxcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/a64fxcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_perf.dir/cache_sim.cpp.o"
+  "CMakeFiles/a64fxcc_perf.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/a64fxcc_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/a64fxcc_perf.dir/perf_model.cpp.o.d"
+  "CMakeFiles/a64fxcc_perf.dir/reuse.cpp.o"
+  "CMakeFiles/a64fxcc_perf.dir/reuse.cpp.o.d"
+  "CMakeFiles/a64fxcc_perf.dir/scaling.cpp.o"
+  "CMakeFiles/a64fxcc_perf.dir/scaling.cpp.o.d"
+  "liba64fxcc_perf.a"
+  "liba64fxcc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

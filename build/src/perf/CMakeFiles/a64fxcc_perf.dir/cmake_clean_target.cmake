@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liba64fxcc_perf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_report.dir/figure2.cpp.o"
+  "CMakeFiles/a64fxcc_report.dir/figure2.cpp.o.d"
+  "CMakeFiles/a64fxcc_report.dir/roofline.cpp.o"
+  "CMakeFiles/a64fxcc_report.dir/roofline.cpp.o.d"
+  "liba64fxcc_report.a"
+  "liba64fxcc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_runtime.dir/harness.cpp.o"
+  "CMakeFiles/a64fxcc_runtime.dir/harness.cpp.o.d"
+  "liba64fxcc_runtime.a"
+  "liba64fxcc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

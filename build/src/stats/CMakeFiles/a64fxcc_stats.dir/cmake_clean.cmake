@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_stats.dir/stats.cpp.o"
+  "CMakeFiles/a64fxcc_stats.dir/stats.cpp.o.d"
+  "liba64fxcc_stats.a"
+  "liba64fxcc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_extra.dir/test_analysis_extra.cpp.o"
+  "CMakeFiles/test_analysis_extra.dir/test_analysis_extra.cpp.o.d"
+  "test_analysis_extra"
+  "test_analysis_extra.pdb"
+  "test_analysis_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

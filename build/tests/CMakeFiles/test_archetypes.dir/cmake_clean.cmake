@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_archetypes.dir/test_archetypes.cpp.o"
+  "CMakeFiles/test_archetypes.dir/test_archetypes.cpp.o.d"
+  "test_archetypes"
+  "test_archetypes.pdb"
+  "test_archetypes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_archetypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

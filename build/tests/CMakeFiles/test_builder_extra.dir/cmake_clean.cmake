@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder_extra.dir/test_builder_extra.cpp.o"
+  "CMakeFiles/test_builder_extra.dir/test_builder_extra.cpp.o.d"
+  "test_builder_extra"
+  "test_builder_extra.pdb"
+  "test_builder_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compilers.dir/test_compilers.cpp.o"
+  "CMakeFiles/test_compilers.dir/test_compilers.cpp.o.d"
+  "test_compilers"
+  "test_compilers.pdb"
+  "test_compilers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

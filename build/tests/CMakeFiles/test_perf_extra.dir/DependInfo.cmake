@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_perf_extra.cpp" "tests/CMakeFiles/test_perf_extra.dir/test_perf_extra.cpp.o" "gcc" "tests/CMakeFiles/test_perf_extra.dir/test_perf_extra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/a64fxcc_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/a64fxcc_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/a64fxcc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/a64fxcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/a64fxcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/a64fxcc_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_extra.dir/test_perf_extra.cpp.o"
+  "CMakeFiles/test_perf_extra.dir/test_perf_extra.cpp.o.d"
+  "test_perf_extra"
+  "test_perf_extra.pdb"
+  "test_perf_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_core.dir/test_report_core.cpp.o"
+  "CMakeFiles/test_report_core.dir/test_report_core.cpp.o.d"
+  "test_report_core"
+  "test_report_core.pdb"
+  "test_report_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fxcc_cli.dir/a64fxcc_cli.cpp.o"
+  "CMakeFiles/a64fxcc_cli.dir/a64fxcc_cli.cpp.o.d"
+  "a64fxcc"
+  "a64fxcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fxcc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
