@@ -1,0 +1,144 @@
+// bench_engine — throughput of the deterministic execution engine.
+//
+// Three measurements, emitted both human-readable and as one JSON line
+// (stdout) so future PRs can track the perf trajectory:
+//   1. cells/second of the PolyBench suite on the legacy serial path
+//      (--jobs=1) vs the parallel engine (--jobs=N, default 4);
+//   2. a bit-identity check between the two tables (the engine's core
+//      guarantee: scheduling must not change any MeasuredRun field);
+//   3. compile-cache hit rate while sweeping the placement-exploration
+//      grid of the MPI+OpenMP suites via Harness::model_time — the
+//      phase that used to re-derive the same optimized nest per
+//      placement.
+//
+// Usage: bench_engine [--scale=f] [--jobs=N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+report::Table run_timed(const std::vector<kernels::Benchmark>& suite,
+                        double scale, int jobs, exec::EventSink* sink,
+                        double* elapsed) {
+  core::StudyOptions opt;
+  opt.scale = scale;
+  opt.jobs = jobs;
+  opt.sink = sink;
+  const core::Study study(std::move(opt));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto table = study.run_suite(suite);
+  *elapsed = seconds_since(t0);
+  return table;
+}
+
+bool identical(const runtime::MeasuredRun& a, const runtime::MeasuredRun& b) {
+  return a.benchmark == b.benchmark && a.compiler == b.compiler &&
+         a.status == b.status && a.best_seconds == b.best_seconds &&
+         a.median_seconds == b.median_seconds && a.cv == b.cv &&
+         a.placement == b.placement && a.bottleneck == b.bottleneck &&
+         a.gflops == b.gflops && a.mem_gbs == b.mem_gbs;
+}
+
+bool identical(const report::Table& a, const report::Table& b) {
+  if (a.compilers != b.compilers || a.rows.size() != b.rows.size())
+    return false;
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].benchmark != b.rows[r].benchmark ||
+        a.rows[r].cells.size() != b.rows[r].cells.size())
+      return false;
+    for (std::size_t c = 0; c < a.rows[r].cells.size(); ++c)
+      if (!identical(a.rows[r].cells[c], b.rows[r].cells[c])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  int jobs = 4;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) jobs = std::atoi(argv[i] + 7);
+
+  const auto suite = kernels::polybench_suite(args.scale);
+  const auto cells =
+      static_cast<double>(suite.size()) *
+      static_cast<double>(compilers::paper_compilers().size());
+
+  std::printf("== Execution engine throughput (PolyBench, scale %g) ==\n",
+              args.scale);
+
+  double t_serial = 0;
+  const auto table_serial = run_timed(suite, args.scale, 1, nullptr, &t_serial);
+  const double serial_cps = cells / t_serial;
+  std::printf("  serial   (--jobs=1): %6.2fs  %8.2f cells/s\n", t_serial,
+              serial_cps);
+
+  exec::CollectingSink sink;
+  double t_par = 0;
+  const auto table_par = run_timed(suite, args.scale, jobs, &sink, &t_par);
+  const double par_cps = cells / t_par;
+  std::printf("  parallel (--jobs=%d): %6.2fs  %8.2f cells/s  (%.2fx)\n", jobs,
+              t_par, par_cps, par_cps / serial_cps);
+
+  const bool same = identical(table_serial, table_par);
+  const std::uint64_t finished =
+      sink.count(exec::EventKind::JobFinished);
+  std::printf("  bit-identical tables: %s  (%llu completion events)\n",
+              same ? "yes" : "NO — DETERMINISM BROKEN",
+              static_cast<unsigned long long>(finished));
+
+  // Placement exploration with the memoized compile path: sweeping the
+  // candidate grid compiles each (compiler, kernel) once, every further
+  // placement is a cache hit.
+  const runtime::Harness harness(machine::a64fx());
+  auto explore = kernels::top500_suite(args.scale);
+  for (auto& b : kernels::fiber_suite(args.scale))
+    explore.push_back(std::move(b));
+  std::size_t points = 0;
+  for (const auto& bench : explore) {
+    const auto placements = harness.candidate_placements(
+        bench.traits, bench.kernel.meta().parallel);
+    for (const auto& spec : compilers::paper_compilers())
+      for (const auto& p : placements) {
+        (void)harness.model_time(spec, bench, p);
+        ++points;
+      }
+  }
+  const auto cs = harness.compile_cache().stats();
+  std::printf(
+      "  exploration sweep: %zu model points, compile cache %llu hits / "
+      "%llu misses (%.1f%% hit rate)\n",
+      points, static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses), 100.0 * cs.hit_rate());
+
+  benchutil::claim("engine.speedup_vs_serial", ">=2x @4w (multicore)",
+                   par_cps / serial_cps);
+  benchutil::claim("engine.explore_cache_hit_rate", ">0", cs.hit_rate());
+
+  // Machine-readable trajectory line (one JSON object, stdout).
+  std::printf(
+      "\n{\"bench\":\"engine\",\"scale\":%g,\"jobs\":%d,\"cells\":%.0f,"
+      "\"serial_seconds\":%.4f,\"parallel_seconds\":%.4f,"
+      "\"serial_cells_per_sec\":%.4f,\"parallel_cells_per_sec\":%.4f,"
+      "\"speedup\":%.4f,\"identical\":%s,"
+      "\"explore_points\":%zu,\"explore_cache_hits\":%llu,"
+      "\"explore_cache_misses\":%llu,\"explore_cache_hit_rate\":%.4f}\n",
+      args.scale, jobs, cells, t_serial, t_par, serial_cps, par_cps,
+      par_cps / serial_cps, same ? "true" : "false", points,
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses), cs.hit_rate());
+
+  return same ? 0 : 1;
+}

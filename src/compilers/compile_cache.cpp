@@ -1,0 +1,130 @@
+#include "compilers/compile_cache.hpp"
+
+#include <string>
+
+#include "ir/printer.hpp"
+
+namespace a64fxcc::compilers {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Hasher {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void add(std::uint64_t v) { h = mix(h ^ v); }
+  void add(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) { add(static_cast<std::uint64_t>(static_cast<unsigned>(v))); }
+  void add(const std::string& s) { add(fnv(s)); }
+};
+
+}  // namespace
+
+std::uint64_t fingerprint(const CompilerSpec& s) {
+  Hasher h;
+  h.add(static_cast<std::uint64_t>(s.id));
+  h.add(s.name);
+  h.add(s.flags);
+  h.add(s.distribute);
+  h.add(s.interchange);
+  h.add(s.interchange_aggressive);
+  h.add(s.use_polly);
+  h.add(s.fuse);
+  h.add(s.unroll);
+  h.add(s.prefetch_dist);
+  h.add(s.pipeline);
+  h.add(s.do_vectorize);
+  h.add(s.vec.width);
+  h.add(s.vec.allow_reductions);
+  h.add(s.vec.allow_gather);
+  h.add(s.vec.allow_scatter);
+  h.add(s.vec.allow_strided);
+  h.add(static_cast<std::uint64_t>(s.polly_tile));
+  h.add(s.fp_core_factor);
+  h.add(s.int_core_factor);
+  h.add(s.fortran_factor);
+  h.add(s.c_factor);
+  h.add(s.cpp_factor);
+  h.add(s.vec_efficiency);
+  h.add(s.c_vec_efficiency);
+  h.add(s.cpp_vec_efficiency);
+  h.add(s.omp_barrier_factor);
+  h.add(s.fortran_via_frt);
+  h.add(s.honor_ocl);
+  return h.h;
+}
+
+std::uint64_t fingerprint(const ir::Kernel& k) {
+  Hasher h;
+  h.add(k.name());
+  h.add(static_cast<std::uint64_t>(k.meta().language));
+  h.add(static_cast<std::uint64_t>(k.meta().parallel));
+  h.add(k.meta().suite);
+  // Bound parameter values capture the problem scale even where the
+  // printed IR shows only symbolic bounds.
+  for (const auto& p : k.params()) {
+    h.add(p.name);
+    h.add(static_cast<std::uint64_t>(p.value));
+  }
+  h.add(ir::to_string(k));
+  return h.h;
+}
+
+std::size_t CompileCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(
+      mix(k.spec ^ mix(k.kernel ^ static_cast<std::uint64_t>(k.quirks))));
+}
+
+CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
+                                                  const ir::Kernel& source,
+                                                  bool apply_quirks) {
+  const Key key{fingerprint(spec), fingerprint(source), apply_quirks};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {it->second, true};
+    }
+  }
+  // Compile outside the lock: other workers keep making progress, and a
+  // rare duplicate compile of the same pure function is harmless.
+  auto outcome = std::make_shared<const CompileOutcome>(
+      compile(spec, source, apply_quirks));
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.try_emplace(key, std::move(outcome));
+  return {it->second, false};
+}
+
+std::size_t CompileCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void CompileCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace a64fxcc::compilers

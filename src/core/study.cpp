@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "stats/stats.hpp"
 
@@ -12,19 +13,69 @@ Study::Study(StudyOptions opt)
 
 report::Table Study::run_suite(
     const std::vector<kernels::Benchmark>& suite) const {
-  report::Table t;
-  for (const auto& spec : opt_.compilers) t.compilers.push_back(spec.name);
-  for (const auto& bench : suite) {
-    report::Row row;
-    row.benchmark = bench.name();
-    row.suite = bench.suite();
-    row.language = ir::to_string(bench.kernel.meta().language);
-    for (const auto& spec : opt_.compilers) {
-      if (opt_.progress) opt_.progress(bench.name(), spec.name);
-      row.cells.push_back(harness_.run(spec, bench));
+  std::vector<std::string> names;
+  names.reserve(opt_.compilers.size());
+  for (const auto& spec : opt_.compilers) names.push_back(spec.name);
+  report::Table t = report::make_table(std::move(names), suite);
+
+  // One job per (benchmark x compiler) cell, row-major, each writing its
+  // own preallocated slot: rows come out in suite order no matter when
+  // jobs finish, and per-cell RNG streams make the values themselves
+  // independent of scheduling.
+  const std::size_t cols = opt_.compilers.size();
+  const std::size_t njobs = suite.size() * cols;
+  exec::Engine engine(opt_.jobs);
+  engine.run(njobs, [&](std::size_t job, int worker) {
+    const std::size_t r = job / cols;
+    const std::size_t c = job % cols;
+    const auto& bench = suite[r];
+    const auto& spec = opt_.compilers[c];
+    exec::EventSink* const sink = opt_.sink;
+    if (sink != nullptr) {
+      sink->on_event({.kind = exec::EventKind::JobStarted,
+                      .benchmark = bench.name(),
+                      .compiler = spec.name,
+                      .row = r,
+                      .col = c,
+                      .worker = worker});
     }
-    t.rows.push_back(std::move(row));
-  }
+    const auto t0 = std::chrono::steady_clock::now();
+    runtime::RunMetrics metrics;
+    t.rows[r].cells[c] = harness_.run(spec, bench, &metrics);
+    if (sink != nullptr) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (metrics.compile_cache_hits > 0) {
+        sink->on_event(
+            {.kind = exec::EventKind::CacheHit,
+             .benchmark = bench.name(),
+             .compiler = spec.name,
+             .row = r,
+             .col = c,
+             .worker = worker,
+             .count = static_cast<std::uint64_t>(metrics.compile_cache_hits)});
+      }
+      if (metrics.compile_cache_misses > 0) {
+        sink->on_event({.kind = exec::EventKind::CacheMiss,
+                        .benchmark = bench.name(),
+                        .compiler = spec.name,
+                        .row = r,
+                        .col = c,
+                        .worker = worker,
+                        .count = static_cast<std::uint64_t>(
+                            metrics.compile_cache_misses)});
+      }
+      sink->on_event({.kind = exec::EventKind::JobFinished,
+                      .benchmark = bench.name(),
+                      .compiler = spec.name,
+                      .row = r,
+                      .col = c,
+                      .worker = worker,
+                      .model_seconds = t.rows[r].cells[c].best_seconds,
+                      .wall_seconds = wall});
+    }
+  });
   return t;
 }
 
@@ -53,11 +104,9 @@ Summary summarize(const report::Table& t, const runtime::Placement& recommended)
     s.best_gains.push_back(best_gain);
     if (best_gain <= 1.02) s.fjtrad_wins += 1;
     s.wins_per_compiler[winner] += 1;
-    const auto& p = row.cells[winner].placement;
-    if (!(p == recommended) && !row.cells[winner].valid()) {
-      // unreachable; placement only meaningful on valid cells
-    }
-    if (row.cells[winner].valid() && !(p == recommended)) {
+    // Placement is only meaningful on valid cells.
+    if (row.cells[winner].valid() &&
+        !(row.cells[winner].placement == recommended)) {
       s.nonrecommended_placements += 1;
     }
   }

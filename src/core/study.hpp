@@ -13,10 +13,11 @@
 // the A64FX machine model using the paper's measurement methodology, and
 // computes the aggregate claims of Section 3 (summarize / overall_summary).
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "exec/engine.hpp"
+#include "exec/events.hpp"
 #include "kernels/benchmark.hpp"
 #include "report/figure2.hpp"
 #include "runtime/harness.hpp"
@@ -33,8 +34,17 @@ struct StudyOptions {
   /// FJtrad first (the baseline).
   std::vector<compilers::CompilerSpec> compilers =
       compilers::paper_compilers();
-  /// Optional progress callback (benchmark name, compiler name).
-  std::function<void(const std::string&, const std::string&)> progress;
+  /// Worker threads for run_suite/run_all: 1 runs the legacy serial
+  /// loop on the calling thread, 0 resolves to hardware_concurrency.
+  /// Results are bit-identical for every value — cells draw from
+  /// per-cell RNG streams (see runtime::cell_stream), never from a
+  /// shared sequence.
+  int jobs = 0;
+  /// Optional structured event sink (non-owning; must outlive the
+  /// Study calls).  Receives JobStarted/JobFinished per cell plus
+  /// compile-cache hit/miss counts; implementations must be
+  /// thread-safe.  Replaces the old raw `progress` callback.
+  exec::EventSink* sink = nullptr;
   /// Apply the paper-documented quirk DB (off for the ablation bench).
   bool apply_quirks = true;
 };

@@ -1,0 +1,116 @@
+#include "exec/engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace a64fxcc::exec {
+
+int resolve_workers(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+struct Engine::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;  // workers: a new batch is available
+  std::condition_variable cv_done;  // run(): the batch has drained
+  const std::function<void(std::size_t, int)>* fn = nullptr;
+  std::size_t njobs = 0;
+  std::atomic<std::size_t> cursor{0};  // next unclaimed job
+  std::size_t finished = 0;            // jobs completed in this batch
+  std::uint64_t generation = 0;        // bumped once per run()
+  std::exception_ptr error;            // first job exception, if any
+  bool shutdown = false;
+  std::vector<std::thread> threads;
+
+  void drain(const std::function<void(std::size_t, int)>& f, std::size_t n,
+             int worker) {
+    std::size_t mine = 0;
+    std::exception_ptr err;
+    for (;;) {
+      const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (j >= n) break;
+      if (!err) {
+        try {
+          f(j, worker);
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      ++mine;  // claimed jobs count as finished even after an error
+    }
+    if (mine > 0 || err) {
+      const std::lock_guard<std::mutex> lock(mu);
+      finished += mine;
+      if (err && !error) error = err;
+      if (finished == n) cv_done.notify_all();
+    }
+  }
+
+  void worker_loop(int worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, int)>* f;
+      std::size_t n;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv_work.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        f = fn;
+        n = njobs;
+      }
+      drain(*f, n, worker);
+    }
+  }
+};
+
+Engine::Engine(int workers) : workers_(resolve_workers(workers)) {
+  if (workers_ <= 1) return;  // inline mode: no threads, no impl
+  impl_ = std::make_unique<Impl>();
+  impl_->threads.reserve(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w)
+    impl_->threads.emplace_back([this, w] { impl_->worker_loop(w); });
+}
+
+Engine::~Engine() {
+  if (!impl_) return;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+void Engine::run(std::size_t njobs,
+                 const std::function<void(std::size_t, int)>& fn) {
+  if (njobs == 0) return;
+  if (!impl_ || njobs == 1) {
+    // Legacy serial path: jobs in index order on the calling thread.
+    for (std::size_t j = 0; j < njobs; ++j) fn(j, 0);
+    return;
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->fn = &fn;
+    impl_->njobs = njobs;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->finished = 0;
+    impl_->error = nullptr;
+    ++impl_->generation;
+    impl_->cv_work.notify_all();
+    impl_->cv_done.wait(lock, [&] { return impl_->finished == njobs; });
+    impl_->fn = nullptr;
+    error = impl_->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace a64fxcc::exec

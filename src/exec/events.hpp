@@ -1,0 +1,115 @@
+#pragma once
+// Structured execution events: the engine-facing replacement for the old
+// raw `progress` callback.  Every (benchmark x compiler) cell emits a
+// JobStarted/JobFinished pair, plus CacheHit/CacheMiss batches from the
+// compile-memoization layer, so the CLI can render live progress and
+// tests can assert on exactly what the engine did.
+//
+// Sinks may be called concurrently from engine workers; every
+// implementation of EventSink::on_event must be thread-safe.  Event
+// *ordering* across cells is scheduling-dependent — consumers must key
+// on (row, col), never on arrival order.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace a64fxcc::exec {
+
+enum class EventKind : std::uint8_t {
+  JobStarted,   ///< a worker picked up one (benchmark x compiler) cell
+  JobFinished,  ///< cell evaluated; model_seconds/wall_seconds filled in
+  CacheHit,     ///< compile-cache hits while evaluating the cell (count)
+  CacheMiss,    ///< compile-cache misses while evaluating the cell (count)
+};
+
+[[nodiscard]] inline const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::JobStarted: return "job-started";
+    case EventKind::JobFinished: return "job-finished";
+    case EventKind::CacheHit: return "cache-hit";
+    case EventKind::CacheMiss: return "cache-miss";
+  }
+  return "?";
+}
+
+struct Event {
+  EventKind kind = EventKind::JobStarted;
+  std::string benchmark;
+  std::string compiler;
+  std::size_t row = 0;  ///< cell coordinates in the result table
+  std::size_t col = 0;
+  int worker = 0;  ///< engine worker index that ran the job
+  /// Modeled best-of-10 time of the cell (JobFinished only; infinity for
+  /// invalid cells).
+  double model_seconds = 0;
+  /// Host wall-clock spent evaluating the cell (JobFinished only).
+  double wall_seconds = 0;
+  /// Batch size for cache events; 1 for job events.
+  std::uint64_t count = 1;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Must be safe to call concurrently from multiple workers.
+  virtual void on_event(const Event& e) = 0;
+};
+
+/// Thread-safe sink that records every event for post-hoc inspection
+/// (tests, the engine bench).
+class CollectingSink final : public EventSink {
+ public:
+  void on_event(const Event& e) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(e);
+  }
+
+  [[nodiscard]] std::vector<Event> events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  /// Total count of events of one kind (cache events sum their batches).
+  [[nodiscard]] std::uint64_t count(EventKind k) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == k) n += e.count;
+    return n;
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Thread-safe sink that renders one line per completed cell — what the
+/// CLI attaches for `--progress`.
+class StreamSink final : public EventSink {
+ public:
+  explicit StreamSink(std::FILE* out = stderr) : out_(out) {}
+
+  void on_event(const Event& e) override {
+    if (e.kind != EventKind::JobFinished) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    std::fprintf(out_, "  [w%d] %-18s x %-10s %10.4gs model, %.3fs wall (%zu done)\n",
+                 e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                 e.model_seconds, e.wall_seconds, done_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace a64fxcc::exec

@@ -6,6 +6,21 @@
 
 namespace a64fxcc::report {
 
+Table make_table(std::vector<std::string> compilers,
+                 const std::vector<kernels::Benchmark>& suite) {
+  Table t;
+  t.compilers = std::move(compilers);
+  t.rows.resize(suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    Row& row = t.rows[i];
+    row.benchmark = suite[i].name();
+    row.suite = suite[i].suite();
+    row.language = ir::to_string(suite[i].kernel.meta().language);
+    row.cells.resize(t.compilers.size());
+  }
+  return t;
+}
+
 namespace {
 
 std::string fmt_time(double s) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "kernels/benchmark.hpp"
 #include "runtime/harness.hpp"
 
 namespace a64fxcc::report {
@@ -29,6 +30,13 @@ struct Table {
   std::vector<std::string> compilers;  ///< column headers
   std::vector<Row> rows;
 };
+
+/// Preallocated table skeleton for `suite`: row metadata filled in
+/// suite order, every cell default-initialized.  The execution engine
+/// writes completed cells by (row, col) index, so rows keep a stable
+/// (suite) order no matter in which order jobs finish.
+[[nodiscard]] Table make_table(std::vector<std::string> compilers,
+                               const std::vector<kernels::Benchmark>& suite);
 
 /// Relative gain of cell c over the baseline (column 0): >1 is faster
 /// than FJtrad.  Infinity/0 propagate for invalid cells.

@@ -30,6 +30,11 @@ bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
 
 }  // namespace
 
+std::uint64_t cell_stream(const std::string& benchmark,
+                          const std::string& compiler) {
+  return hash_str(benchmark) ^ hash_mix(hash_str(compiler));
+}
+
 Placement Harness::recommended_placement() const {
   return {machine_.domains, machine_.cores_per_domain};
 }
@@ -104,14 +109,27 @@ double time_of(const compilers::CompileOutcome& out,
 
 }  // namespace
 
+std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
+    const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
+    RunMetrics* metrics) const {
+  auto [outcome, hit] = cache_.get_or_compile(spec, kernel, apply_quirks_);
+  if (metrics != nullptr) {
+    if (hit)
+      ++metrics->compile_cache_hits;
+    else
+      ++metrics->compile_cache_misses;
+  }
+  return std::move(outcome);
+}
+
 double Harness::model_time(const compilers::CompilerSpec& spec,
                            const kernels::Benchmark& bench, Placement p) const {
-  const auto out = compilers::compile(spec, bench.kernel, apply_quirks_);
+  const auto out = compile_cached(spec, bench.kernel);
   if (bench.traits.library_fraction > 0) {
-    const auto ref = compilers::compile(compilers::fjtrad(), bench.kernel, apply_quirks_);
-    return time_of(out, &ref, bench.traits.library_fraction, machine_, p);
+    const auto ref = compile_cached(compilers::fjtrad(), bench.kernel);
+    return time_of(*out, ref.get(), bench.traits.library_fraction, machine_, p);
   }
-  return time_of(out, nullptr, 0.0, machine_, p);
+  return time_of(*out, nullptr, 0.0, machine_, p);
 }
 
 double Harness::noisy(double t, double cv, std::uint64_t stream) const {
@@ -124,24 +142,24 @@ double Harness::noisy(double t, double cv, std::uint64_t stream) const {
 }
 
 MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
-                         const kernels::Benchmark& bench) const {
+                         const kernels::Benchmark& bench,
+                         RunMetrics* metrics) const {
   MeasuredRun m;
   m.benchmark = bench.name();
   m.compiler = spec.name;
 
-  const auto out = compilers::compile(spec, bench.kernel, apply_quirks_);
-  m.status = out.status;
-  if (!out.ok()) return m;
+  const auto out = compile_cached(spec, bench.kernel, metrics);
+  m.status = out->status;
+  if (!out->ok()) return m;
 
-  const std::uint64_t base =
-      hash_str(bench.name()) ^ hash_mix(hash_str(spec.name));
+  const std::uint64_t base = cell_stream(bench.name(), spec.name);
 
   // Library-heavy benchmarks need the FJtrad reference for the SSL2 part.
-  compilers::CompileOutcome ref;
+  std::shared_ptr<const compilers::CompileOutcome> ref;
   const compilers::CompileOutcome* refp = nullptr;
   if (bench.traits.library_fraction > 0) {
-    ref = compilers::compile(compilers::fjtrad(), bench.kernel, apply_quirks_);
-    refp = &ref;
+    ref = compile_cached(compilers::fjtrad(), bench.kernel, metrics);
+    refp = ref.get();
   }
 
   // ---- exploration phase: 3 trials per placement ----
@@ -150,7 +168,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
   Placement best_p = placements.front();
   double best_trial = std::numeric_limits<double>::infinity();
   for (std::size_t pi = 0; pi < placements.size(); ++pi) {
-    const double t = time_of(out, refp, bench.traits.library_fraction,
+    const double t = time_of(*out, refp, bench.traits.library_fraction,
                              machine_, placements[pi]);
     for (int trial = 0; trial < 3; ++trial) {
       const double sample =
@@ -165,7 +183,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
 
   // ---- performance phase: 10 runs at the chosen placement ----
   const double t_model =
-      time_of(out, refp, bench.traits.library_fraction, machine_, best_p);
+      time_of(*out, refp, bench.traits.library_fraction, machine_, best_p);
   std::vector<double> samples;
   samples.reserve(10);
   for (int r = 0; r < 10; ++r)
@@ -177,7 +195,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
 
   // Characterize the best run via the noise-free model.
   const auto cfg = perf::make_config(best_p.ranks, best_p.threads, machine_);
-  const auto pr = perf::estimate(*out.kernel, machine_, cfg, out.profile);
+  const auto pr = perf::estimate(*out->kernel, machine_, cfg, out->profile);
   m.bottleneck = pr.bottleneck;
   m.gflops = pr.total_flops / m.best_seconds / 1e9;
   m.mem_gbs = pr.mem_bytes / m.best_seconds / 1e9;

@@ -14,16 +14,31 @@
 // BabelStream up to 22% — Sec. 2.4), so best-of-N semantics are
 // faithful yet bit-reproducible.
 
+// Determinism contract: every noise draw for one (benchmark, compiler)
+// cell derives from `seed ^ cell_stream(benchmark, compiler)` — a
+// per-cell RNG stream, not a shared sequence — so a cell's MeasuredRun
+// is a pure function of (seed, benchmark, compiler) and the execution
+// engine can evaluate cells in any order, on any worker, with
+// bit-identical results to the serial path.
+
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "compilers/compile_cache.hpp"
 #include "compilers/compiler_model.hpp"
 #include "kernels/benchmark.hpp"
 #include "machine/machine.hpp"
 #include "perf/perf_model.hpp"
 
 namespace a64fxcc::runtime {
+
+/// RNG stream id of one (benchmark x compiler) cell.  All noise applied
+/// while measuring the cell is drawn from substreams of this id, which
+/// is what makes parallel evaluation order-independent.
+[[nodiscard]] std::uint64_t cell_stream(const std::string& benchmark,
+                                        const std::string& compiler);
 
 struct Placement {
   int ranks = 1;
@@ -49,15 +64,26 @@ struct MeasuredRun {
   }
 };
 
+/// Per-evaluation observability counters (filled by the cached paths;
+/// feeds the engine's CacheHit/CacheMiss events).
+struct RunMetrics {
+  int compile_cache_hits = 0;
+  int compile_cache_misses = 0;
+};
+
 class Harness {
  public:
   explicit Harness(machine::Machine m, std::uint64_t seed = 42,
                    bool apply_quirks = true)
       : machine_(std::move(m)), seed_(seed), apply_quirks_(apply_quirks) {}
 
-  /// Full methodology: exploration + 10 performance runs.
+  /// Full methodology: exploration + 10 performance runs.  Reentrant:
+  /// safe to call concurrently from engine workers (the only shared
+  /// mutable state is the internal compile cache, which synchronizes
+  /// itself), and deterministic per the cell_stream contract above.
   [[nodiscard]] MeasuredRun run(const compilers::CompilerSpec& spec,
-                                const kernels::Benchmark& bench) const;
+                                const kernels::Benchmark& bench,
+                                RunMetrics* metrics = nullptr) const;
 
   /// Placement candidates for a benchmark under this machine's topology
   /// (the paper's --mpi max-proc-per-node exploration set).  Pure-OpenMP
@@ -73,10 +99,23 @@ class Harness {
       ir::ParallelModel model, const kernels::BenchmarkTraits& traits) const;
 
   /// Noise-free model time of one configuration (exposed for tests and
-  /// the ablation benches).
+  /// the ablation benches).  Uses the compile cache, so sweeping the
+  /// placement grid compiles each (compiler, kernel) once.
   [[nodiscard]] double model_time(const compilers::CompilerSpec& spec,
                                   const kernels::Benchmark& bench,
                                   Placement p) const;
+
+  /// Memoized compile of `kernel` under `spec` (shared, immutable).
+  [[nodiscard]] std::shared_ptr<const compilers::CompileOutcome>
+  compile_cached(const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
+                 RunMetrics* metrics = nullptr) const;
+
+  /// Memoization statistics of the harness-owned compile cache.
+  [[nodiscard]] const compilers::CompileCache& compile_cache() const noexcept {
+    return cache_;
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   [[nodiscard]] const machine::Machine& machine() const noexcept {
     return machine_;
@@ -92,6 +131,9 @@ class Harness {
   machine::Machine machine_;
   std::uint64_t seed_;
   bool apply_quirks_ = true;
+  /// Memoized compile() outcomes; mutable because memoization does not
+  /// change observable results (compile() is pure).
+  mutable compilers::CompileCache cache_;
 };
 
 }  // namespace a64fxcc::runtime

@@ -1,0 +1,247 @@
+// Execution engine: scheduling, determinism, memoization, events.
+//
+// The load-bearing guarantee is bit-identity: run_suite must produce
+// byte-identical report::Table contents for any worker count, because
+// every cell draws its noise from a per-cell RNG stream
+// (runtime::cell_stream), never from a shared sequence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/study.hpp"
+#include "exec/engine.hpp"
+#include "exec/events.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+// ---- engine scheduling ----------------------------------------------------
+
+TEST(Engine, ResolveWorkers) {
+  EXPECT_EQ(exec::resolve_workers(3), 3);
+  EXPECT_EQ(exec::resolve_workers(1), 1);
+  EXPECT_GE(exec::resolve_workers(0), 1);
+  EXPECT_GE(exec::resolve_workers(-2), 1);
+}
+
+TEST(Engine, RunsEveryJobExactlyOnce) {
+  exec::Engine engine(4);
+  EXPECT_EQ(engine.workers(), 4);
+  constexpr std::size_t kJobs = 257;
+  std::vector<std::atomic<int>> hits(kJobs);
+  engine.run(kJobs, [&](std::size_t j, int worker) {
+    ASSERT_LT(j, kJobs);
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    hits[j].fetch_add(1);
+  });
+  for (std::size_t j = 0; j < kJobs; ++j) EXPECT_EQ(hits[j].load(), 1) << j;
+}
+
+TEST(Engine, SingleWorkerRunsInlineInOrder) {
+  exec::Engine engine(1);
+  std::vector<std::size_t> order;
+  engine.run(5, [&](std::size_t j, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(j);  // no lock needed: inline on this thread
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ReusableAcrossBatches) {
+  exec::Engine engine(3);
+  for (int batch = 0; batch < 3; ++batch) {
+    std::atomic<int> n{0};
+    engine.run(10, [&](std::size_t, int) { n.fetch_add(1); });
+    EXPECT_EQ(n.load(), 10);
+  }
+  engine.run(0, [](std::size_t, int) { FAIL(); });
+}
+
+TEST(Engine, PropagatesJobExceptions) {
+  exec::Engine engine(2);
+  EXPECT_THROW(engine.run(8,
+                          [](std::size_t j, int) {
+                            if (j == 3) throw std::runtime_error("boom");
+                          }),
+               std::runtime_error);
+  // The engine must stay usable after a failed batch.
+  std::atomic<int> n{0};
+  engine.run(4, [&](std::size_t, int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+// ---- compile cache --------------------------------------------------------
+
+TEST(CompileCache, MemoizesPureCompiles) {
+  compilers::CompileCache cache;
+  const auto suite = kernels::polybench_suite(0.02);
+  const auto spec = compilers::llvm12();
+  const auto a = cache.get_or_compile(spec, suite[0].kernel);
+  EXPECT_FALSE(a.hit);
+  const auto b = cache.get_or_compile(spec, suite[0].kernel);
+  EXPECT_TRUE(b.hit);
+  EXPECT_EQ(a.outcome.get(), b.outcome.get());  // shared, not recompiled
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CompileCache, DistinguishesSpecKernelScaleAndQuirks) {
+  compilers::CompileCache cache;
+  const auto small = kernels::polybench_suite(0.02);
+  const auto large = kernels::polybench_suite(0.04);
+  const auto spec = compilers::llvm12();
+  (void)cache.get_or_compile(spec, small[0].kernel);
+  // Different kernel, different compiler, different scale, different
+  // quirk mode: all distinct entries.
+  EXPECT_FALSE(cache.get_or_compile(spec, small[1].kernel).hit);
+  EXPECT_FALSE(cache.get_or_compile(compilers::gnu(), small[0].kernel).hit);
+  EXPECT_FALSE(cache.get_or_compile(spec, large[0].kernel).hit);
+  EXPECT_FALSE(cache.get_or_compile(spec, small[0].kernel, false).hit);
+  EXPECT_EQ(cache.stats().misses, 5u);
+}
+
+TEST(CompileCache, FingerprintSeesSpecKnobs) {
+  auto a = compilers::llvm12();
+  auto b = a;
+  EXPECT_EQ(compilers::fingerprint(a), compilers::fingerprint(b));
+  b.unroll += 1;
+  EXPECT_NE(compilers::fingerprint(a), compilers::fingerprint(b));
+}
+
+TEST(Harness, ModelTimeSweepHitsCache) {
+  const runtime::Harness h(machine::a64fx());
+  const auto suite = kernels::top500_suite(0.02);
+  const auto& bench = suite[0];  // hpl: MPI+OpenMP, library-heavy
+  const auto placements =
+      h.candidate_placements(bench.traits, bench.kernel.meta().parallel);
+  ASSERT_GT(placements.size(), 1u);
+  for (const auto& p : placements)
+    (void)h.model_time(compilers::llvm12(), bench, p);
+  const auto s = h.compile_cache().stats();
+  // First placement compiles LLVM + the FJtrad library reference; every
+  // further placement hits both.
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits, 2u * (placements.size() - 1));
+}
+
+// ---- determinism across worker counts -------------------------------------
+
+void expect_identical(const report::Table& a, const report::Table& b) {
+  ASSERT_EQ(a.compilers, b.compilers);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    const auto& ra = a.rows[r];
+    const auto& rb = b.rows[r];
+    EXPECT_EQ(ra.benchmark, rb.benchmark);
+    EXPECT_EQ(ra.suite, rb.suite);
+    EXPECT_EQ(ra.language, rb.language);
+    ASSERT_EQ(ra.cells.size(), rb.cells.size());
+    for (std::size_t c = 0; c < ra.cells.size(); ++c) {
+      const auto& ca = ra.cells[c];
+      const auto& cb = rb.cells[c];
+      EXPECT_EQ(ca.benchmark, cb.benchmark);
+      EXPECT_EQ(ca.compiler, cb.compiler);
+      EXPECT_EQ(ca.status, cb.status);
+      // EXPECT_EQ on doubles = exact bit comparison (no tolerance):
+      // parallel evaluation must not change a single ULP.
+      EXPECT_EQ(ca.best_seconds, cb.best_seconds) << ca.benchmark;
+      EXPECT_EQ(ca.median_seconds, cb.median_seconds) << ca.benchmark;
+      EXPECT_EQ(ca.cv, cb.cv) << ca.benchmark;
+      EXPECT_EQ(ca.placement.ranks, cb.placement.ranks) << ca.benchmark;
+      EXPECT_EQ(ca.placement.threads, cb.placement.threads) << ca.benchmark;
+      EXPECT_EQ(ca.bottleneck, cb.bottleneck);
+      EXPECT_EQ(ca.gflops, cb.gflops) << ca.benchmark;
+      EXPECT_EQ(ca.mem_gbs, cb.mem_gbs) << ca.benchmark;
+    }
+  }
+}
+
+report::Table run_with_jobs(const std::vector<kernels::Benchmark>& suite,
+                            int jobs, exec::EventSink* sink = nullptr) {
+  core::StudyOptions opt;
+  opt.scale = 0.05;
+  opt.jobs = jobs;
+  opt.sink = sink;
+  return core::Study(std::move(opt)).run_suite(suite);
+}
+
+TEST(Determinism, WorkerCountDoesNotChangeResults) {
+  // Mixed suite: one-CMG exploration (micro), MPI rank x thread grids +
+  // library-fraction reference compiles (top500), pure-OpenMP (fiber).
+  auto suite = kernels::top500_suite(0.05);
+  {
+    auto micro = kernels::microkernel_suite(0.05);
+    for (std::size_t i = 0; i < 6; ++i)
+      suite.push_back(std::move(micro[i]));
+    auto fiber = kernels::fiber_suite(0.05);
+    for (std::size_t i = 0; i < 3; ++i)
+      suite.push_back(std::move(fiber[i]));
+  }
+  const auto t1 = run_with_jobs(suite, 1);
+  const auto t2 = run_with_jobs(suite, 2);
+  const auto t8 = run_with_jobs(suite, 8);
+  expect_identical(t1, t2);
+  expect_identical(t1, t8);
+}
+
+TEST(Determinism, MatchesLegacySerialSemantics) {
+  // The jobs=1 path is the legacy loop: same Harness::run calls in the
+  // same order.  Spot-check a known Figure-2 shape survives the engine.
+  const auto suite = kernels::microkernel_suite(0.05);
+  const auto t = run_with_jobs(suite, 8);
+  ASSERT_EQ(t.rows.size(), 22u);
+  int gnu_errors = 0;
+  for (const auto& row : t.rows)
+    if (!row.cells[4].valid()) ++gnu_errors;
+  EXPECT_EQ(gnu_errors, 6);
+}
+
+TEST(Determinism, CellStreamIsPerCellNotShared) {
+  EXPECT_NE(runtime::cell_stream("2mm", "LLVM"),
+            runtime::cell_stream("2mm", "GNU"));
+  EXPECT_NE(runtime::cell_stream("2mm", "LLVM"),
+            runtime::cell_stream("3mm", "LLVM"));
+  EXPECT_EQ(runtime::cell_stream("2mm", "LLVM"),
+            runtime::cell_stream("2mm", "LLVM"));
+}
+
+// ---- event sink -----------------------------------------------------------
+
+TEST(Events, SinkSeesEveryCellExactlyOnce) {
+  const auto suite = kernels::top500_suite(0.05);
+  exec::CollectingSink sink;
+  const auto t = run_with_jobs(suite, 8, &sink);
+  const std::size_t cells = t.rows.size() * t.compilers.size();
+  EXPECT_EQ(sink.count(exec::EventKind::JobStarted), cells);
+  EXPECT_EQ(sink.count(exec::EventKind::JobFinished), cells);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (const auto& e : sink.events()) {
+    if (e.kind != exec::EventKind::JobFinished) continue;
+    EXPECT_TRUE(seen.emplace(e.row, e.col).second)
+        << "duplicate completion for cell " << e.row << "," << e.col;
+    EXPECT_EQ(e.benchmark, t.rows[e.row].benchmark);
+    EXPECT_EQ(e.compiler, t.compilers[e.col]);
+    EXPECT_EQ(e.model_seconds, t.rows[e.row].cells[e.col].best_seconds);
+    EXPECT_GE(e.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+TEST(Events, LibraryBenchmarksHitTheCompileCache) {
+  // hpl (library_fraction > 0) re-needs the FJtrad reference in every
+  // column: with the serial path, 4 of those 5 compiles are cache hits.
+  const auto suite = kernels::top500_suite(0.05);
+  exec::CollectingSink sink;
+  (void)run_with_jobs(suite, 1, &sink);
+  EXPECT_GT(sink.count(exec::EventKind::CacheHit), 0u);
+  EXPECT_GT(sink.count(exec::EventKind::CacheMiss), 0u);
+}
+
+}  // namespace

@@ -98,14 +98,15 @@ TEST(Core, MergeConcatenatesRows) {
   EXPECT_EQ(m.compilers.size(), 5u);
 }
 
-TEST(Core, ProgressCallbackFires) {
+TEST(Core, EventSinkReplacesProgressCallback) {
   core::StudyOptions opt;
   opt.scale = 0.01;
-  int calls = 0;
-  opt.progress = [&](const std::string&, const std::string&) { ++calls; };
+  exec::CollectingSink sink;
+  opt.sink = &sink;
   const core::Study study(std::move(opt));
   (void)study.run_suite(kernels::top500_suite(0.01));
-  EXPECT_EQ(calls, 3 * 5);
+  EXPECT_EQ(sink.count(exec::EventKind::JobStarted), 3u * 5u);
+  EXPECT_EQ(sink.count(exec::EventKind::JobFinished), 3u * 5u);
 }
 
 }  // namespace

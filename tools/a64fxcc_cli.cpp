@@ -34,6 +34,15 @@ double arg_scale(int argc, char** argv, double def = 0.25) {
   return def;
 }
 
+// Worker threads for the execution engine: default 0 = all hardware
+// threads; --jobs=1 selects the legacy serial path (bit-identical
+// results either way; see DESIGN.md "Execution engine").
+int arg_jobs(int argc, char** argv) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) return std::atoi(argv[i] + 7);
+  return 0;
+}
+
 bool has_flag(int argc, char** argv, const char* f) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], f) == 0) return true;
@@ -98,6 +107,9 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
   }
   core::StudyOptions opt;
   opt.scale = scale;
+  opt.jobs = arg_jobs(argc, argv);
+  exec::StreamSink progress(stderr);
+  if (has_flag(argc, argv, "--progress")) opt.sink = &progress;
   const core::Study study(std::move(opt));
   const auto t = study.run_suite(benches);
   if (has_flag(argc, argv, "--csv"))
@@ -120,6 +132,7 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     if (b.name() != name) continue;
     core::StudyOptions opt;
     opt.scale = scale;
+    opt.jobs = arg_jobs(argc, argv);
     const core::Study study(std::move(opt));
     std::vector<kernels::Benchmark> one;
     one.push_back(std::move(b));
@@ -237,8 +250,11 @@ void usage() {
       "usage: a64fxcc <command> [args]\n"
       "  list [suite]                  suites: micro polybench top500 ecp fiber\n"
       "                                        spec-cpu spec-omp all\n"
-      "  table <suite> [--scale=f] [--csv|--json|--md]\n"
-      "  run <benchmark> [--scale=f]\n"
+      "  table <suite> [--scale=f] [--jobs=N] [--progress] [--csv|--json|--md]\n"
+      "                                   # --jobs=0 (default) = all hardware\n"
+      "                                   # threads, --jobs=1 = serial; output\n"
+      "                                   # is bit-identical for any N\n"
+      "  run <benchmark> [--scale=f] [--jobs=N]\n"
       "  show <benchmark> [compiler]\n"
       "  file <path.kernel> [compiler]\n"
       "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
