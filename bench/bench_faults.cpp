@@ -1,0 +1,185 @@
+// bench_faults — overhead and guarantees of the fault-tolerance layer.
+//
+// Four measurements, emitted human-readable plus one JSON trajectory
+// line (stdout):
+//   1. overhead of the policy path: clean run with retries/journal
+//      enabled vs the plain engine (same suite, same worker count);
+//   2. survival: a run with 5% compile / 2% runtime / 1% hang injection
+//      and 2 retries completes end-to-end; report the per-cell survival
+//      rate (valid cells / total);
+//   3. resume: re-running from the journal restores every valid cell
+//      and re-evaluates only failures — report the speedup over the
+//      initial faulty run;
+//   4. the determinism contract: the resumed table must equal a clean
+//      uninjected run byte-for-byte (exit code 1 if not).
+//
+// Usage: bench_faults [--scale=f] [--jobs=N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "core/journal.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool identical(const runtime::MeasuredRun& a, const runtime::MeasuredRun& b) {
+  return a.benchmark == b.benchmark && a.compiler == b.compiler &&
+         a.status == b.status && a.diagnostic == b.diagnostic &&
+         a.best_seconds == b.best_seconds &&
+         a.median_seconds == b.median_seconds && a.cv == b.cv &&
+         a.placement == b.placement && a.bottleneck == b.bottleneck &&
+         a.gflops == b.gflops && a.mem_gbs == b.mem_gbs;
+}
+
+bool identical(const report::Table& a, const report::Table& b) {
+  if (a.compilers != b.compilers || a.rows.size() != b.rows.size())
+    return false;
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].cells.size() != b.rows[r].cells.size()) return false;
+    for (std::size_t c = 0; c < a.rows[r].cells.size(); ++c)
+      if (!identical(a.rows[r].cells[c], b.rows[r].cells[c])) return false;
+  }
+  return true;
+}
+
+std::size_t count_valid(const report::Table& t) {
+  std::size_t n = 0;
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells)
+      if (cell.valid()) ++n;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  int jobs = 4;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) jobs = std::atoi(argv[i] + 7);
+
+  const auto suite = kernels::polybench_suite(args.scale);
+  const double cells =
+      static_cast<double>(suite.size()) *
+      static_cast<double>(compilers::paper_compilers().size());
+  const std::string journal_path = "bench_faults_journal.jsonl";
+  std::remove(journal_path.c_str());
+
+  std::printf("== Fault-tolerance layer (PolyBench, scale %g, %d workers) ==\n",
+              args.scale, jobs);
+
+  // 1. Baseline: the plain engine, no policies.
+  core::StudyOptions plain;
+  plain.scale = args.scale;
+  plain.jobs = jobs;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto table_clean = core::Study(std::move(plain)).run_suite(suite);
+  const double t_plain = seconds_since(t0);
+
+  // ... vs the full policy path with nothing to do: retries armed,
+  // journal recording, deadline set, zero faults.
+  core::Journal journal_clean;
+  core::StudyOptions policied;
+  policied.scale = args.scale;
+  policied.jobs = jobs;
+  policied.max_retries = 2;
+  policied.deadline_seconds = 60;
+  policied.journal = &journal_clean;
+  t0 = std::chrono::steady_clock::now();
+  const auto table_policied = core::Study(std::move(policied)).run_suite(suite);
+  const double t_policied = seconds_since(t0);
+  const double overhead = t_policied / t_plain - 1.0;
+  std::printf("  clean run:          %6.3fs plain, %6.3fs with policies "
+              "(%+.1f%% overhead)\n",
+              t_plain, t_policied, 100.0 * overhead);
+  const bool clean_identical = identical(table_clean, table_policied);
+
+  // 2. Faulty run: 5% compile / 2% runtime / 1% hang, 2 retries, a
+  //    deadline to bound the hangs, journal on disk.
+  runtime::FaultPlan faults;
+  faults.compile = 0.05;
+  faults.runtime = 0.02;
+  faults.hang = 0.01;
+  double t_faulty = 0;
+  std::size_t survived = 0, retried = 0;
+  {
+    core::Journal journal;
+    if (!journal.open(journal_path)) {
+      std::fprintf(stderr, "cannot open %s\n", journal_path.c_str());
+      return 1;
+    }
+    exec::CollectingSink sink;
+    core::StudyOptions faulty;
+    faulty.scale = args.scale;
+    faulty.jobs = jobs;
+    faulty.max_retries = 2;
+    faulty.retry_backoff_seconds = 0.0005;
+    faulty.deadline_seconds = 0.05;
+    faulty.faults = faults;
+    faulty.journal = &journal;
+    faulty.sink = &sink;
+    t0 = std::chrono::steady_clock::now();
+    const auto table_faulty = core::Study(std::move(faulty)).run_suite(suite);
+    t_faulty = seconds_since(t0);
+    survived = count_valid(table_faulty);
+    retried = sink.count(exec::EventKind::JobRetried);
+  }
+  std::printf("  faulty run (%s, 2 retries): %6.3fs, "
+              "%zu/%0.f cells survived (%.1f%%), %zu retries\n",
+              faults.spec().c_str(), t_faulty, survived, cells,
+              100.0 * static_cast<double>(survived) / cells, retried);
+
+  // 3. Resume from the journal with injection off: valid cells restore,
+  //    only failures re-evaluate.
+  core::Journal resume_journal;
+  const std::size_t restored = resume_journal.load(journal_path);
+  core::StudyOptions resume;
+  resume.scale = args.scale;
+  resume.jobs = jobs;
+  resume.journal = &resume_journal;
+  t0 = std::chrono::steady_clock::now();
+  const auto table_resumed = core::Study(std::move(resume)).run_suite(suite);
+  const double t_resume = seconds_since(t0);
+  const double resume_speedup = t_faulty / t_resume;
+  std::printf("  resume: %zu journal entries, %6.3fs (%.1fx faster than the "
+              "faulty run)\n",
+              restored, t_resume, resume_speedup);
+
+  // 4. Determinism: resumed-after-faults == clean, byte for byte.
+  const bool resumed_identical = identical(table_resumed, table_clean);
+  std::printf("  resumed table == clean table: %s\n",
+              resumed_identical ? "yes"
+                                : "NO — RESUME DETERMINISM BROKEN");
+  std::printf("  policied clean table == plain table: %s\n",
+              clean_identical ? "yes" : "NO — POLICY PATH PERTURBS RESULTS");
+
+  benchutil::claim("faults.survival_rate", ">0.9 @5/2/1% inj",
+                   static_cast<double>(survived) / cells, "");
+  benchutil::claim("faults.policy_overhead", "~0 on clean runs", overhead, "");
+  benchutil::claim("faults.resume_speedup", ">1x", resume_speedup);
+
+  std::printf(
+      "\n{\"bench\":\"faults\",\"scale\":%g,\"jobs\":%d,\"cells\":%.0f,"
+      "\"plain_seconds\":%.4f,\"policied_seconds\":%.4f,"
+      "\"policy_overhead\":%.4f,\"faulty_seconds\":%.4f,"
+      "\"survived\":%zu,\"survival_rate\":%.4f,\"retries\":%zu,"
+      "\"journal_entries\":%zu,\"resume_seconds\":%.4f,"
+      "\"resume_speedup\":%.4f,\"resumed_identical\":%s,"
+      "\"clean_identical\":%s}\n",
+      args.scale, jobs, cells, t_plain, t_policied, overhead, t_faulty,
+      survived, static_cast<double>(survived) / cells, retried, restored,
+      t_resume, resume_speedup, resumed_identical ? "true" : "false",
+      clean_identical ? "true" : "false");
+
+  std::remove(journal_path.c_str());
+  return (resumed_identical && clean_identical) ? 0 : 1;
+}

@@ -102,6 +102,7 @@ CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
   if (const Quirk* q = apply_quirks ? find_quirk(spec.id, source.name()) : nullptr) {
     if (q->effect != CompileOutcome::Status::Ok) {
       out.status = q->effect;
+      out.diagnostic = q->reason;
       out.log += "quirk: " + q->reason + "\n";
       return out;
     }

@@ -104,6 +104,10 @@ struct CompileOutcome {
   /// Extra multiplier on predicted runtime from quirks (pathological
   /// codegen documented in the paper); 1.0 normally.
   double time_multiplier = 1.0;
+  /// Structured failure reason (the quirk DB's paper citation) when
+  /// status != Ok — the cell taxonomy consumes this instead of grepping
+  /// the free-form log.  Empty on success.
+  std::string diagnostic;
   std::string log;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::Ok; }

@@ -1,0 +1,222 @@
+#include "core/journal.hpp"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace a64fxcc::core {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Append one "key":value pair; strings escaped, doubles at full
+/// precision (%.17g round-trips every finite IEEE double; failed cells
+/// keep their infinities out of the file entirely).
+void field_str(std::string& out, const char* key, const std::string& v) {
+  out += "\"";
+  out += key;
+  out += "\":\"";
+  append_escaped(out, v);
+  out += "\"";
+}
+
+void field_num(std::string& out, const char* key, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, v);
+  out += buf;
+}
+
+/// Extract the raw string value of "key":"..." (escape-aware); nullopt
+/// when absent.
+std::optional<std::string> get_str(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return std::nullopt;  // torn line
+      out.push_back(line[++i]);
+    } else if (c == '"') {
+      return out;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return std::nullopt;  // unterminated: torn line
+}
+
+std::optional<double> get_num(const std::string& line, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t Journal::cell_key(std::uint64_t seed,
+                                const compilers::CompilerSpec& spec,
+                                const ir::Kernel& kernel, bool apply_quirks) {
+  std::uint64_t h = mix(seed);
+  h ^= mix(compilers::fingerprint(spec) ^ hash_str(spec.name));
+  h ^= mix(compilers::fingerprint(kernel) + (apply_quirks ? 1 : 0));
+  return h;
+}
+
+std::string Journal::encode(const JournalEntry& e) {
+  std::string out = "{";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, e.key);
+  field_str(out, "key", buf);
+  out += ",";
+  field_str(out, "benchmark", e.run.benchmark);
+  out += ",";
+  field_str(out, "compiler", e.run.compiler);
+  out += ",";
+  field_str(out, "status", runtime::to_string(e.run.status));
+  if (e.run.valid()) {
+    out += ",";
+    field_num(out, "best_seconds", e.run.best_seconds);
+    out += ",";
+    field_num(out, "median_seconds", e.run.median_seconds);
+    out += ",";
+    field_num(out, "cv", e.run.cv);
+    out += ",";
+    field_num(out, "ranks", e.run.placement.ranks);
+    out += ",";
+    field_num(out, "threads", e.run.placement.threads);
+    out += ",";
+    field_str(out, "bottleneck", e.run.bottleneck);
+    out += ",";
+    field_num(out, "gflops", e.run.gflops);
+    out += ",";
+    field_num(out, "mem_gbs", e.run.mem_gbs);
+  } else {
+    out += ",";
+    field_str(out, "diagnostic", e.run.diagnostic);
+  }
+  out += "}";
+  return out;
+}
+
+std::optional<JournalEntry> Journal::decode(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}')
+    return std::nullopt;
+  const auto key_hex = get_str(line, "key");
+  const auto benchmark = get_str(line, "benchmark");
+  const auto compiler = get_str(line, "compiler");
+  const auto status = get_str(line, "status");
+  if (!key_hex || !benchmark || !compiler || !status) return std::nullopt;
+  JournalEntry e;
+  char* end = nullptr;
+  e.key = std::strtoull(key_hex->c_str(), &end, 16);
+  if (end == key_hex->c_str() || *end != '\0') return std::nullopt;
+  e.run.benchmark = *benchmark;
+  e.run.compiler = *compiler;
+  if (!runtime::parse_status(*status, &e.run.status)) return std::nullopt;
+  if (e.run.valid()) {
+    const auto best = get_num(line, "best_seconds");
+    const auto median = get_num(line, "median_seconds");
+    const auto cv = get_num(line, "cv");
+    const auto ranks = get_num(line, "ranks");
+    const auto threads = get_num(line, "threads");
+    const auto bottleneck = get_str(line, "bottleneck");
+    const auto gflops = get_num(line, "gflops");
+    const auto mem = get_num(line, "mem_gbs");
+    if (!best || !median || !cv || !ranks || !threads || !bottleneck ||
+        !gflops || !mem)
+      return std::nullopt;
+    e.run.best_seconds = *best;
+    e.run.median_seconds = *median;
+    e.run.cv = *cv;
+    e.run.placement.ranks = static_cast<int>(*ranks);
+    e.run.placement.threads = static_cast<int>(*threads);
+    e.run.bottleneck = *bottleneck;
+    e.run.gflops = *gflops;
+    e.run.mem_gbs = *mem;
+  } else {
+    e.run.diagnostic = get_str(line, "diagnostic").value_or("");
+  }
+  return e;
+}
+
+std::size_t Journal::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return 0;
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (auto e = decode(line)) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      map_[e->key] = std::move(e->run);
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool Journal::open(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = std::fopen(path.c_str(), "a");
+  return out_ != nullptr;
+}
+
+void Journal::close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = nullptr;
+}
+
+void Journal::record(const JournalEntry& e) {
+  const std::string line = encode(e);
+  const std::lock_guard<std::mutex> lock(mu_);
+  map_[e.key] = e.run;
+  if (out_ != nullptr) {
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    std::fflush(out_);  // one complete line per cell, crash-safe
+  }
+}
+
+const runtime::MeasuredRun* Journal::find(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::size_t Journal::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace a64fxcc::core

@@ -1,0 +1,84 @@
+#pragma once
+// Checkpoint/resume journal: one JSONL line per terminally-evaluated
+// (benchmark x compiler) cell, keyed by the same fingerprints the
+// CompileCache uses, so `a64fxcc table --resume=journal.jsonl` can skip
+// completed work after a crash or Ctrl-C and re-evaluate only the cells
+// that failed.
+//
+// Crash-safety model: the writer appends and flushes one complete line
+// per cell as it finishes (no buffering across cells), so after an
+// interrupt the file is a prefix of valid lines plus at most one torn
+// line, which load() skips.  Doubles are printed with max_digits10
+// precision, so a restored MeasuredRun is bit-identical to the one that
+// was measured — resuming never perturbs the determinism contract.
+//
+// The key covers (seed, compiler spec fingerprint + name, kernel
+// fingerprint, quirk mode): any change to the study configuration —
+// scale, seed, compiler knobs — changes the keys and the stale journal
+// entries are simply never matched.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "compilers/compile_cache.hpp"
+#include "runtime/harness.hpp"
+
+namespace a64fxcc::core {
+
+struct JournalEntry {
+  std::uint64_t key = 0;
+  runtime::MeasuredRun run;
+};
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Stable identity of one cell evaluation, built from the
+  /// CompileCache fingerprints of the compiler spec and the kernel (IR
+  /// + bound parameters) plus the study seed and quirk mode.
+  [[nodiscard]] static std::uint64_t cell_key(std::uint64_t seed,
+                                              const compilers::CompilerSpec& spec,
+                                              const ir::Kernel& kernel,
+                                              bool apply_quirks);
+
+  /// One JSONL line (no trailing newline) for an entry.
+  [[nodiscard]] static std::string encode(const JournalEntry& e);
+  /// Parse one line; nullopt for blank/torn/foreign lines.
+  [[nodiscard]] static std::optional<JournalEntry> decode(
+      const std::string& line);
+
+  /// Load every valid line of `path` into the in-memory index (later
+  /// entries for the same key win).  Returns the number of entries
+  /// loaded; a missing file loads 0 (fresh start, not an error).
+  std::size_t load(const std::string& path);
+
+  /// Open `path` for appending; subsequent record() calls persist.
+  /// Returns false if the file cannot be opened.
+  bool open(const std::string& path);
+  void close();
+
+  /// Record a terminal cell outcome: remembers it in-memory and, when
+  /// open(), appends + flushes one line.  Thread-safe (called
+  /// concurrently from engine workers).
+  void record(const JournalEntry& e);
+
+  /// The remembered outcome for a key, or nullptr.  Thread-safe.
+  [[nodiscard]] const runtime::MeasuredRun* find(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, runtime::MeasuredRun> map_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace a64fxcc::core

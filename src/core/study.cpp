@@ -2,10 +2,33 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "stats/stats.hpp"
 
 namespace a64fxcc::core {
+
+namespace {
+
+/// Longest real sleep one retry may cost; the *chosen* backoff is
+/// recorded in the JobRetried event uncapped, but the actual wait is
+/// bounded so fault-heavy tests stay fast.
+constexpr double kMaxBackoffSleep = 0.05;
+
+/// Deterministic backoff before retry `attempt + 1`: exponential in the
+/// attempt with a jitter factor in [0.5, 1.5) drawn from the cell's RNG
+/// stream — a pure function of cell identity, never of wall-clock or
+/// scheduling.
+double backoff_for(double base, const std::string& benchmark,
+                   const std::string& compiler, int attempt) {
+  const std::uint64_t h = runtime::cell_stream(benchmark, compiler) ^
+                          (0xBAC0FF00ULL + static_cast<std::uint64_t>(attempt));
+  const double jitter = 0.5 + runtime::hash_u01(h);
+  const int shift = std::min(attempt, 20);
+  return base * static_cast<double>(1ULL << shift) * jitter;
+}
+
+}  // namespace
 
 Study::Study(StudyOptions opt)
     : opt_(std::move(opt)),
@@ -25,57 +48,160 @@ report::Table Study::run_suite(
   const std::size_t cols = opt_.compilers.size();
   const std::size_t njobs = suite.size() * cols;
   exec::Engine engine(opt_.jobs);
-  engine.run(njobs, [&](std::size_t job, int worker) {
-    const std::size_t r = job / cols;
-    const std::size_t c = job % cols;
-    const auto& bench = suite[r];
-    const auto& spec = opt_.compilers[c];
-    exec::EventSink* const sink = opt_.sink;
-    if (sink != nullptr) {
-      sink->on_event({.kind = exec::EventKind::JobStarted,
-                      .benchmark = bench.name(),
-                      .compiler = spec.name,
-                      .row = r,
-                      .col = c,
-                      .worker = worker});
-    }
-    const auto t0 = std::chrono::steady_clock::now();
-    runtime::RunMetrics metrics;
-    t.rows[r].cells[c] = harness_.run(spec, bench, &metrics);
-    if (sink != nullptr) {
-      const double wall =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+  const auto res = engine.try_run(
+      njobs,
+      [&](std::size_t job, int worker) {
+        const std::size_t r = job / cols;
+        const std::size_t c = job % cols;
+        const auto& bench = suite[r];
+        const auto& spec = opt_.compilers[c];
+        exec::EventSink* const sink = opt_.sink;
+        if (sink != nullptr) {
+          sink->on_event({.kind = exec::EventKind::JobStarted,
+                          .benchmark = bench.name(),
+                          .compiler = spec.name,
+                          .row = r,
+                          .col = c,
+                          .worker = worker});
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto wall_now = [&t0] {
+          return std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
               .count();
-      if (metrics.compile_cache_hits > 0) {
-        sink->on_event(
-            {.kind = exec::EventKind::CacheHit,
-             .benchmark = bench.name(),
-             .compiler = spec.name,
-             .row = r,
-             .col = c,
-             .worker = worker,
-             .count = static_cast<std::uint64_t>(metrics.compile_cache_hits)});
-      }
-      if (metrics.compile_cache_misses > 0) {
-        sink->on_event({.kind = exec::EventKind::CacheMiss,
-                        .benchmark = bench.name(),
-                        .compiler = spec.name,
-                        .row = r,
-                        .col = c,
-                        .worker = worker,
-                        .count = static_cast<std::uint64_t>(
-                            metrics.compile_cache_misses)});
-      }
-      sink->on_event({.kind = exec::EventKind::JobFinished,
-                      .benchmark = bench.name(),
-                      .compiler = spec.name,
-                      .row = r,
-                      .col = c,
-                      .worker = worker,
-                      .model_seconds = t.rows[r].cells[c].best_seconds,
-                      .wall_seconds = wall});
-    }
-  });
+        };
+
+        // Resume: a valid journal entry is the byte-identical outcome of
+        // a prior run (keys cover seed + both fingerprints), so restore
+        // it without touching the harness.  Failed entries re-evaluate.
+        const std::uint64_t key =
+            opt_.journal != nullptr
+                ? Journal::cell_key(opt_.seed, spec, bench.kernel,
+                                    opt_.apply_quirks)
+                : 0;
+        if (opt_.journal != nullptr) {
+          if (const runtime::MeasuredRun* prior = opt_.journal->find(key);
+              prior != nullptr && prior->valid()) {
+            t.rows[r].cells[c] = *prior;
+            if (sink != nullptr) {
+              sink->on_event({.kind = exec::EventKind::JobFinished,
+                              .benchmark = bench.name(),
+                              .compiler = spec.name,
+                              .row = r,
+                              .col = c,
+                              .worker = worker,
+                              .model_seconds = prior->best_seconds,
+                              .wall_seconds = wall_now()});
+            }
+            return;
+          }
+        }
+
+        runtime::RunMetrics metrics;
+        runtime::MeasuredRun m;
+        int attempt = 0;
+        for (;; ++attempt) {
+          runtime::RunContext ctx;
+          ctx.injected =
+              opt_.faults.decide(opt_.seed, bench.name(), spec.name, attempt);
+          ctx.deadline_seconds = opt_.deadline_seconds;
+          ctx.attempt = attempt;
+          try {
+            m = harness_.run(spec, bench, ctx, &metrics);
+          } catch (const runtime::CellError& e) {
+            m = {};
+            m.benchmark = bench.name();
+            m.compiler = spec.name;
+            m.status = e.status();
+            m.diagnostic = e.what();
+          } catch (const std::exception& e) {
+            m = {};
+            m.benchmark = bench.name();
+            m.compiler = spec.name;
+            m.status = runtime::CellStatus::Crashed;
+            m.diagnostic = e.what();
+          } catch (...) {
+            m = {};
+            m.benchmark = bench.name();
+            m.compiler = spec.name;
+            m.status = runtime::CellStatus::Crashed;
+            m.diagnostic = "non-standard exception escaped the harness";
+          }
+          if (m.valid() || attempt >= opt_.max_retries) break;
+          const double backoff = backoff_for(opt_.retry_backoff_seconds,
+                                             bench.name(), spec.name, attempt);
+          if (sink != nullptr) {
+            sink->on_event({.kind = exec::EventKind::JobRetried,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .attempt = attempt,
+                            .status = m.status,
+                            .detail = m.diagnostic,
+                            .backoff_seconds = backoff});
+          }
+          if (backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                std::min(backoff, kMaxBackoffSleep)));
+          }
+        }
+        t.rows[r].cells[c] = m;
+        if (opt_.journal != nullptr) opt_.journal->record({key, m});
+        if (sink != nullptr) {
+          const double wall = wall_now();
+          if (metrics.compile_cache_hits > 0) {
+            sink->on_event({.kind = exec::EventKind::CacheHit,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .count = static_cast<std::uint64_t>(
+                                metrics.compile_cache_hits)});
+          }
+          if (metrics.compile_cache_misses > 0) {
+            sink->on_event({.kind = exec::EventKind::CacheMiss,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .count = static_cast<std::uint64_t>(
+                                metrics.compile_cache_misses)});
+          }
+          // Quirk-failed, injected and timed-out cells all land here as
+          // JobFailed: exactly one terminal event per cell either way.
+          if (m.valid()) {
+            sink->on_event({.kind = exec::EventKind::JobFinished,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .model_seconds = m.best_seconds,
+                            .wall_seconds = wall,
+                            .attempt = attempt});
+          } else {
+            sink->on_event({.kind = exec::EventKind::JobFailed,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .wall_seconds = wall,
+                            .attempt = attempt,
+                            .status = m.status,
+                            .detail = m.diagnostic});
+          }
+        }
+      },
+      opt_.fail_fast ? exec::ErrorPolicy::FailFast
+                     : exec::ErrorPolicy::CollectAll);
+  // Cell failures are classified into the table, so any error here is an
+  // infrastructure fault (sink/journal bug); surface the lowest-index one.
+  if (!res.ok()) std::rethrow_exception(res.errors.front().error);
   return t;
 }
 

@@ -16,10 +16,12 @@
 #include <string>
 #include <vector>
 
+#include "core/journal.hpp"
 #include "exec/engine.hpp"
 #include "exec/events.hpp"
 #include "kernels/benchmark.hpp"
 #include "report/figure2.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/harness.hpp"
 
 namespace a64fxcc::core {
@@ -47,6 +49,29 @@ struct StudyOptions {
   exec::EventSink* sink = nullptr;
   /// Apply the paper-documented quirk DB (off for the ablation bench).
   bool apply_quirks = true;
+  /// Extra evaluation attempts after a failed one (0 = no retries).
+  /// Retries are deterministic: the fault schedule and the backoff
+  /// jitter are pure functions of (seed, benchmark, compiler, attempt),
+  /// so a retried study is byte-identical for any worker count.
+  int max_retries = 0;
+  /// Base of the exponential retry backoff (base * 2^attempt * jitter);
+  /// the actual sleep is capped so tests never stall, and no timing
+  /// value leaks into recorded outcomes.
+  double retry_backoff_seconds = 0.001;
+  /// Per-cell wall-clock deadline; 0 = unlimited.  Exceeding it turns
+  /// the attempt into a CellStatus::Timeout outcome via the harness's
+  /// cooperative checkpoints.
+  double deadline_seconds = 0;
+  /// Deterministic fault injection (off by default; see runtime::FaultPlan).
+  runtime::FaultPlan faults;
+  /// Optional checkpoint/resume journal (non-owning; must outlive the
+  /// Study calls).  Valid cells already present are restored without
+  /// re-evaluation; every freshly evaluated terminal outcome is
+  /// recorded (and appended if the journal is open for writing).
+  Journal* journal = nullptr;
+  /// Abort the batch on the first *engine* error (infrastructure
+  /// failures, not classified cell failures — those never throw).
+  bool fail_fast = false;
 };
 
 /// Aggregate claims over one table (Sec. 3 reports these per suite).

@@ -1,11 +1,10 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <exception>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace a64fxcc::exec {
 
@@ -18,36 +17,56 @@ int resolve_workers(int requested) {
 struct Engine::Impl {
   std::mutex mu;
   std::condition_variable cv_work;  // workers: a new batch is available
-  std::condition_variable cv_done;  // run(): the batch has drained
+  std::condition_variable cv_done;  // try_run(): the batch has drained
+  // The claim cursor packs the batch generation into its high bits so a
+  // worker that was preempted between reading the batch state and claiming
+  // its first job can never claim (or miscount) jobs of a later batch: the
+  // claim CAS fails as soon as try_run() re-arms the cursor.  Job indices
+  // therefore must fit in 32 bits — a study is a few hundred cells.
+  static constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << 32) - 1;
+
   const std::function<void(std::size_t, int)>* fn = nullptr;
   std::size_t njobs = 0;
-  std::atomic<std::size_t> cursor{0};  // next unclaimed job
-  std::size_t finished = 0;            // jobs completed in this batch
-  std::uint64_t generation = 0;        // bumped once per run()
-  std::exception_ptr error;            // first job exception, if any
+  ErrorPolicy policy = ErrorPolicy::CollectAll;
+  std::atomic<std::uint64_t> cursor{0};  // (generation << 32) | next job
+  std::atomic<bool> stop{false};         // FailFast: an error was recorded
+  std::size_t finished = 0;              // jobs claimed in this batch
+  std::uint64_t generation = 0;          // bumped once per batch
+  std::vector<JobError> errors;          // every job error (guarded by mu)
   bool shutdown = false;
   std::vector<std::thread> threads;
 
-  void drain(const std::function<void(std::size_t, int)>& f, std::size_t n,
-             int worker) {
+  void drain(const std::function<void(std::size_t, int)>* f, std::size_t n,
+             std::uint64_t gen, int worker) {
+    const std::uint64_t tag = (gen & kIndexMask) << 32;
     std::size_t mine = 0;
-    std::exception_ptr err;
+    std::vector<JobError> local;
     for (;;) {
-      const std::size_t j = cursor.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t cur = cursor.load(std::memory_order_relaxed);
+      if ((cur & ~kIndexMask) != tag) break;  // a newer batch owns the cursor
+      const std::size_t j = static_cast<std::size_t>(cur & kIndexMask);
       if (j >= n) break;
-      if (!err) {
+      if (!cursor.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed))
+        continue;
+      // Failures are isolated per job: a worker keeps executing later
+      // jobs after an error, unless the batch is in fail-fast mode and
+      // some worker has already recorded one.
+      if (!stop.load(std::memory_order_relaxed)) {
         try {
-          f(j, worker);
+          (*f)(j, worker);
         } catch (...) {
-          err = std::current_exception();
+          local.push_back({j, std::current_exception()});
+          if (policy == ErrorPolicy::FailFast)
+            stop.store(true, std::memory_order_relaxed);
         }
       }
-      ++mine;  // claimed jobs count as finished even after an error
+      ++mine;  // claimed jobs count as finished even when skipped
     }
-    if (mine > 0 || err) {
+    if (mine > 0) {
       const std::lock_guard<std::mutex> lock(mu);
       finished += mine;
-      if (err && !error) error = err;
+      for (auto& e : local) errors.push_back(std::move(e));
       if (finished == n) cv_done.notify_all();
     }
   }
@@ -57,15 +76,23 @@ struct Engine::Impl {
     for (;;) {
       const std::function<void(std::size_t, int)>* f;
       std::size_t n;
+      std::uint64_t gen;
       {
         std::unique_lock<std::mutex> lock(mu);
-        cv_work.wait(lock, [&] { return shutdown || generation != seen; });
+        // fn != nullptr keeps late wakers out of the window after a batch
+        // has drained (try_run nulls fn before returning): binding *fn
+        // there would be UB, and the batch is gone anyway.
+        cv_work.wait(lock, [&] {
+          return shutdown || (generation != seen && fn != nullptr);
+        });
         if (shutdown) return;
-        seen = generation;
+        seen = gen = generation;
         f = fn;
         n = njobs;
       }
-      drain(*f, n, worker);
+      // *f is dereferenced only after a successful claim: a claim for gen
+      // proves the batch is still draining, so the caller's fn is alive.
+      drain(f, n, gen, worker);
     }
   }
 };
@@ -88,29 +115,49 @@ Engine::~Engine() {
   for (auto& t : impl_->threads) t.join();
 }
 
-void Engine::run(std::size_t njobs,
-                 const std::function<void(std::size_t, int)>& fn) {
-  if (njobs == 0) return;
+BatchResult Engine::try_run(
+    std::size_t njobs, const std::function<void(std::size_t, int)>& fn,
+    ErrorPolicy policy) {
+  BatchResult res;
+  if (njobs == 0) return res;
   if (!impl_ || njobs == 1) {
     // Legacy serial path: jobs in index order on the calling thread.
-    for (std::size_t j = 0; j < njobs; ++j) fn(j, 0);
-    return;
+    for (std::size_t j = 0; j < njobs; ++j) {
+      try {
+        fn(j, 0);
+      } catch (...) {
+        res.errors.push_back({j, std::current_exception()});
+        if (policy == ErrorPolicy::FailFast) break;
+      }
+    }
+    return res;
   }
-  std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(impl_->mu);
     impl_->fn = &fn;
     impl_->njobs = njobs;
-    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->policy = policy;
+    impl_->stop.store(false, std::memory_order_relaxed);
     impl_->finished = 0;
-    impl_->error = nullptr;
+    impl_->errors.clear();
     ++impl_->generation;
+    impl_->cursor.store((impl_->generation & Impl::kIndexMask) << 32,
+                        std::memory_order_relaxed);
     impl_->cv_work.notify_all();
     impl_->cv_done.wait(lock, [&] { return impl_->finished == njobs; });
     impl_->fn = nullptr;
-    error = impl_->error;
+    res.errors = std::move(impl_->errors);
+    impl_->errors.clear();
   }
-  if (error) std::rethrow_exception(error);
+  std::sort(res.errors.begin(), res.errors.end(),
+            [](const JobError& a, const JobError& b) { return a.job < b.job; });
+  return res;
+}
+
+void Engine::run(std::size_t njobs,
+                 const std::function<void(std::size_t, int)>& fn) {
+  const BatchResult res = try_run(njobs, fn, ErrorPolicy::CollectAll);
+  if (!res.ok()) std::rethrow_exception(res.errors.front().error);
 }
 
 }  // namespace a64fxcc::exec

@@ -15,8 +15,10 @@
 // inline: that *is* the legacy serial path, byte for byte.
 
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <vector>
 
 namespace a64fxcc::exec {
 
@@ -24,6 +26,27 @@ namespace a64fxcc::exec {
 /// through, 0 (or negative) resolves to hardware_concurrency, and the
 /// result is always >= 1.
 [[nodiscard]] int resolve_workers(int requested);
+
+/// One failed job of a batch: its index plus the exception it threw.
+struct JobError {
+  std::size_t job = 0;
+  std::exception_ptr error;
+};
+
+/// Outcome of one batch: every job error, sorted by job index (a
+/// deterministic order — arrival order depends on scheduling).
+struct BatchResult {
+  std::vector<JobError> errors;
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// What a worker does once some job has failed:
+///  - CollectAll: keep claiming and *executing* jobs — failures are
+///    isolated, the batch always drains completely (the study default:
+///    failed cells are data, not reasons to abort).
+///  - FailFast: stop executing new jobs as soon as any error is
+///    recorded; already-claimed jobs finish, the rest are skipped.
+enum class ErrorPolicy : std::uint8_t { CollectAll, FailFast };
 
 class Engine {
  public:
@@ -37,10 +60,20 @@ class Engine {
   [[nodiscard]] int workers() const noexcept { return workers_; }
 
   /// Evaluate jobs 0..njobs-1 by calling fn(job, worker); blocks until
-  /// every job has completed.  Jobs must be independent and must write
-  /// disjoint results.  If a job throws, the first exception is
-  /// rethrown here after the batch drains.  Not reentrant: one run()
-  /// at a time per engine.
+  /// the batch drains.  Jobs must be independent and must write
+  /// disjoint results.  Every job exception is caught and returned
+  /// (never lost): under CollectAll all njobs execute regardless of
+  /// failures; under FailFast jobs claimed after the first recorded
+  /// error are skipped.  Not reentrant: one batch at a time per engine.
+  [[nodiscard]] BatchResult try_run(
+      std::size_t njobs,
+      const std::function<void(std::size_t job, int worker)>& fn,
+      ErrorPolicy policy = ErrorPolicy::CollectAll);
+
+  /// Legacy throwing wrapper: try_run(CollectAll), then rethrows the
+  /// error of the *lowest failed job index* (deterministic for any
+  /// worker count, unlike first-arrival).  Errors beyond the first are
+  /// reported only via try_run.
   void run(std::size_t njobs,
            const std::function<void(std::size_t job, int worker)>& fn);
 

@@ -16,11 +16,15 @@
 #include <string>
 #include <vector>
 
+#include "runtime/outcome.hpp"
+
 namespace a64fxcc::exec {
 
 enum class EventKind : std::uint8_t {
   JobStarted,   ///< a worker picked up one (benchmark x compiler) cell
-  JobFinished,  ///< cell evaluated; model_seconds/wall_seconds filled in
+  JobFinished,  ///< cell evaluated OK; model_seconds/wall_seconds filled
+  JobFailed,    ///< cell terminally failed (status + detail filled in)
+  JobRetried,   ///< one failed attempt will be retried (attempt/backoff)
   CacheHit,     ///< compile-cache hits while evaluating the cell (count)
   CacheMiss,    ///< compile-cache misses while evaluating the cell (count)
 };
@@ -29,6 +33,8 @@ enum class EventKind : std::uint8_t {
   switch (k) {
     case EventKind::JobStarted: return "job-started";
     case EventKind::JobFinished: return "job-finished";
+    case EventKind::JobFailed: return "job-failed";
+    case EventKind::JobRetried: return "job-retried";
     case EventKind::CacheHit: return "cache-hit";
     case EventKind::CacheMiss: return "cache-miss";
   }
@@ -45,10 +51,20 @@ struct Event {
   /// Modeled best-of-10 time of the cell (JobFinished only; infinity for
   /// invalid cells).
   double model_seconds = 0;
-  /// Host wall-clock spent evaluating the cell (JobFinished only).
+  /// Host wall-clock spent evaluating the cell (terminal events only).
   double wall_seconds = 0;
   /// Batch size for cache events; 1 for job events.
   std::uint64_t count = 1;
+  /// Retry attempt the event refers to (0 = first try).  For terminal
+  /// events this is the attempt that produced the final outcome.
+  int attempt = 0;
+  /// Classified failure (JobFailed; for JobRetried, the failure being
+  /// retried).  Ok otherwise.
+  runtime::CellStatus status = runtime::CellStatus::Ok;
+  /// Failure diagnostic text (JobFailed/JobRetried only).
+  std::string detail;
+  /// Deterministic backoff chosen before the next attempt (JobRetried).
+  double backoff_seconds = 0;
 };
 
 class EventSink {
@@ -91,19 +107,36 @@ class CollectingSink final : public EventSink {
   std::vector<Event> events_;
 };
 
-/// Thread-safe sink that renders one line per completed cell — what the
-/// CLI attaches for `--progress`.
+/// Thread-safe sink that renders one line per completed or failed cell
+/// (plus retry notices) — what the CLI attaches for `--progress`.
 class StreamSink final : public EventSink {
  public:
   explicit StreamSink(std::FILE* out = stderr) : out_(out) {}
 
   void on_event(const Event& e) override {
-    if (e.kind != EventKind::JobFinished) return;
     const std::lock_guard<std::mutex> lock(mu_);
-    ++done_;
-    std::fprintf(out_, "  [w%d] %-18s x %-10s %10.4gs model, %.3fs wall (%zu done)\n",
-                 e.worker, e.benchmark.c_str(), e.compiler.c_str(),
-                 e.model_seconds, e.wall_seconds, done_);
+    switch (e.kind) {
+      case EventKind::JobFinished:
+        ++done_;
+        std::fprintf(out_,
+                     "  [w%d] %-18s x %-10s %10.4gs model, %.3fs wall (%zu done)\n",
+                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                     e.model_seconds, e.wall_seconds, done_);
+        break;
+      case EventKind::JobFailed:
+        ++done_;
+        std::fprintf(out_, "  [w%d] %-18s x %-10s %10s  %s (%zu done)\n",
+                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                     runtime::marker(e.status), e.detail.c_str(), done_);
+        break;
+      case EventKind::JobRetried:
+        std::fprintf(out_, "  [w%d] %-18s x %-10s retry #%d after %s: %s\n",
+                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                     e.attempt + 1, runtime::marker(e.status),
+                     e.detail.c_str());
+        break;
+      default: break;
+    }
   }
 
  private:

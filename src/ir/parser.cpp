@@ -93,7 +93,13 @@ class Lexer {
       }
       cur_.kind = Tok::Number;
       cur_.text = num;
-      cur_.num = std::stod(num);
+      try {
+        cur_.num = std::stod(num);
+      } catch (const std::exception&) {
+        // out_of_range ("1e99999") or a malformed exponent tail.
+        throw ParseError(cur_.line, cur_.col,
+                         "number out of range: '" + num + "'");
+      }
       return;
     }
     switch (c) {
@@ -174,6 +180,18 @@ class Lexer {
 
 // ---- parser ----------------------------------------------------------------
 
+/// Convert a lexed number to an integer, rejecting values the
+/// double->int64 cast could not represent (that cast is UB out of
+/// range, which is exactly what fuzzed inputs like `param N = 1e300`
+/// would hit).
+std::int64_t checked_int(const Token& t) {
+  constexpr double kMax = 9223372036854775808.0;  // 2^63
+  if (!(t.num >= -kMax && t.num < kMax))
+    throw ParseError(t.line, t.col,
+                     "integer value out of range: '" + t.text + "'");
+  return static_cast<std::int64_t>(t.num);
+}
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : lex_(text) {}
@@ -200,6 +218,7 @@ class Parser {
     if (!lex_.at(Tok::Ident) && !lex_.at(Tok::String))
       throw err("expected kernel name");
     const std::string name = lex_.next().text;
+    if (name.empty()) throw err("kernel name must not be empty");
     KernelMeta meta;
     while (lex_.at(Tok::Ident) && !lex_.at_ident("param") &&
            !lex_.at_ident("tensor") && !lex_.at_ident("for") &&
@@ -240,7 +259,7 @@ class Parser {
       lex_.next();
     }
     const auto v = lex_.expect(Tok::Number, "integer value");
-    const auto value = static_cast<std::int64_t>(v.num) * (neg ? -1 : 1);
+    const auto value = checked_int(v) * (neg ? -1 : 1);
     vars_[name] = kb_->param(name, value);
   }
 
@@ -293,6 +312,7 @@ class Parser {
   }
 
   void parse_node() {
+    const DepthGuard guard(*this);
     if (lex_.at_ident("ocl")) {
       parse_ocl();
       return;
@@ -318,8 +338,11 @@ class Parser {
         continue;
       }
       lex_.expect(Tok::Assign, "'=' after ocl hint");
-      const int v =
-          static_cast<int>(lex_.expect(Tok::Number, "hint value").num);
+      const Token vt = lex_.expect(Tok::Number, "hint value");
+      const std::int64_t v64 = checked_int(vt);
+      if (v64 < 0 || v64 > 1'000'000)
+        throw ParseError(vt.line, vt.col, "ocl hint value out of range");
+      const int v = static_cast<int>(v64);
       if (key == "unroll") unroll = v;
       else if (key == "prefetch") prefetch = v;
       else throw err("unknown ocl hint '" + key + "'");
@@ -353,8 +376,7 @@ class Parser {
         neg = true;
         lex_.next();
       }
-      step = static_cast<std::int64_t>(
-                 lex_.expect(Tok::Number, "step value").num) *
+      step = checked_int(lex_.expect(Tok::Number, "step value")) *
              (neg ? -1 : 1);
       if (step == 0) throw err("step must be nonzero");
     }
@@ -419,6 +441,7 @@ class Parser {
   ///                      term := factor (('*'|'/') factor)*
   ///                      factor := '-' factor | primary
   E parse_expr() {
+    const DepthGuard guard(*this);
     E lhs = parse_term();
     while (lex_.at(Tok::Plus) || lex_.at(Tok::Minus)) {
       const bool add = lex_.next().kind == Tok::Plus;
@@ -549,10 +572,28 @@ class Parser {
     return ParseError(lex_.peek().line, lex_.peek().col, msg);
   }
 
+  /// Bounds combined loop-nesting + expression recursion so fuzzed
+  /// inputs like 10k nested parens raise a ParseError instead of
+  /// overflowing the stack.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxDepth) {
+        --p_.depth_;
+        throw p_.err("nesting too deep");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p_;
+  };
+  static constexpr int kMaxDepth = 200;
+
   Lexer lex_;
   std::optional<KernelBuilder> kb_;
   std::map<std::string, Sym> vars_;
   std::map<std::string, TensorHandle> tensors_;
+  int depth_ = 0;
 };
 
 // ---- serializer ------------------------------------------------------------
@@ -666,7 +707,18 @@ void write_node(std::ostream& os, const Kernel& k, const Node& n, int depth) {
 
 }  // namespace
 
-Kernel parse_kernel(const std::string& text) { return Parser(text).parse(); }
+Kernel parse_kernel(const std::string& text) {
+  try {
+    return Parser(text).parse();
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Builder invariant violations (or any other library exception)
+    // surface as a diagnostic too: malformed input must never escape as
+    // an unclassified exception type.
+    throw ParseError(0, 0, std::string("invalid kernel: ") + e.what());
+  }
+}
 
 std::string serialize_kernel(const Kernel& k) {
   std::ostringstream os;

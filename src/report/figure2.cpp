@@ -38,14 +38,10 @@ std::string fmt_time(double s) {
   return buf;
 }
 
-std::string status_label(compilers::CompileOutcome::Status st) {
-  using Status = compilers::CompileOutcome::Status;
-  switch (st) {
-    case Status::Ok: return "ok";
-    case Status::CompileError: return "compiler error";
-    case Status::RuntimeError: return "runtime error";
-  }
-  return "?";
+/// Long-form labels come from the cell taxonomy directly; the paper's
+/// Figure-2 cell markers (CE/RE/TO/XX) render via runtime::marker.
+std::string status_label(runtime::CellStatus st) {
+  return runtime::to_string(st);
 }
 
 /// ANSI background color approximating the paper's white->dark-green
@@ -113,7 +109,7 @@ std::string render_ansi(const Table& t) {
       const auto& cell = row.cells[c];
       std::string text;
       if (!cell.valid()) {
-        text = status_label(cell.status) == "compiler error" ? "CE" : "RE";
+        text = runtime::marker(cell.status);
       } else {
         text = fmt_time(cell.best_seconds);
       }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <random>
+#include <thread>
 
 #include "stats/stats.hpp"
 
@@ -141,16 +143,59 @@ double Harness::noisy(double t, double cv, std::uint64_t stream) const {
   return t * std::exp(sigma * n(rng));
 }
 
+namespace {
+
+/// Simulate an injected hang: spin in checkpoint-sized slices so the
+/// cell's deadline watchdog cancels it cooperatively.  Without a
+/// deadline the hang self-bounds (a simulated hang must never wedge a
+/// worker for real), still terminating in CellStatus::Timeout.
+void simulate_hang(const RunContext& ctx) {
+  constexpr double kUnboundedHangCap = 0.05;  // seconds
+  const double cap = ctx.deadline_seconds > 0 ? ctx.deadline_seconds + 0.5
+                                              : kUnboundedHangCap;
+  while (ctx.elapsed_seconds() < cap) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ctx.checkpoint();  // throws Timeout once the deadline passes
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "injected hang aborted without a deadline (attempt %d)",
+                ctx.attempt);
+  throw CellError(CellStatus::Timeout, buf);
+}
+
+}  // namespace
+
 MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
                          const kernels::Benchmark& bench,
                          RunMetrics* metrics) const {
+  RunContext ctx;
+  return run(spec, bench, ctx, metrics);
+}
+
+MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
+                         const kernels::Benchmark& bench, RunContext& ctx,
+                         RunMetrics* metrics) const {
+  ctx.arm();
   MeasuredRun m;
   m.benchmark = bench.name();
   m.compiler = spec.name;
 
+  if (ctx.injected == FaultKind::Compile) {
+    m.status = CellStatus::CompileError;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "injected compile fault (attempt %d)",
+                  ctx.attempt);
+    m.diagnostic = buf;
+    return m;
+  }
+
   const auto out = compile_cached(spec, bench.kernel, metrics);
-  m.status = out->status;
-  if (!out->ok()) return m;
+  m.status = cell_status(out->status);
+  if (!out->ok()) {
+    m.diagnostic = out->diagnostic;
+    return m;
+  }
 
   const std::uint64_t base = cell_stream(bench.name(), spec.name);
 
@@ -168,6 +213,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
   Placement best_p = placements.front();
   double best_trial = std::numeric_limits<double>::infinity();
   for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+    ctx.checkpoint();  // cooperative cancellation per exploration point
     const double t = time_of(*out, refp, bench.traits.library_fraction,
                              machine_, placements[pi]);
     for (int trial = 0; trial < 3; ++trial) {
@@ -186,9 +232,23 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
       time_of(*out, refp, bench.traits.library_fraction, machine_, best_p);
   std::vector<double> samples;
   samples.reserve(10);
-  for (int r = 0; r < 10; ++r)
+  for (int r = 0; r < 10; ++r) {
+    ctx.checkpoint();  // cooperative cancellation per performance run
+    if (r == 4) {
+      // Injected faults strike mid-phase so the recovery path exercises
+      // a partially-evaluated cell, the worst case for isolation.
+      if (ctx.injected == FaultKind::Runtime) {
+        char buf[80];
+        std::snprintf(buf, sizeof buf,
+                      "injected runtime fault at performance run %d (attempt %d)",
+                      r + 1, ctx.attempt);
+        throw CellError(CellStatus::RuntimeError, buf);
+      }
+      if (ctx.injected == FaultKind::Hang) simulate_hang(ctx);
+    }
     samples.push_back(
         noisy(t_model, bench.traits.noise_cv, base ^ (0xABCD0000ULL + r)));
+  }
   m.best_seconds = stats::min(samples);
   m.median_seconds = stats::median(samples);
   m.cv = stats::cv(samples);

@@ -31,6 +31,8 @@
 #include "kernels/benchmark.hpp"
 #include "machine/machine.hpp"
 #include "perf/perf_model.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/outcome.hpp"
 
 namespace a64fxcc::runtime {
 
@@ -46,11 +48,27 @@ struct Placement {
   friend bool operator==(const Placement&, const Placement&) = default;
 };
 
+/// Map a compile-stage status onto the cell taxonomy (Timeout/Crashed
+/// can only originate in the execution layer).
+[[nodiscard]] constexpr CellStatus cell_status(
+    compilers::CompileOutcome::Status st) noexcept {
+  switch (st) {
+    case compilers::CompileOutcome::Status::Ok: return CellStatus::Ok;
+    case compilers::CompileOutcome::Status::CompileError:
+      return CellStatus::CompileError;
+    case compilers::CompileOutcome::Status::RuntimeError:
+      return CellStatus::RuntimeError;
+  }
+  return CellStatus::Crashed;
+}
+
 struct MeasuredRun {
   std::string benchmark;
   std::string compiler;
-  compilers::CompileOutcome::Status status =
-      compilers::CompileOutcome::Status::Ok;
+  CellStatus status = CellStatus::Ok;
+  /// Structured failure detail (quirk citation, injected-fault tag,
+  /// deadline message, exception text); empty for valid cells.
+  std::string diagnostic;
   double best_seconds = std::numeric_limits<double>::infinity();
   double median_seconds = std::numeric_limits<double>::infinity();
   double cv = 0;
@@ -60,7 +78,7 @@ struct MeasuredRun {
   double mem_gbs = 0;
 
   [[nodiscard]] bool valid() const noexcept {
-    return status == compilers::CompileOutcome::Status::Ok;
+    return status == CellStatus::Ok;
   }
 };
 
@@ -83,6 +101,19 @@ class Harness {
   /// itself), and deterministic per the cell_stream contract above.
   [[nodiscard]] MeasuredRun run(const compilers::CompilerSpec& spec,
                                 const kernels::Benchmark& bench,
+                                RunMetrics* metrics = nullptr) const;
+
+  /// Same methodology under an execution policy: `ctx` selects the
+  /// injected fault for this attempt (if any), carries the wall-clock
+  /// deadline, and is checkpointed at every exploration/performance
+  /// iteration (cooperative cancellation).  Throws CellError for
+  /// classified failures (injected runtime faults, deadline/cancel);
+  /// injected compile faults and quirk failures return a MeasuredRun
+  /// with the corresponding status + diagnostic.  With a default ctx
+  /// this is bit-identical to run() above.
+  [[nodiscard]] MeasuredRun run(const compilers::CompilerSpec& spec,
+                                const kernels::Benchmark& bench,
+                                RunContext& ctx,
                                 RunMetrics* metrics = nullptr) const;
 
   /// Placement candidates for a benchmark under this machine's topology

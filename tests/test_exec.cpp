@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/study.hpp"
@@ -71,6 +73,94 @@ TEST(Engine, PropagatesJobExceptions) {
                           }),
                std::runtime_error);
   // The engine must stay usable after a failed batch.
+  std::atomic<int> n{0};
+  engine.run(4, [&](std::size_t, int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(Engine, RunRethrowsLowestIndexError) {
+  // With several failing jobs, run() must rethrow deterministically —
+  // the lowest job index — not whichever worker lost the race.
+  exec::Engine engine(4);
+  try {
+    engine.run(16, [](std::size_t j, int) {
+      if (j % 5 == 2) throw std::runtime_error("job " + std::to_string(j));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 2");
+  }
+}
+
+TEST(Engine, TryRunCollectsAllErrors) {
+  // The old semantics lost every error but the first; try_run must
+  // isolate failures per job, keep executing the rest, and report all
+  // of them sorted by job index.
+  exec::Engine engine(4);
+  std::vector<std::atomic<int>> hits(8);
+  const auto res = engine.try_run(8, [&](std::size_t j, int) {
+    hits[j].fetch_add(1);
+    if (j == 1 || j == 4 || j == 6)
+      throw std::runtime_error("job " + std::to_string(j));
+  });
+  EXPECT_FALSE(res.ok());
+  ASSERT_EQ(res.errors.size(), 3u);
+  EXPECT_EQ(res.errors[0].job, 1u);
+  EXPECT_EQ(res.errors[1].job, 4u);
+  EXPECT_EQ(res.errors[2].job, 6u);
+  for (const auto& err : res.errors) {
+    try {
+      std::rethrow_exception(err.error);
+    } catch (const std::runtime_error& e) {
+      EXPECT_EQ(e.what(), "job " + std::to_string(err.job));
+    }
+  }
+  // Isolation: every job ran despite the three failures.
+  for (std::size_t j = 0; j < 8; ++j) EXPECT_EQ(hits[j].load(), 1) << j;
+}
+
+TEST(Engine, TryRunOkOnCleanBatch) {
+  exec::Engine engine(2);
+  const auto res = engine.try_run(4, [](std::size_t, int) {});
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.errors.empty());
+}
+
+TEST(Engine, FailFastInlineStopsAtFirstError) {
+  // Inline (1 worker) fail-fast: jobs after the failing one never run.
+  exec::Engine engine(1);
+  std::vector<std::size_t> ran;
+  const auto res = engine.try_run(
+      6,
+      [&](std::size_t j, int) {
+        ran.push_back(j);
+        if (j == 2) throw std::runtime_error("stop here");
+      },
+      exec::ErrorPolicy::FailFast);
+  EXPECT_FALSE(res.ok());
+  ASSERT_EQ(res.errors.size(), 1u);
+  EXPECT_EQ(res.errors[0].job, 2u);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Engine, FailFastThreadedStopsPromptly) {
+  // Threaded fail-fast: job 0 fails immediately; workers observe the
+  // stop flag at their next claim, so only a small prefix executes.
+  exec::Engine engine(2);
+  std::atomic<int> executed{0};
+  const auto res = engine.try_run(
+      64,
+      [&](std::size_t j, int) {
+        if (j == 0) throw std::runtime_error("early");
+        executed.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      },
+      exec::ErrorPolicy::FailFast);
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.errors[0].job, 0u);
+  // 2 workers with a 2ms body: far fewer than all 63 other jobs ran.
+  EXPECT_LE(executed.load(), 8);
+  // The engine stays usable after a fail-fast batch.
   std::atomic<int> n{0};
   engine.run(4, [&](std::size_t, int) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 4);
@@ -232,6 +322,75 @@ TEST(Events, SinkSeesEveryCellExactlyOnce) {
     EXPECT_GE(e.wall_seconds, 0.0);
   }
   EXPECT_EQ(seen.size(), cells);
+}
+
+TEST(Events, EveryCellEmitsExactlyOneTerminalEvent) {
+  // The microkernel suite has 9 quirk-failed cells (6 GNU runtime
+  // errors + kernel 22's compile error on the 3 clang-based
+  // compilers): those emit JobFailed, valid cells emit JobFinished,
+  // and each cell emits exactly one of the two — at every worker count.
+  const auto suite = kernels::microkernel_suite(0.05);
+  for (const int jobs : {1, 2, 8}) {
+    exec::CollectingSink sink;
+    const auto t = run_with_jobs(suite, jobs, &sink);
+    const std::size_t cells = t.rows.size() * t.compilers.size();
+    EXPECT_EQ(sink.count(exec::EventKind::JobStarted), cells) << jobs;
+    EXPECT_EQ(sink.count(exec::EventKind::JobFinished) +
+                  sink.count(exec::EventKind::JobFailed),
+              cells)
+        << jobs;
+    EXPECT_EQ(sink.count(exec::EventKind::JobFailed), 9u) << jobs;
+    std::set<std::pair<std::size_t, std::size_t>> terminal;
+    for (const auto& e : sink.events()) {
+      if (e.kind != exec::EventKind::JobFinished &&
+          e.kind != exec::EventKind::JobFailed)
+        continue;
+      EXPECT_TRUE(terminal.emplace(e.row, e.col).second)
+          << "two terminal events for cell " << e.row << "," << e.col;
+      const bool cell_ok = t.rows[e.row].cells[e.col].valid();
+      EXPECT_EQ(e.kind == exec::EventKind::JobFinished, cell_ok);
+      if (e.kind == exec::EventKind::JobFailed) {
+        EXPECT_NE(e.status, runtime::CellStatus::Ok);
+        EXPECT_FALSE(e.detail.empty());
+        EXPECT_EQ(e.detail, t.rows[e.row].cells[e.col].diagnostic);
+      }
+    }
+    EXPECT_EQ(terminal.size(), cells) << jobs;
+  }
+}
+
+TEST(Events, ToStringCoversEveryKind) {
+  using exec::EventKind;
+  EXPECT_STREQ(to_string(EventKind::JobStarted), "job-started");
+  EXPECT_STREQ(to_string(EventKind::JobFinished), "job-finished");
+  EXPECT_STREQ(to_string(EventKind::JobFailed), "job-failed");
+  EXPECT_STREQ(to_string(EventKind::JobRetried), "job-retried");
+  EXPECT_STREQ(to_string(EventKind::CacheHit), "cache-hit");
+  EXPECT_STREQ(to_string(EventKind::CacheMiss), "cache-miss");
+}
+
+TEST(Events, StreamSinkIsThreadSafeForFailureEvents) {
+  // Hammer a StreamSink with concurrent failure/retry events (into a
+  // scratch file): must not crash, race, or interleave torn lines.
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  {
+    exec::StreamSink sink(devnull);
+    exec::Engine engine(8);
+    engine.run(256, [&](std::size_t j, int worker) {
+      exec::Event e;
+      e.kind = (j % 3 == 0) ? exec::EventKind::JobFailed
+               : (j % 3 == 1) ? exec::EventKind::JobRetried
+                              : exec::EventKind::JobFinished;
+      e.benchmark = "bench" + std::to_string(j);
+      e.compiler = "CC";
+      e.worker = worker;
+      e.status = runtime::CellStatus::RuntimeError;
+      e.detail = "synthetic failure";
+      sink.on_event(e);
+    });
+  }
+  std::fclose(devnull);
 }
 
 TEST(Events, LibraryBenchmarksHitTheCompileCache) {

@@ -1,0 +1,455 @@
+// Fault tolerance: taxonomy, deterministic injection, retry/deadline
+// policies, and checkpoint/resume journaling.
+//
+// The load-bearing guarantees:
+//   * a study with injected faults still completes and is byte-identical
+//     for any worker count (fault decisions are pure functions of cell
+//     identity + attempt, never of scheduling);
+//   * MeasuredRun values do not depend on the attempt index, so a table
+//     resumed after failures equals a clean run byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/study.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/outcome.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+// ---- taxonomy --------------------------------------------------------------
+
+TEST(Taxonomy, LabelsAndMarkersCoverEveryStatus) {
+  using runtime::CellStatus;
+  EXPECT_STREQ(to_string(CellStatus::Ok), "ok");
+  EXPECT_STREQ(to_string(CellStatus::CompileError), "compiler error");
+  EXPECT_STREQ(to_string(CellStatus::RuntimeError), "runtime error");
+  EXPECT_STREQ(to_string(CellStatus::Timeout), "timeout");
+  EXPECT_STREQ(to_string(CellStatus::Crashed), "crash");
+  EXPECT_STREQ(marker(CellStatus::Ok), "ok");
+  EXPECT_STREQ(marker(CellStatus::CompileError), "CE");
+  EXPECT_STREQ(marker(CellStatus::RuntimeError), "RE");
+  EXPECT_STREQ(marker(CellStatus::Timeout), "TO");
+  EXPECT_STREQ(marker(CellStatus::Crashed), "XX");
+  // Labels round-trip through parse_status (journal decode path).
+  for (const auto st :
+       {CellStatus::Ok, CellStatus::CompileError, CellStatus::RuntimeError,
+        CellStatus::Timeout, CellStatus::Crashed}) {
+    runtime::CellStatus back{};
+    ASSERT_TRUE(runtime::parse_status(runtime::to_string(st), &back));
+    EXPECT_EQ(back, st);
+  }
+  runtime::CellStatus ignored{};
+  EXPECT_FALSE(runtime::parse_status("segfault", &ignored));
+}
+
+TEST(Taxonomy, FaultKindToString) {
+  using runtime::FaultKind;
+  EXPECT_STREQ(to_string(FaultKind::None), "none");
+  EXPECT_STREQ(to_string(FaultKind::Compile), "compile");
+  EXPECT_STREQ(to_string(FaultKind::Runtime), "runtime");
+  EXPECT_STREQ(to_string(FaultKind::Hang), "hang");
+}
+
+TEST(Taxonomy, CellErrorCarriesStatus) {
+  const runtime::CellError e(runtime::CellStatus::Timeout, "late");
+  EXPECT_EQ(e.status(), runtime::CellStatus::Timeout);
+  EXPECT_STREQ(e.what(), "late");
+}
+
+// ---- fault plan ------------------------------------------------------------
+
+TEST(FaultPlan, ParseAcceptsWellFormedSpecs) {
+  const auto p = runtime::FaultPlan::parse("compile:0.05,runtime:0.02,hang:0.01");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->compile, 0.05);
+  EXPECT_DOUBLE_EQ(p->runtime, 0.02);
+  EXPECT_DOUBLE_EQ(p->hang, 0.01);
+  // Any subset, any order.
+  const auto q = runtime::FaultPlan::parse("hang:0.5");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->hang, 0.5);
+  EXPECT_DOUBLE_EQ(q->compile, 0.0);
+  // Round-trip through the canonical form.
+  const auto rt = runtime::FaultPlan::parse(p->spec());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_DOUBLE_EQ(rt->compile, p->compile);
+  EXPECT_DOUBLE_EQ(rt->runtime, p->runtime);
+  EXPECT_DOUBLE_EQ(rt->hang, p->hang);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(runtime::FaultPlan::parse("compile").has_value());
+  EXPECT_FALSE(runtime::FaultPlan::parse("compile:").has_value());
+  EXPECT_FALSE(runtime::FaultPlan::parse("compile:nan?").has_value());
+  EXPECT_FALSE(runtime::FaultPlan::parse("compile:1.5").has_value());
+  EXPECT_FALSE(runtime::FaultPlan::parse("compile:-0.1").has_value());
+  EXPECT_FALSE(runtime::FaultPlan::parse("segv:0.5").has_value());
+  // Rates must sum to at most 1 (they partition one uniform draw).
+  EXPECT_FALSE(
+      runtime::FaultPlan::parse("compile:0.6,runtime:0.6").has_value());
+}
+
+TEST(FaultPlan, DecideIsDeterministicAndAttemptDependent) {
+  runtime::FaultPlan plan;
+  plan.compile = 0.3;
+  plan.runtime = 0.3;
+  // Pure function of (seed, benchmark, compiler, attempt).
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    EXPECT_EQ(plan.decide(42, "2mm", "LLVM", attempt),
+              plan.decide(42, "2mm", "LLVM", attempt));
+  }
+  // Some cell must see a different decision on a different attempt —
+  // that's what makes retries able to succeed.
+  bool attempt_changes_something = false;
+  bool cell_changes_something = false;
+  const std::vector<std::string> benches = {"2mm", "3mm", "atax", "bicg",
+                                            "mvt", "syrk", "trmm", "lu"};
+  for (const auto& b : benches) {
+    if (plan.decide(42, b, "LLVM", 0) != plan.decide(42, b, "LLVM", 1))
+      attempt_changes_something = true;
+    if (plan.decide(42, b, "LLVM", 0) != plan.decide(42, b, "GNU", 0))
+      cell_changes_something = true;
+  }
+  EXPECT_TRUE(attempt_changes_something);
+  EXPECT_TRUE(cell_changes_something);
+}
+
+TEST(FaultPlan, RateOneAlwaysFires) {
+  runtime::FaultPlan plan;
+  plan.compile = 1.0;
+  for (const char* b : {"2mm", "atax", "lu", "heat"})
+    EXPECT_EQ(plan.decide(7, b, "FJtrad", 0), runtime::FaultKind::Compile);
+  runtime::FaultPlan off;
+  EXPECT_EQ(off.decide(7, "2mm", "FJtrad", 0), runtime::FaultKind::None);
+}
+
+// ---- deadline / hang -------------------------------------------------------
+
+TEST(Deadline, InjectedHangTimesOutCooperatively) {
+  const runtime::Harness h(machine::a64fx());
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto spec = compilers::llvm12();
+  runtime::RunContext ctx;
+  ctx.injected = runtime::FaultKind::Hang;
+  ctx.deadline_seconds = 0.02;
+  try {
+    (void)h.run(spec, suite[0], ctx);
+    FAIL() << "hang must not complete";
+  } catch (const runtime::CellError& e) {
+    EXPECT_EQ(e.status(), runtime::CellStatus::Timeout);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Deadline, HangWithoutDeadlineStillTerminates) {
+  // The self-cap guarantees a hang can never wedge a worker even when
+  // the caller forgot to set a deadline.
+  const runtime::Harness h(machine::a64fx());
+  const auto suite = kernels::polybench_suite(0.05);
+  runtime::RunContext ctx;
+  ctx.injected = runtime::FaultKind::Hang;
+  EXPECT_THROW((void)h.run(compilers::llvm12(), suite[0], ctx),
+               runtime::CellError);
+}
+
+TEST(Deadline, DefaultContextMatchesLegacyRun) {
+  const runtime::Harness h(machine::a64fx());
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto spec = compilers::fjtrad();
+  const auto legacy = h.run(spec, suite[0]);
+  runtime::RunContext ctx;
+  const auto policy = h.run(spec, suite[0], ctx);
+  EXPECT_EQ(legacy.best_seconds, policy.best_seconds);
+  EXPECT_EQ(legacy.median_seconds, policy.median_seconds);
+  EXPECT_EQ(legacy.cv, policy.cv);
+  EXPECT_EQ(legacy.placement.ranks, policy.placement.ranks);
+  EXPECT_EQ(legacy.placement.threads, policy.placement.threads);
+}
+
+// ---- study under injection -------------------------------------------------
+
+void expect_identical_cells(const report::Table& a, const report::Table& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].cells.size(), b.rows[r].cells.size());
+    for (std::size_t c = 0; c < a.rows[r].cells.size(); ++c) {
+      const auto& ca = a.rows[r].cells[c];
+      const auto& cb = b.rows[r].cells[c];
+      EXPECT_EQ(ca.status, cb.status) << a.rows[r].benchmark;
+      EXPECT_EQ(ca.diagnostic, cb.diagnostic) << a.rows[r].benchmark;
+      // Exact bit comparisons: determinism means not one ULP of drift.
+      EXPECT_EQ(ca.best_seconds, cb.best_seconds) << a.rows[r].benchmark;
+      EXPECT_EQ(ca.median_seconds, cb.median_seconds) << a.rows[r].benchmark;
+      EXPECT_EQ(ca.cv, cb.cv) << a.rows[r].benchmark;
+      EXPECT_EQ(ca.placement.ranks, cb.placement.ranks);
+      EXPECT_EQ(ca.placement.threads, cb.placement.threads);
+      EXPECT_EQ(ca.bottleneck, cb.bottleneck);
+    }
+  }
+}
+
+report::Table run_microkernels(core::StudyOptions opt) {
+  opt.scale = 0.05;
+  return core::Study(std::move(opt)).run_suite(kernels::microkernel_suite(0.05));
+}
+
+TEST(Injection, StudyCompletesAndIsWorkerCountInvariant) {
+  core::StudyOptions base;
+  base.faults.compile = 0.15;
+  base.faults.runtime = 0.15;
+  std::vector<report::Table> tables;
+  for (const int jobs : {1, 2, 8}) {
+    auto opt = base;
+    opt.jobs = jobs;
+    tables.push_back(run_microkernels(std::move(opt)));
+  }
+  // The injected study completed (we got tables at all) and produced
+  // byte-identical outcomes — statuses, diagnostics and values — for
+  // every worker count.
+  expect_identical_cells(tables[0], tables[1]);
+  expect_identical_cells(tables[0], tables[2]);
+  // And it actually injected something.
+  std::size_t injected = 0;
+  for (const auto& row : tables[0].rows)
+    for (const auto& cell : row.cells)
+      if (cell.diagnostic.find("injected") != std::string::npos) ++injected;
+  EXPECT_GT(injected, 0u);
+}
+
+TEST(Injection, RetriesRecoverDeterministicallyInjectedFaults) {
+  core::StudyOptions flaky;
+  flaky.faults.runtime = 0.3;
+  const auto once = run_microkernels(flaky);
+  auto patient = flaky;
+  patient.max_retries = 3;
+  patient.retry_backoff_seconds = 0;  // keep the test fast
+  const auto retried = run_microkernels(patient);
+  const auto failures = [](const report::Table& t) {
+    std::size_t n = 0;
+    for (const auto& row : t.rows)
+      for (const auto& cell : row.cells)
+        if (!cell.valid()) ++n;
+    return n;
+  };
+  EXPECT_LT(failures(retried), failures(once));
+  // Recovered cells carry the same values a clean run produces: the
+  // attempt index feeds only the fault decision, never the measurement.
+  const auto clean = run_microkernels({});
+  for (std::size_t r = 0; r < retried.rows.size(); ++r)
+    for (std::size_t c = 0; c < retried.rows[r].cells.size(); ++c)
+      if (retried.rows[r].cells[c].valid())
+        EXPECT_EQ(retried.rows[r].cells[c].best_seconds,
+                  clean.rows[r].cells[c].best_seconds);
+}
+
+TEST(Injection, RetryEventsAreEmitted) {
+  core::StudyOptions opt;
+  opt.faults.runtime = 0.3;
+  opt.max_retries = 2;
+  opt.retry_backoff_seconds = 0;
+  exec::CollectingSink sink;
+  opt.sink = &sink;
+  (void)run_microkernels(std::move(opt));
+  EXPECT_GT(sink.count(exec::EventKind::JobRetried), 0u);
+  for (const auto& e : sink.events()) {
+    if (e.kind != exec::EventKind::JobRetried) continue;
+    EXPECT_NE(e.status, runtime::CellStatus::Ok);
+    EXPECT_FALSE(e.detail.empty());
+    EXPECT_GE(e.backoff_seconds, 0.0);
+  }
+}
+
+TEST(Injection, StudyDeadlineClassifiesHangsAsTimeout) {
+  core::StudyOptions opt;
+  opt.faults.hang = 1.0;
+  opt.deadline_seconds = 0.01;
+  opt.scale = 0.05;
+  auto suite = kernels::polybench_suite(0.05);
+  suite.erase(suite.begin() + 2, suite.end());  // 2 x 5 hanging cells is plenty
+  const auto t = core::Study(std::move(opt)).run_suite(suite);
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells) {
+      EXPECT_EQ(cell.status, runtime::CellStatus::Timeout);
+      EXPECT_NE(cell.diagnostic.find("deadline"), std::string::npos);
+    }
+}
+
+// ---- journal ---------------------------------------------------------------
+
+TEST(Journal, EncodeDecodeRoundTripsBitExactly) {
+  const runtime::Harness h(machine::a64fx());
+  const auto suite = kernels::polybench_suite(0.05);
+  core::JournalEntry e;
+  e.key = 0xDEADBEEFCAFE1234ULL;
+  e.run = h.run(compilers::llvm12(), suite[0]);
+  ASSERT_TRUE(e.run.valid());
+  const auto back = core::Journal::decode(core::Journal::encode(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->key, e.key);
+  EXPECT_EQ(back->run.benchmark, e.run.benchmark);
+  EXPECT_EQ(back->run.compiler, e.run.compiler);
+  EXPECT_EQ(back->run.status, e.run.status);
+  EXPECT_EQ(back->run.best_seconds, e.run.best_seconds);  // bit-exact
+  EXPECT_EQ(back->run.median_seconds, e.run.median_seconds);
+  EXPECT_EQ(back->run.cv, e.run.cv);
+  EXPECT_EQ(back->run.placement.ranks, e.run.placement.ranks);
+  EXPECT_EQ(back->run.placement.threads, e.run.placement.threads);
+  EXPECT_EQ(back->run.bottleneck, e.run.bottleneck);
+  EXPECT_EQ(back->run.gflops, e.run.gflops);
+  EXPECT_EQ(back->run.mem_gbs, e.run.mem_gbs);
+}
+
+TEST(Journal, EncodesFailedCellsWithDiagnostics) {
+  core::JournalEntry e;
+  e.key = 7;
+  e.run.benchmark = "k22";
+  e.run.compiler = "LLVM";
+  e.run.status = runtime::CellStatus::CompileError;
+  e.run.diagnostic = "quirk: \"ICE\" \\ backslash";
+  const auto back = core::Journal::decode(core::Journal::encode(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->run.status, runtime::CellStatus::CompileError);
+  EXPECT_EQ(back->run.diagnostic, e.run.diagnostic);
+  EXPECT_FALSE(back->run.valid());
+}
+
+TEST(Journal, DecodeRejectsTornAndForeignLines) {
+  EXPECT_FALSE(core::Journal::decode("").has_value());
+  EXPECT_FALSE(core::Journal::decode("not json").has_value());
+  EXPECT_FALSE(core::Journal::decode("{\"key\":\"zz\"}").has_value());
+  // A torn write: valid prefix, cut mid-string.
+  core::JournalEntry e;
+  e.key = 9;
+  e.run.benchmark = "2mm";
+  e.run.compiler = "GNU";
+  e.run.status = runtime::CellStatus::RuntimeError;
+  e.run.diagnostic = "boom";
+  std::string line = core::Journal::encode(e);
+  EXPECT_TRUE(core::Journal::decode(line).has_value());
+  EXPECT_FALSE(core::Journal::decode(line.substr(0, line.size() / 2)).has_value());
+}
+
+TEST(Journal, LoadSkipsTornLinesAndFindsEntries) {
+  const std::string path = testing::TempDir() + "a64fxcc_journal_torn.jsonl";
+  std::remove(path.c_str());
+  core::JournalEntry e;
+  e.key = 11;
+  e.run.benchmark = "atax";
+  e.run.compiler = "Arm";
+  e.run.status = runtime::CellStatus::Crashed;
+  e.run.diagnostic = "synthetic";
+  {
+    std::ofstream f(path);
+    f << core::Journal::encode(e) << "\n";
+    f << "garbage line\n";
+    f << core::Journal::encode(e).substr(0, 20);  // torn tail, no newline
+  }
+  core::Journal j;
+  EXPECT_EQ(j.load(path), 1u);
+  ASSERT_NE(j.find(11), nullptr);
+  EXPECT_EQ(j.find(11)->diagnostic, "synthetic");
+  EXPECT_EQ(j.find(12), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingFileLoadsZeroEntries) {
+  core::Journal j;
+  EXPECT_EQ(j.load(testing::TempDir() + "a64fxcc_no_such_journal.jsonl"), 0u);
+  EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(Journal, CellKeySeesSeedSpecKernelAndQuirks) {
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto big = kernels::polybench_suite(0.1);
+  const auto spec = compilers::llvm12();
+  const auto base = core::Journal::cell_key(42, spec, suite[0].kernel, true);
+  EXPECT_EQ(core::Journal::cell_key(42, spec, suite[0].kernel, true), base);
+  EXPECT_NE(core::Journal::cell_key(43, spec, suite[0].kernel, true), base);
+  EXPECT_NE(core::Journal::cell_key(42, compilers::gnu(), suite[0].kernel, true),
+            base);
+  EXPECT_NE(core::Journal::cell_key(42, spec, suite[1].kernel, true), base);
+  EXPECT_NE(core::Journal::cell_key(42, spec, big[0].kernel, true), base);
+  EXPECT_NE(core::Journal::cell_key(42, spec, suite[0].kernel, false), base);
+}
+
+// ---- resume ----------------------------------------------------------------
+
+TEST(Resume, SecondRunRestoresEverythingWithoutRecompiling) {
+  // top500: every cell is valid, so a full journal restores the whole
+  // study.  (Quirk-failed cells are journaled as failures and would
+  // legitimately re-evaluate.)
+  const std::string path = testing::TempDir() + "a64fxcc_resume_full.jsonl";
+  std::remove(path.c_str());
+  const auto suite = kernels::top500_suite(0.05);
+  {
+    core::Journal j;
+    ASSERT_TRUE(j.open(path));
+    core::StudyOptions first;
+    first.scale = 0.05;
+    first.journal = &j;
+    (void)core::Study(std::move(first)).run_suite(suite);
+  }
+  // Fresh journal, fresh study: everything restores from disk and the
+  // new harness never compiles a thing.
+  core::Journal j2;
+  EXPECT_GT(j2.load(path), 0u);
+  core::StudyOptions second;
+  second.journal = &j2;
+  second.scale = 0.05;
+  const core::Study study(std::move(second));
+  const auto t = study.run_suite(suite);
+  core::StudyOptions clean_opt;
+  clean_opt.scale = 0.05;
+  const auto clean = core::Study(std::move(clean_opt)).run_suite(suite);
+  expect_identical_cells(t, clean);
+  EXPECT_EQ(study.harness().compile_cache().stats().misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, FailedCellsReEvaluateAndMatchCleanRunByteForByte) {
+  const std::string path = testing::TempDir() + "a64fxcc_resume_faulty.jsonl";
+  std::remove(path.c_str());
+  std::size_t first_failures = 0;
+  {
+    core::Journal j;
+    ASSERT_TRUE(j.open(path));
+    core::StudyOptions faulty;
+    faulty.faults.compile = 0.15;
+    faulty.faults.runtime = 0.15;
+    faulty.journal = &j;
+    const auto t = run_microkernels(std::move(faulty));
+    for (const auto& row : t.rows)
+      for (const auto& cell : row.cells)
+        if (!cell.valid() &&
+            cell.diagnostic.find("injected") != std::string::npos)
+          ++first_failures;
+    ASSERT_GT(first_failures, 0u) << "fault plan should break some cells";
+  }
+  // Resume without injection: only the failed cells re-evaluate, and the
+  // result equals a clean run byte-for-byte — valid journal values were
+  // measured identically (attempt never feeds the measurement).
+  core::Journal j2;
+  EXPECT_GT(j2.load(path), 0u);
+  core::StudyOptions resume;
+  resume.journal = &j2;
+  exec::CollectingSink sink;
+  resume.sink = &sink;
+  const auto resumed = run_microkernels(std::move(resume));
+  const auto clean = run_microkernels({});
+  expect_identical_cells(resumed, clean);
+  // Cache misses happened only for the re-evaluated cells (plus their
+  // reference compiles), far fewer than a full 22 x 5 study.
+  EXPECT_GT(sink.count(exec::EventKind::CacheMiss), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "compilers/compiler_model.hpp"
 #include "interp/interpreter.hpp"
@@ -134,5 +136,99 @@ TEST_P(FuzzTest, P5_AnnotationPassesKeepInstanceCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 24));
+
+// ---- malformed-input corpus ------------------------------------------------
+//
+// P6. the parser must terminate with a structured ParseError (or a
+// valid kernel) on *any* input: no crash, no UB cast, no stack
+// overflow, no foreign exception type.  The corpus covers the failure
+// classes the hardened parser guards against.
+
+std::string deep_parens(int n) {
+  std::string src = "kernel deep\nparam N = 8\ntensor A f64[N] output\n"
+                    "for i = 0 .. N - 1 { A[i] = ";
+  for (int i = 0; i < n; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < n; ++i) src += ')';
+  src += "; }\n";
+  return src;
+}
+
+std::string deep_loops(int n) {
+  std::string src = "kernel nest\nparam N = 4\ntensor A f64[N] output\n";
+  for (int i = 0; i < n; ++i)
+    src += "for v" + std::to_string(i) + " = 0 .. N - 1 {\n";
+  src += "A[0] = 1;\n";
+  for (int i = 0; i < n; ++i) src += "}\n";
+  return src;
+}
+
+TEST(ParserHardening, MalformedCorpusNeverCrashes) {
+  const std::vector<std::string> corpus = {
+      "",
+      "kernel",
+      "kernel \"\"",
+      "kernel k param",
+      "kernel k lang=",
+      "kernel k lang=COBOL",
+      "kernel k parallel=magic",
+      "kernel k badattr=1",
+      "kernel k\nparam N",
+      "kernel k\nparam N = ",
+      "kernel k\nparam N = abc",
+      "kernel k\nparam N = 1e99999",              // stod out_of_range
+      "kernel k\nparam N = 99999999999999999999", // > int64 (UB cast)
+      "kernel k\nparam N = -99999999999999999999999999999",
+      "kernel k\ntensor A q32[4] output",
+      "kernel k\nparam N = 4\ntensor A f64[N][N][N][N][N] output",  // rank 5
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nA[0] = unknown_ident;",
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nA[0] = foo(1);",
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nA[0] = min(1);",
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nB[0] = 1;",
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nA[0] = 1",   // no ';'
+      "kernel k\nparam N = 4\nfor N = 0 .. 3 { }",                 // shadowing
+      "kernel k\nfor i = 0 .. 3 step 0 { }",                       // step 0
+      "kernel k\nfor i = 0 .. 3 step 1e40 { }",  // step > int64
+      "kernel k\nfor i = 0 .. 3 {",              // unterminated loop
+      "kernel k\n\"unterminated string",
+      "kernel k\nocl unroll=1e40\nfor i = 0 .. 3 { }",
+      "kernel k\nocl unroll=2",                  // hints with no loop
+      "kernel k\n@#$%",
+      std::string("kernel k\n\0param N = 4", 20),  // embedded NUL
+      "kernel k\nparam N = 4\ntensor A f64[N] output\nA[0] = 1 .. 2;",
+      deep_parens(10000),                        // stack-overflow guard
+      deep_loops(5000),
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    try {
+      const Kernel k = ir::parse_kernel(corpus[i]);
+      // Accepting is fine too — but then the kernel must be usable.
+      EXPECT_FALSE(k.name().empty()) << "corpus " << i;
+    } catch (const ir::ParseError& e) {
+      // The structured diagnostic is the only acceptable failure mode.
+      EXPECT_NE(std::string(e.what()), "") << "corpus " << i;
+    }
+    // Any other exception type (or a crash) fails the test by itself.
+  }
+}
+
+TEST(ParserHardening, ValidKernelStillParsesAfterHardening) {
+  const Kernel k = ir::parse_kernel(
+      "kernel ok lang=C parallel=omp\n"
+      "param N = 16\n"
+      "tensor A f64[N] output\n"
+      "tensor B f64[N]\n"
+      "ocl unroll=4 simd\n"
+      "parfor i = 0 .. N - 1 { A[i] = 2 * B[i] + 1; }\n");
+  EXPECT_EQ(k.name(), "ok");
+  EXPECT_EQ(k.params().size(), 1u);
+  EXPECT_EQ(k.tensors().size(), 2u);
+}
+
+TEST(ParserHardening, DeepButLegalNestingParses) {
+  // 100 nested loops is below the depth guard and must still work.
+  const Kernel k = ir::parse_kernel(deep_loops(100));
+  EXPECT_EQ(k.name(), "nest");
+}
 
 }  // namespace

@@ -33,7 +33,7 @@ report::Table tiny_table() {
   err_row.suite = "test";
   err_row.language = "C";
   runtime::MeasuredRun err;
-  err.status = compilers::CompileOutcome::Status::RuntimeError;
+  err.status = runtime::CellStatus::RuntimeError;
   err_row.cells = {base, err};
   t.rows.push_back(std::move(err_row));
   return t;

@@ -59,7 +59,7 @@ TEST(Report, GainVsBaseline) {
   runtime::MeasuredRun fast = base;
   fast.best_seconds = 1.0;
   runtime::MeasuredRun err;
-  err.status = compilers::CompileOutcome::Status::RuntimeError;
+  err.status = runtime::CellStatus::RuntimeError;
   row.cells = {base, fast, err};
   EXPECT_DOUBLE_EQ(report::gain_vs_baseline(row, 1), 2.0);
   EXPECT_DOUBLE_EQ(report::gain_vs_baseline(row, 2), 0.0);

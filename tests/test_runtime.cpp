@@ -94,7 +94,7 @@ TEST(Harness, QuirkErrorsPropagate) {
   for (const auto& b : kernels::microkernel_suite(0.01)) {
     if (b.name() != "k22") continue;
     const auto m = make_harness().run(compilers::fjclang(), b);
-    EXPECT_EQ(m.status, compilers::CompileOutcome::Status::CompileError);
+    EXPECT_EQ(m.status, runtime::CellStatus::CompileError);
     EXPECT_FALSE(m.valid());
     EXPECT_TRUE(std::isinf(m.best_seconds));
   }

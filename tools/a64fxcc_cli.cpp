@@ -49,6 +49,73 @@ bool has_flag(int argc, char** argv, const char* f) {
   return false;
 }
 
+const char* arg_value(int argc, char** argv, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 0; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  return nullptr;
+}
+
+/// Fill the fault-tolerance knobs shared by `table` and `run`.  Returns
+/// false (after printing a diagnostic) on malformed flag values.  On
+/// success *journal is the storage opt.journal points to, when any of
+/// --resume/--journal asked for one.
+bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
+                        core::Journal& journal) {
+  if (const char* v = arg_value(argc, argv, "--retries="))
+    opt.max_retries = std::atoi(v);
+  if (const char* v = arg_value(argc, argv, "--deadline="))
+    opt.deadline_seconds = std::atof(v);
+  if (opt.max_retries < 0 || opt.deadline_seconds < 0) {
+    std::fprintf(stderr, "--retries/--deadline must be non-negative\n");
+    return false;
+  }
+  if (has_flag(argc, argv, "--fail-fast")) opt.fail_fast = true;
+  if (const char* v = arg_value(argc, argv, "--inject-faults=")) {
+    const auto plan = runtime::FaultPlan::parse(v);
+    if (!plan) {
+      std::fprintf(stderr,
+                   "malformed --inject-faults spec '%s' "
+                   "(expected e.g. compile:0.05,runtime:0.02,hang:0.01)\n",
+                   v);
+      return false;
+    }
+    opt.faults = *plan;
+  }
+  const char* resume = arg_value(argc, argv, "--resume=");
+  const char* journal_path = arg_value(argc, argv, "--journal=");
+  if (resume != nullptr) {
+    const std::size_t n = journal.load(resume);
+    std::fprintf(stderr, "resume: %zu completed cells restored from %s\n", n,
+                 resume);
+    if (journal_path == nullptr) journal_path = resume;
+  }
+  if (journal_path != nullptr && !journal.open(journal_path)) {
+    std::fprintf(stderr, "cannot open journal '%s' for appending\n",
+                 journal_path);
+    return false;
+  }
+  if (resume != nullptr || journal_path != nullptr) opt.journal = &journal;
+  return true;
+}
+
+/// One stderr line per failed cell after a study completes (the table
+/// itself shows only the short CE/RE/TO/XX markers).
+void report_failures(const report::Table& t) {
+  std::size_t failed = 0;
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells)
+      if (!cell.valid()) ++failed;
+  if (failed == 0) return;
+  std::fprintf(stderr, "%zu cell(s) failed:\n", failed);
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells)
+      if (!cell.valid())
+        std::fprintf(stderr, "  %-18s x %-10s %s: %s\n", row.benchmark.c_str(),
+                     cell.compiler.c_str(), runtime::marker(cell.status),
+                     cell.diagnostic.c_str());
+}
+
 std::vector<kernels::Benchmark> suite_by_name(const std::string& s, double scale) {
   if (s == "microkernel" || s == "micro") return kernels::microkernel_suite(scale);
   if (s == "polybench") return kernels::polybench_suite(scale);
@@ -110,8 +177,11 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
   opt.jobs = arg_jobs(argc, argv);
   exec::StreamSink progress(stderr);
   if (has_flag(argc, argv, "--progress")) opt.sink = &progress;
+  core::Journal journal;
+  if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
   const core::Study study(std::move(opt));
   const auto t = study.run_suite(benches);
+  report_failures(t);
   if (has_flag(argc, argv, "--csv"))
     std::fputs(report::render_csv(t).c_str(), stdout);
   else if (has_flag(argc, argv, "--json"))
@@ -133,10 +203,13 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     core::StudyOptions opt;
     opt.scale = scale;
     opt.jobs = arg_jobs(argc, argv);
+    core::Journal journal;
+    if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
     const core::Study study(std::move(opt));
     std::vector<kernels::Benchmark> one;
     one.push_back(std::move(b));
     const auto t = study.run_suite(one);
+    report_failures(t);
     std::fputs(report::render_ansi(t).c_str(), stdout);
     return 0;
   }
@@ -251,10 +324,16 @@ void usage() {
       "  list [suite]                  suites: micro polybench top500 ecp fiber\n"
       "                                        spec-cpu spec-omp all\n"
       "  table <suite> [--scale=f] [--jobs=N] [--progress] [--csv|--json|--md]\n"
+      "                [--retries=N] [--deadline=SECONDS] [--fail-fast]\n"
+      "                [--resume=PATH] [--journal=PATH]\n"
+      "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
       "                                   # --jobs=0 (default) = all hardware\n"
       "                                   # threads, --jobs=1 = serial; output\n"
       "                                   # is bit-identical for any N\n"
-      "  run <benchmark> [--scale=f] [--jobs=N]\n"
+      "                                   # --resume restores completed cells\n"
+      "                                   # from a journal and appends new ones\n"
+      "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
+      "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
       "  show <benchmark> [compiler]\n"
       "  file <path.kernel> [compiler]\n"
       "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
