@@ -1,5 +1,6 @@
 #include "compilers/compiler_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "analysis/access.hpp"
@@ -40,24 +41,71 @@ double language_factor(const CompilerSpec& s, Language l) {
   return 1.0;
 }
 
-void run_pipeline(const CompilerSpec& s, Kernel& k, std::string& log) {
-  if (s.distribute && !s.use_polly) log += passes::distribute_loops(k).log + "\n";
+void run_pipeline(const CompilerSpec& s, Kernel& k, CompileOutcome& out) {
+  std::string& log = out.log;
+  auto& decisions = out.decisions;
+  const auto take = [&](const passes::PassResult& r) {
+    for (const auto& d : r.decisions) decisions.push_back(d);
+  };
+  const auto skipped = [&](const char* pass, const std::string& why) {
+    decisions.push_back({pass, false, why});
+  };
+  const std::string not_enabled = "pass not enabled in the " + s.name +
+                                  " pipeline";
+
+  if (s.distribute && !s.use_polly) {
+    const auto r = passes::distribute_loops(k);
+    log += r.log + "\n";
+    take(r);
+  }
   if (s.use_polly) {
     const auto r = passes::polly(k, {.tile_size = s.polly_tile, .vec = s.vec});
     log += r.log + "\n";
+    take(r);
   } else if (s.interchange) {
     const auto r = passes::interchange_for_locality(k, s.interchange_aggressive);
     log += r.log + "\n";
+    take(r);
+  } else {
+    skipped("interchange", not_enabled);
   }
-  if (s.fuse) log += passes::fuse_loops(k).log + "\n";
+  if (!s.use_polly) skipped("tile", not_enabled);
+  if (s.fuse) {
+    const auto r = passes::fuse_loops(k);
+    log += r.log + "\n";
+    take(r);
+  } else {
+    skipped("fuse", not_enabled);
+  }
   const bool vec_ok =
       s.do_vectorize && s.vec_efficiency_for(k.meta().language) > 0.0;
-  if (!vec_ok && s.do_vectorize)
+  if (!vec_ok && s.do_vectorize) {
     log += "vectorizer does not fire on this front end/language\n";
-  if (vec_ok && !s.use_polly) log += passes::vectorize(k, s.vec).log + "\n";
-  if (s.unroll > 1) log += passes::unroll(k, s.unroll).log + "\n";
-  if (s.prefetch_dist > 0) log += passes::prefetch(k, s.prefetch_dist).log + "\n";
-  if (s.pipeline) log += passes::software_pipeline(k).log + "\n";
+    skipped("vectorize", "vectorizer does not fire on this front end/language");
+  } else if (!s.do_vectorize) {
+    skipped("vectorize", not_enabled);
+  }
+  if (vec_ok && !s.use_polly) {
+    const auto r = passes::vectorize(k, s.vec);
+    log += r.log + "\n";
+    take(r);
+  }
+  if (!s.use_polly) skipped("polly", not_enabled);
+  if (s.unroll > 1) {
+    const auto r = passes::unroll(k, s.unroll);
+    log += r.log + "\n";
+    take(r);
+  }
+  if (s.prefetch_dist > 0) {
+    const auto r = passes::prefetch(k, s.prefetch_dist);
+    log += r.log + "\n";
+    take(r);
+  }
+  if (s.pipeline) {
+    const auto r = passes::software_pipeline(k);
+    log += r.log + "\n";
+    take(r);
+  }
   if (s.honor_ocl) {
     int applied = 0;
     for (auto& root : k.roots()) {
@@ -76,6 +124,10 @@ void run_pipeline(const CompilerSpec& s, Kernel& k, std::string& log) {
     }
     if (applied > 0)
       log += "applied " + std::to_string(applied) + " OCL hint(s)\n";
+    decisions.push_back({"ocl", applied > 0,
+                         applied > 0 ? "applied " + std::to_string(applied) +
+                                           " OCL hint(s)"
+                                     : "no OCL hints in source"});
   }
 }
 
@@ -104,11 +156,13 @@ CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
       out.status = q->effect;
       out.diagnostic = q->reason;
       out.log += "quirk: " + q->reason + "\n";
+      out.decisions.push_back({"quirk", true, q->reason});
       return out;
     }
     out.time_multiplier = q->time_multiplier;
     out.log += "quirk multiplier " + std::to_string(q->time_multiplier) +
                ": " + q->reason + "\n";
+    out.decisions.push_back({"quirk", true, q->reason});
   }
 
   // Fortran-through-frt routing (the paper's LLVM environments).
@@ -123,7 +177,7 @@ CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
   }
 
   Kernel k = source.clone();
-  run_pipeline(*effective, k, out.log);
+  run_pipeline(*effective, k, out);
 
   const double s_int = int_share(k);
   const double blended = std::pow(effective->fp_core_factor, 1.0 - s_int) *
@@ -134,6 +188,46 @@ CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
       effective->vec_efficiency_for(source.meta().language);
   out.profile.barrier_factor = effective->omp_barrier_factor;
   out.kernel = std::move(k);
+  return out;
+}
+
+const passes::Decision* find_decision(
+    const std::vector<passes::Decision>& ds, const std::string& pass) {
+  for (const auto& d : ds)
+    if (d.pass == pass) return &d;
+  return nullptr;
+}
+
+std::string decision_summary(const std::vector<passes::Decision>& ds) {
+  static const char* kCanonical[] = {"interchange", "tile", "vectorize",
+                                     "fuse", "polly"};
+  std::string out;
+  const auto append = [&](const std::string& pass, bool fired) {
+    if (!out.empty()) out += ',';
+    out += pass;
+    out += fired ? '+' : '-';
+  };
+  // A pass counts as fired if *any* of its records fired (polly may tile
+  // several nests; one success is enough for the summary).
+  const auto fired_any = [&](const std::string& pass) {
+    for (const auto& d : ds)
+      if (d.pass == pass && d.fired) return true;
+    return false;
+  };
+  for (const char* pass : kCanonical)
+    if (find_decision(ds, pass) != nullptr) append(pass, fired_any(pass));
+  // Extras (unroll, prefetch, pipeline, ocl, quirk, ...) in first-
+  // appearance order, each once.
+  std::vector<std::string> seen;
+  for (const auto& d : ds) {
+    bool canonical = false;
+    for (const char* pass : kCanonical)
+      if (d.pass == pass) canonical = true;
+    if (canonical) continue;
+    if (std::find(seen.begin(), seen.end(), d.pass) != seen.end()) continue;
+    seen.push_back(d.pass);
+    append(d.pass, fired_any(d.pass));
+  }
   return out;
 }
 

@@ -109,6 +109,13 @@ struct CompileOutcome {
   /// the free-form log.  Empty on success.
   std::string diagnostic;
   std::string log;
+  /// Pass-decision provenance: one fired/blocked record per pass the
+  /// pipeline consulted, in pipeline order.  The canonical paper passes
+  /// (interchange, tile, vectorize, fuse, polly) always appear — with a
+  /// "pass not enabled" reason when the environment lacks them — so
+  /// `a64fxcc explain` can diff any two compilers column by column.
+  /// Pure function of (spec, kernel, quirks): cached with the outcome.
+  std::vector<passes::Decision> decisions;
 
   [[nodiscard]] bool ok() const noexcept { return status == Status::Ok; }
 };
@@ -119,6 +126,17 @@ struct CompileOutcome {
 [[nodiscard]] CompileOutcome compile(const CompilerSpec& spec,
                                      const ir::Kernel& source,
                                      bool apply_quirks = true);
+
+/// First decision recorded for `pass`, or nullptr.
+[[nodiscard]] const passes::Decision* find_decision(
+    const std::vector<passes::Decision>& ds, const std::string& pass);
+
+/// Compact one-line provenance for table cells and the journal: the
+/// canonical passes in a fixed order, '+' fired / '-' not, e.g.
+/// "interchange+,tile-,vectorize+,fuse-,polly-" (plus any extras the
+/// pipeline ran, in first-appearance order).  Deterministic.
+[[nodiscard]] std::string decision_summary(
+    const std::vector<passes::Decision>& ds);
 
 // ---- the concrete environments -------------------------------------------
 [[nodiscard]] CompilerSpec fjtrad();

@@ -95,6 +95,8 @@ std::uint64_t Journal::cell_key(std::uint64_t seed,
 std::string Journal::encode(const JournalEntry& e) {
   std::string out = "{";
   char buf[32];
+  field_num(out, "v", kJournalFormatVersion);
+  out += ",";
   std::snprintf(buf, sizeof buf, "%016" PRIx64, e.key);
   field_str(out, "key", buf);
   out += ",";
@@ -124,12 +126,21 @@ std::string Journal::encode(const JournalEntry& e) {
     out += ",";
     field_str(out, "diagnostic", e.run.diagnostic);
   }
+  if (!e.run.decisions.empty()) {
+    out += ",";
+    field_str(out, "decisions", e.run.decisions);
+  }
   out += "}";
   return out;
 }
 
 std::optional<JournalEntry> Journal::decode(const std::string& line) {
   if (line.empty() || line.front() != '{' || line.back() != '}')
+    return std::nullopt;
+  // Version gate: v1 lines carry no tag (pre-provenance journals resume
+  // cleanly — every lookup ignores unknown/absent fields); lines from a
+  // *newer* format than this build are rejected rather than half-parsed.
+  if (const auto v = get_num(line, "v"); v && *v > kJournalFormatVersion)
     return std::nullopt;
   const auto key_hex = get_str(line, "key");
   const auto benchmark = get_str(line, "benchmark");
@@ -166,6 +177,7 @@ std::optional<JournalEntry> Journal::decode(const std::string& line) {
   } else {
     e.run.diagnostic = get_str(line, "diagnostic").value_or("");
   }
+  e.run.decisions = get_str(line, "decisions").value_or("");
   return e;
 }
 

@@ -34,6 +34,14 @@ struct JournalEntry {
   runtime::MeasuredRun run;
 };
 
+/// JSONL format version written by encode().  History:
+///   1 — (untagged) measurement fields only
+///   2 — adds "v" tag + optional "decisions" provenance field
+/// decode() ignores unknown fields (lookups are by key), so v1 files
+/// resume cleanly under a v2 build; lines tagged *newer* than this
+/// build's version are skipped instead of half-parsed.
+inline constexpr int kJournalFormatVersion = 2;
+
 class Journal {
  public:
   Journal() = default;

@@ -64,6 +64,10 @@ report::Table Study::run_suite(
                           .col = c,
                           .worker = worker});
         }
+        // Whole-job span (journal restore included); the harness nests
+        // compile/explore/measure under it.
+        auto cell_span =
+            obs::scoped(opt_.tracer, "cell", bench.name(), spec.name);
         const auto t0 = std::chrono::steady_clock::now();
         const auto wall_now = [&t0] {
           return std::chrono::duration<double>(
@@ -106,6 +110,7 @@ report::Table Study::run_suite(
               opt_.faults.decide(opt_.seed, bench.name(), spec.name, attempt);
           ctx.deadline_seconds = opt_.deadline_seconds;
           ctx.attempt = attempt;
+          ctx.tracer = opt_.tracer;
           try {
             m = harness_.run(spec, bench, ctx, &metrics);
           } catch (const runtime::CellError& e) {
@@ -143,6 +148,8 @@ report::Table Study::run_suite(
                             .backoff_seconds = backoff});
           }
           if (backoff > 0) {
+            const auto backoff_span =
+                obs::scoped(opt_.tracer, "backoff", bench.name(), spec.name);
             std::this_thread::sleep_for(std::chrono::duration<double>(
                 std::min(backoff, kMaxBackoffSleep)));
           }
@@ -170,6 +177,25 @@ report::Table Study::run_suite(
                             .worker = worker,
                             .count = static_cast<std::uint64_t>(
                                 metrics.compile_cache_misses)});
+          }
+          // Per-phase wall-clock (accumulated across attempts) as
+          // diagnostics-only CellPhase events, before the terminal one.
+          const struct {
+            const char* name;
+            double seconds;
+          } phases[] = {{"compile", metrics.compile_seconds},
+                        {"explore", metrics.explore_seconds},
+                        {"measure", metrics.measure_seconds}};
+          for (const auto& ph : phases) {
+            if (ph.seconds <= 0) continue;
+            sink->on_event({.kind = exec::EventKind::CellPhase,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .wall_seconds = ph.seconds,
+                            .detail = ph.name});
           }
           // Quirk-failed, injected and timed-out cells all land here as
           // JobFailed: exactly one terminal event per cell either way.

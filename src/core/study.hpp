@@ -20,6 +20,7 @@
 #include "exec/engine.hpp"
 #include "exec/events.hpp"
 #include "kernels/benchmark.hpp"
+#include "obs/trace.hpp"
 #include "report/figure2.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/harness.hpp"
@@ -47,6 +48,11 @@ struct StudyOptions {
   /// compile-cache hit/miss counts; implementations must be
   /// thread-safe.  Replaces the old raw `progress` callback.
   exec::EventSink* sink = nullptr;
+  /// Optional span collector (non-owning; must outlive the Study
+  /// calls).  The study opens a "cell" span per job and "backoff" spans
+  /// around retry waits; the harness adds compile/explore/measure.
+  /// Diagnostics-only: tables are byte-identical with tracing on/off.
+  obs::Tracer* tracer = nullptr;
   /// Apply the paper-documented quirk DB (off for the ablation bench).
   bool apply_quirks = true;
   /// Extra evaluation attempts after a failed one (0 = no retries).

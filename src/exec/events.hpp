@@ -10,6 +10,7 @@
 // *ordering* across cells is scheduling-dependent — consumers must key
 // on (row, col), never on arrival order.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -27,6 +28,9 @@ enum class EventKind : std::uint8_t {
   JobRetried,   ///< one failed attempt will be retried (attempt/backoff)
   CacheHit,     ///< compile-cache hits while evaluating the cell (count)
   CacheMiss,    ///< compile-cache misses while evaluating the cell (count)
+  CellPhase,    ///< one phase of the cell finished (detail = phase name,
+                ///< wall_seconds = duration); diagnostics-only, emitted
+                ///< before the cell's terminal event
 };
 
 [[nodiscard]] inline const char* to_string(EventKind k) {
@@ -37,6 +41,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::JobRetried: return "job-retried";
     case EventKind::CacheHit: return "cache-hit";
     case EventKind::CacheMiss: return "cache-miss";
+    case EventKind::CellPhase: return "cell-phase";
   }
   return "?";
 }
@@ -107,41 +112,94 @@ class CollectingSink final : public EventSink {
   std::vector<Event> events_;
 };
 
+/// Verbosity of the stream renderer (`--log-level=`).
+///   Quiet    — nothing (the sink still counts completed cells)
+///   Progress — one line per terminal cell + retry notices (the old
+///              `--progress` behaviour, kept as an alias)
+///   Debug    — additionally job starts, cache batches and cell phases
+enum class LogLevel : std::uint8_t { Quiet, Progress, Debug };
+
+/// Parse "quiet"/"progress"/"debug"; false on anything else.
+[[nodiscard]] inline bool parse_log_level(const std::string& s, LogLevel* out) {
+  if (s == "quiet") { *out = LogLevel::Quiet; return true; }
+  if (s == "progress") { *out = LogLevel::Progress; return true; }
+  if (s == "debug") { *out = LogLevel::Debug; return true; }
+  return false;
+}
+
 /// Thread-safe sink that renders one line per completed or failed cell
-/// (plus retry notices) — what the CLI attaches for `--progress`.
+/// (plus retry notices; at Debug, every event) — what the CLI attaches
+/// for `--log-level=progress|debug`.  Each event is formatted into one
+/// buffer and written with a single fwrite under one lock, so lines
+/// from concurrent workers can never interleave mid-line.
 class StreamSink final : public EventSink {
  public:
-  explicit StreamSink(std::FILE* out = stderr) : out_(out) {}
+  explicit StreamSink(std::FILE* out = stderr,
+                      LogLevel level = LogLevel::Progress)
+      : out_(out), level_(level) {}
 
   void on_event(const Event& e) override {
+    char buf[512];
+    int n = -1;
     const std::lock_guard<std::mutex> lock(mu_);
     switch (e.kind) {
       case EventKind::JobFinished:
         ++done_;
-        std::fprintf(out_,
-                     "  [w%d] %-18s x %-10s %10.4gs model, %.3fs wall (%zu done)\n",
-                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
-                     e.model_seconds, e.wall_seconds, done_);
+        if (level_ < LogLevel::Progress) return;
+        n = std::snprintf(
+            buf, sizeof buf,
+            "  [w%d] %-18s x %-10s %10.4gs model, %.3fs wall (%zu done)\n",
+            e.worker, e.benchmark.c_str(), e.compiler.c_str(), e.model_seconds,
+            e.wall_seconds, done_);
         break;
       case EventKind::JobFailed:
         ++done_;
-        std::fprintf(out_, "  [w%d] %-18s x %-10s %10s  %s (%zu done)\n",
-                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
-                     runtime::marker(e.status), e.detail.c_str(), done_);
+        if (level_ < LogLevel::Progress) return;
+        n = std::snprintf(buf, sizeof buf,
+                          "  [w%d] %-18s x %-10s %10s  %s (%zu done)\n",
+                          e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                          runtime::marker(e.status), e.detail.c_str(), done_);
         break;
       case EventKind::JobRetried:
-        std::fprintf(out_, "  [w%d] %-18s x %-10s retry #%d after %s: %s\n",
-                     e.worker, e.benchmark.c_str(), e.compiler.c_str(),
-                     e.attempt + 1, runtime::marker(e.status),
-                     e.detail.c_str());
+        if (level_ < LogLevel::Progress) return;
+        n = std::snprintf(buf, sizeof buf,
+                          "  [w%d] %-18s x %-10s retry #%d after %s: %s\n",
+                          e.worker, e.benchmark.c_str(), e.compiler.c_str(),
+                          e.attempt + 1, runtime::marker(e.status),
+                          e.detail.c_str());
         break;
-      default: break;
+      case EventKind::JobStarted:
+        if (level_ < LogLevel::Debug) return;
+        n = std::snprintf(buf, sizeof buf, "  [w%d] %-18s x %-10s started\n",
+                          e.worker, e.benchmark.c_str(), e.compiler.c_str());
+        break;
+      case EventKind::CellPhase:
+        if (level_ < LogLevel::Debug) return;
+        n = std::snprintf(buf, sizeof buf,
+                          "  [w%d] %-18s x %-10s phase %-8s %.6fs\n", e.worker,
+                          e.benchmark.c_str(), e.compiler.c_str(),
+                          e.detail.c_str(), e.wall_seconds);
+        break;
+      case EventKind::CacheHit:
+      case EventKind::CacheMiss:
+        if (level_ < LogLevel::Debug) return;
+        n = std::snprintf(buf, sizeof buf,
+                          "  [w%d] %-18s x %-10s %s x%llu\n", e.worker,
+                          e.benchmark.c_str(), e.compiler.c_str(),
+                          to_string(e.kind),
+                          static_cast<unsigned long long>(e.count));
+        break;
     }
+    if (n <= 0) return;
+    // One write per event: concurrent lines stay whole.
+    std::fwrite(buf, 1, std::min(static_cast<std::size_t>(n), sizeof buf - 1),
+                out_);
   }
 
  private:
   std::mutex mu_;
   std::FILE* out_;
+  LogLevel level_;
   std::size_t done_ = 0;
 };
 

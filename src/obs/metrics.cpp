@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace a64fxcc::obs {
+
+namespace {
+
+const char* status_counter(runtime::CellStatus st) {
+  switch (st) {
+    case runtime::CellStatus::Ok: return "cells_ok";
+    case runtime::CellStatus::CompileError: return "cells_compile_error";
+    case runtime::CellStatus::RuntimeError: return "cells_runtime_error";
+    case runtime::CellStatus::Timeout: return "cells_timeout";
+    case runtime::CellStatus::Crashed: return "cells_crashed";
+  }
+  return "cells_unknown";
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+void append_hist(std::string& out, const Histogram& h) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "{\"count\":%llu,\"sum\":%.9f,\"min\":%.9f,\"max\":%.9f,"
+                "\"buckets\":[",
+                static_cast<unsigned long long>(h.count), h.sum,
+                h.count > 0 ? h.min : 0.0, h.max);
+  out += buf;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    std::snprintf(buf, sizeof buf, "%s{\"le\":%.9g,\"count\":%llu}",
+                  i == 0 ? "" : ",", Histogram::bound(i),
+                  static_cast<unsigned long long>(h.buckets[i]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, ",{\"le\":\"inf\",\"count\":%llu}]}",
+                static_cast<unsigned long long>(h.overflow));
+  out += buf;
+}
+
+}  // namespace
+
+void MetricsSink::on_event(const exec::Event& e) {
+  if (inner_ != nullptr) inner_->on_event(e);
+  const std::lock_guard<std::mutex> lock(mu_);
+  switch (e.kind) {
+    case exec::EventKind::JobStarted:
+      counters_["jobs_started"] += 1;
+      break;
+    case exec::EventKind::JobFinished:
+      counters_["cells_ok"] += 1;
+      histograms_["cell_wall_seconds"].add(e.wall_seconds);
+      break;
+    case exec::EventKind::JobFailed:
+      counters_[status_counter(e.status)] += 1;
+      histograms_["cell_wall_seconds"].add(e.wall_seconds);
+      break;
+    case exec::EventKind::JobRetried:
+      counters_["retries"] += 1;
+      histograms_["backoff_seconds"].add(e.backoff_seconds);
+      break;
+    case exec::EventKind::CacheHit:
+      counters_["compile_cache_hits"] += e.count;
+      break;
+    case exec::EventKind::CacheMiss:
+      counters_["compile_cache_misses"] += e.count;
+      break;
+    case exec::EventKind::CellPhase:
+      histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
+      break;
+  }
+}
+
+std::uint64_t MetricsSink::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string MetricsSink::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"version\":1,\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, name);
+    std::snprintf(buf, sizeof buf, "\":%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  const auto get = [&](const char* name) -> std::uint64_t {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  };
+  const std::uint64_t hits = get("compile_cache_hits");
+  const std::uint64_t misses = get("compile_cache_misses");
+  const double rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  std::snprintf(buf, sizeof buf, "\"compile_cache_hit_rate\":%.9f", rate);
+  out += buf;
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, name);
+    out += "\":";
+    append_hist(out, h);
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool write_metrics(const MetricsSink& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = m.to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace a64fxcc::obs

@@ -1,0 +1,88 @@
+#pragma once
+// Metrics registry over the exec event stream.
+//
+// MetricsSink is an EventSink that folds every engine event into
+// counters (cells by terminal status, cache hits/misses, retries) and
+// histograms (per-phase wall-clock from CellPhase events, terminal cell
+// wall time, chosen retry backoffs), and exports the registry as one
+// JSON document (`--metrics=out.json`).  It chains an optional inner
+// sink, so `--log-level=progress --metrics=m.json` composes: the stream
+// renderer and the registry see the same events.
+//
+// Like tracing, metrics are diagnostics-only: they observe wall-clock
+// and event counts but never feed results, so tables stay byte-identical
+// with metrics on or off.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exec/events.hpp"
+
+namespace a64fxcc::obs {
+
+/// Fixed-bucket log-scale histogram of seconds.  Bucket i counts
+/// samples <= bound(i) = 1e-6 * 4^i (1µs .. ~17.9min), plus an
+/// overflow bucket; count/sum/min/max make means recoverable.
+struct Histogram {
+  static constexpr int kBuckets = 16;
+
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t overflow = 0;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0;
+
+  [[nodiscard]] static double bound(int i) noexcept {
+    double b = 1e-6;
+    for (int k = 0; k < i; ++k) b *= 4.0;
+    return b;
+  }
+
+  void add(double v) noexcept {
+    count += 1;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (v <= bound(i)) {
+        buckets[i] += 1;
+        return;
+      }
+    }
+    overflow += 1;
+  }
+};
+
+class MetricsSink final : public exec::EventSink {
+ public:
+  /// Events are forwarded to `inner` (if any) before being folded in.
+  explicit MetricsSink(exec::EventSink* inner = nullptr) : inner_(inner) {}
+
+  void on_event(const exec::Event& e) override;
+
+  /// Current value of one counter (0 when never touched).  Counter
+  /// names: jobs_started, cells_ok, cells_compile_error,
+  /// cells_runtime_error, cells_timeout, cells_crashed, retries,
+  /// compile_cache_hits, compile_cache_misses.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+
+  /// The whole registry as one JSON object: {"version":1,
+  /// "counters":{...},"gauges":{"compile_cache_hit_rate":..},
+  /// "histograms":{name:{count,sum,min,max,buckets:[{le,count}..]}}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  exec::EventSink* inner_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Write `m.to_json()` to `path`.  Returns false on I/O failure.
+bool write_metrics(const MetricsSink& m, const std::string& path);
+
+}  // namespace a64fxcc::obs

@@ -198,6 +198,7 @@ PassResult fuse_loops(Kernel& k) {
   PassResult r;
   while (fuse_in_list(k, k.roots(), r.log)) r.changed = true;
   if (!r.changed) r.log = "no fusable loops";
+  r.decisions.push_back({"fuse", r.changed, r.log});
   return r;
 }
 
@@ -205,6 +206,7 @@ PassResult distribute_loops(Kernel& k) {
   PassResult r;
   while (distribute_in_list(k, k.roots(), r.log)) r.changed = true;
   if (!r.changed) r.log = "no distributable loops";
+  r.decisions.push_back({"distribute", r.changed, r.log});
   return r;
 }
 

@@ -146,11 +146,13 @@ PassResult interchange(Kernel& k, const PerfectNest& nest,
   PassResult r;
   if (perm.size() != nest.depth()) {
     r.log = "permutation size mismatch";
+    r.decisions.push_back({"interchange", false, r.log});
     return r;
   }
   std::string why;
   if (!legal_permutation(k, nest, perm, &why)) {
     r.log = "interchange refused: " + why;
+    r.decisions.push_back({"interchange", false, "blocked: " + why});
     return r;
   }
   bool identity = true;
@@ -158,6 +160,7 @@ PassResult interchange(Kernel& k, const PerfectNest& nest,
     if (perm[i] != static_cast<int>(i)) identity = false;
   if (identity) {
     r.log = "identity permutation";
+    r.decisions.push_back({"interchange", false, r.log});
     return r;
   }
   // Apply by copying headers out and back in permuted order.
@@ -172,11 +175,15 @@ PassResult interchange(Kernel& k, const PerfectNest& nest,
     swap_headers(nest.loop(i), headers[static_cast<std::size_t>(perm[i])]);
   r.changed = true;
   r.log = "interchanged nest of depth " + std::to_string(nest.depth());
+  r.decisions.push_back({"interchange", true, r.log});
   return r;
 }
 
 PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
   PassResult result;
+  // Remember the strongest blocking reason so a no-op run can say *why*
+  // nothing fired (the 2mm story: legal but unprofitable vs. illegal).
+  std::string blocked;
   for (auto& nest : collect_perfect_nests(k)) {
     const auto d = nest.depth();
     if (d < 2 || d > static_cast<std::size_t>(max_depth)) continue;
@@ -198,6 +205,8 @@ PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
         if (legal_permutation(k, nest, perm, &why)) {
           best_cost = c;
           best = perm;
+        } else if (blocked.empty()) {
+          blocked = why;
         }
       }
     } while (std::next_permutation(perm.begin(), perm.end()));
@@ -211,9 +220,17 @@ PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
                       std::to_string(base_cost) + " -> " +
                       std::to_string(best_cost) + "); ";
       }
+    } else if (best != ident && blocked.empty()) {
+      blocked = "below profitability threshold";
     }
   }
   if (!result.changed) result.log = "no profitable legal interchange";
+  result.decisions.push_back(
+      {"interchange", result.changed,
+       result.changed ? result.log
+       : blocked.empty()
+           ? "no profitable reordering (stride costs already optimal)"
+           : "blocked: " + blocked});
   return result;
 }
 

@@ -20,9 +20,24 @@
 
 namespace a64fxcc::passes {
 
+/// One structured pass decision: did the pass fire on this kernel, and
+/// why (not).  This is the provenance record behind `a64fxcc explain` —
+/// the reproduction's analogue of the paper's Section V root-cause
+/// discussion ("icc reordered the nest, fcc did not").  Decisions are a
+/// pure function of (pass, kernel), so they cache with the compile
+/// outcome and never perturb measured results.
+struct Decision {
+  std::string pass;    ///< "interchange", "tile", "vectorize", "fuse", "polly", ...
+  bool fired = false;  ///< did the transformation apply
+  std::string detail;  ///< what was done, or the blocking reason
+};
+
 struct PassResult {
   bool changed = false;
   std::string log;  ///< human-readable description of what was (not) done
+  /// Structured fired/blocked records, one per pass invocation (drivers
+  /// like `polly` append one per sub-pass they ran).
+  std::vector<Decision> decisions;
 };
 
 /// A maximal perfect loop nest: loops[0] contains exactly loops[1], etc.;

@@ -13,6 +13,9 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
   PassResult r;
   if (!is_static_control_part(k)) {
     r.log = "polly: not a static control part (non-affine access), skipped";
+    r.decisions.push_back(
+        {"polly", false,
+         "blocked: not a static control part (non-affine access)"});
     return r;
   }
 
@@ -29,6 +32,11 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
     r.changed = true;
     r.log += "polly " + ic.log;
   }
+  // Provenance: the schedule search is one polyhedral decision, but the
+  // per-transformation records are what `explain` diffs against the
+  // non-polyhedral compilers, so forward them under their own names.
+  for (const auto* sub : {&dist, &ic})
+    for (const auto& d : sub->decisions) r.decisions.push_back(d);
 
   // Tile deep rectangular nests (matmul-class) for cache reuse.
   for (auto& nest : collect_perfect_nests(k)) {
@@ -45,6 +53,7 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
       r.changed = true;
       r.log += "polly " + tr.log + "; ";
     }
+    for (const auto& d : tr.decisions) r.decisions.push_back(d);
   }
 
   const auto vr = vectorize(k, opt.vec);
@@ -52,7 +61,13 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
     r.changed = true;
     r.log += "polly vectorized; ";
   }
+  for (const auto& d : vr.decisions) r.decisions.push_back(d);
   if (!r.changed) r.log = "polly: SCoP detected but nothing profitable";
+  r.decisions.push_back(
+      {"polly", r.changed,
+       r.changed ? "SCoP scheduled (tile size " +
+                       std::to_string(opt.tile_size) + ")"
+                 : "SCoP detected but nothing profitable"});
   return r;
 }
 

@@ -70,21 +70,27 @@ PassResult tile(Kernel& k, const PerfectNest& nest,
   const std::size_t ndims = sizes.size();
   if (ndims == 0 || ndims > nest.depth()) {
     r.log = "invalid tile band size";
+    r.decisions.push_back({"tile", false, r.log});
     return r;
   }
   if (!is_rectangular(nest)) {
     r.log = "tiling refused: non-rectangular nest";
+    r.decisions.push_back({"tile", false, "blocked: non-rectangular nest"});
     return r;
   }
   for (std::size_t i = 0; i < ndims; ++i) {
     if (nest.loop(i).step != 1 || nest.loop(i).annot.parallel ||
         nest.loop(i).upper2.has_value()) {
       r.log = "tiling refused: unsupported loop shape in band";
+      r.decisions.push_back(
+          {"tile", false, "blocked: unsupported loop shape in band"});
       return r;
     }
   }
   if (!band_permutable(k, nest, ndims)) {
     r.log = "tiling refused: band not fully permutable";
+    r.decisions.push_back(
+        {"tile", false, "blocked: band not fully permutable (dependence)"});
     return r;
   }
 
@@ -107,6 +113,7 @@ PassResult tile(Kernel& k, const PerfectNest& nest,
   }
   if (!found) {
     r.log = "internal: nest head not found";
+    r.decisions.push_back({"tile", false, r.log});
     return r;
   }
 
@@ -138,6 +145,10 @@ PassResult tile(Kernel& k, const PerfectNest& nest,
 
   r.changed = true;
   r.log = "tiled band of " + std::to_string(ndims) + " loops";
+  r.decisions.push_back(
+      {"tile", true,
+       "tiled band of " + std::to_string(ndims) + " loops at " +
+           std::to_string(sizes[0]) + "x" + std::to_string(sizes[ndims - 1])});
   return r;
 }
 

@@ -37,6 +37,9 @@ PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
   std::vector<Loop*> candidates;
   for (auto& root : k.roots()) innermost_loops(*root, candidates);
 
+  int vectorized = 0;
+  std::string blocked;  // first blocking reason, for the decision record
+
   for (Loop* loop : candidates) {
     bool ok = true;
     std::string why;
@@ -57,6 +60,7 @@ PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
     }
     if (!ok) {
       r.log += k.var_name(loop->var) + ": not vectorized (" + why + "); ";
+      if (blocked.empty()) blocked = why;
       continue;
     }
 
@@ -84,17 +88,26 @@ PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
     }
     if (!shape_ok) {
       r.log += k.var_name(loop->var) + ": not vectorized (" + why + "); ";
+      if (blocked.empty()) blocked = why;
       continue;
     }
     if (trip < 4.0) {
       r.log += k.var_name(loop->var) + ": not vectorized (short trip); ";
+      if (blocked.empty()) blocked = "short trip";
       continue;
     }
     loop->annot.vector_width = opt.width;
+    ++vectorized;
     r.changed = true;
     r.log += k.var_name(loop->var) + ": vectorized x" +
              std::to_string(opt.width) + "; ";
   }
+  r.decisions.push_back(
+      {"vectorize", r.changed,
+       r.changed ? "vectorized " + std::to_string(vectorized) + " loop(s) x" +
+                       std::to_string(opt.width)
+       : blocked.empty() ? "no candidate innermost loops"
+                         : "blocked: " + blocked});
   return r;
 }
 
@@ -119,6 +132,7 @@ PassResult unroll(Kernel& k, int factor) {
   }
   r.log = r.changed ? "unrolled innermost loops x" + std::to_string(factor)
                     : "nothing to unroll";
+  r.decisions.push_back({"unroll", r.changed, r.log});
   return r;
 }
 
@@ -144,6 +158,7 @@ PassResult prefetch(Kernel& k, int distance) {
   r.log = r.changed ? "prefetch inserted on " +
                           std::to_string(streaming.size()) + " loops"
                     : "no streaming loops";
+  r.decisions.push_back({"prefetch", r.changed, r.log});
   return r;
 }
 
@@ -173,6 +188,7 @@ PassResult software_pipeline(Kernel& k) {
   r.log = r.changed ? "software-pipelined " + std::to_string(eligible.size()) +
                           " loops"
                     : "no pipelinable loops";
+  r.decisions.push_back({"pipeline", r.changed, r.log});
   return r;
 }
 

@@ -25,6 +25,10 @@
 
 #include "runtime/outcome.hpp"
 
+namespace a64fxcc::obs {
+class Tracer;  // forward: keeps this header dependency-light
+}
+
 namespace a64fxcc::runtime {
 
 enum class FaultKind : std::uint8_t { None, Compile, Runtime, Hang };
@@ -76,6 +80,9 @@ struct RunContext {
   int attempt = 0;
   /// Optional external cancellation (checked at every checkpoint).
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional span collector: the harness opens compile/explore/measure
+  /// spans on it.  Diagnostics-only — never consulted for results.
+  obs::Tracer* tracer = nullptr;
 
   /// Start the deadline clock (harness calls this on entry).
   void arm() noexcept { start_ = std::chrono::steady_clock::now(); }

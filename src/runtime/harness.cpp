@@ -1,11 +1,13 @@
 #include "runtime/harness.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <random>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "stats/stats.hpp"
 
 namespace a64fxcc::runtime {
@@ -145,6 +147,28 @@ double Harness::noisy(double t, double cv, std::uint64_t stream) const {
 
 namespace {
 
+/// Exception-safe wall-clock accumulator for one harness phase: adds
+/// the elapsed time to `*acc` (when non-null) even when the phase exits
+/// by throwing (injected faults, deadline checkpoints).  Diagnostics
+/// only — the accumulated value never reaches the performance model.
+class PhaseClock {
+ public:
+  explicit PhaseClock(double* acc) : acc_(acc) {}
+  PhaseClock(const PhaseClock&) = delete;
+  PhaseClock& operator=(const PhaseClock&) = delete;
+  ~PhaseClock() {
+    if (acc_ != nullptr)
+      *acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0_)
+                   .count();
+  }
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point t0_ =
+      std::chrono::steady_clock::now();
+};
+
 /// Simulate an injected hang: spin in checkpoint-sized slices so the
 /// cell's deadline watchdog cancels it cooperatively.  Without a
 /// deadline the hang self-bounds (a simulated hang must never wedge a
@@ -190,38 +214,53 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
     return m;
   }
 
-  const auto out = compile_cached(spec, bench.kernel, metrics);
-  m.status = cell_status(out->status);
-  if (!out->ok()) {
-    m.diagnostic = out->diagnostic;
-    return m;
+  // ---- compile phase (plus the reference compile, below) ----
+  std::shared_ptr<const compilers::CompileOutcome> out;
+  std::shared_ptr<const compilers::CompileOutcome> ref;
+  const compilers::CompileOutcome* refp = nullptr;
+  {
+    const auto span =
+        obs::scoped(ctx.tracer, "compile", bench.name(), spec.name);
+    const PhaseClock clock(metrics != nullptr ? &metrics->compile_seconds
+                                              : nullptr);
+    out = compile_cached(spec, bench.kernel, metrics);
+    m.decisions = compilers::decision_summary(out->decisions);
+    m.status = cell_status(out->status);
+    if (!out->ok()) {
+      m.diagnostic = out->diagnostic;
+      return m;
+    }
+    // Library-heavy benchmarks need the FJtrad reference for the SSL2
+    // part.
+    if (bench.traits.library_fraction > 0) {
+      ref = compile_cached(compilers::fjtrad(), bench.kernel, metrics);
+      refp = ref.get();
+    }
   }
 
   const std::uint64_t base = cell_stream(bench.name(), spec.name);
-
-  // Library-heavy benchmarks need the FJtrad reference for the SSL2 part.
-  std::shared_ptr<const compilers::CompileOutcome> ref;
-  const compilers::CompileOutcome* refp = nullptr;
-  if (bench.traits.library_fraction > 0) {
-    ref = compile_cached(compilers::fjtrad(), bench.kernel, metrics);
-    refp = ref.get();
-  }
 
   // ---- exploration phase: 3 trials per placement ----
   const auto placements =
       candidate_placements(bench.traits, bench.kernel.meta().parallel);
   Placement best_p = placements.front();
-  double best_trial = std::numeric_limits<double>::infinity();
-  for (std::size_t pi = 0; pi < placements.size(); ++pi) {
-    ctx.checkpoint();  // cooperative cancellation per exploration point
-    const double t = time_of(*out, refp, bench.traits.library_fraction,
-                             machine_, placements[pi]);
-    for (int trial = 0; trial < 3; ++trial) {
-      const double sample =
-          noisy(t, bench.traits.noise_cv, base ^ (pi * 8191 + trial));
-      if (sample < best_trial) {
-        best_trial = sample;
-        best_p = placements[pi];
+  {
+    const auto span =
+        obs::scoped(ctx.tracer, "explore", bench.name(), spec.name);
+    const PhaseClock clock(metrics != nullptr ? &metrics->explore_seconds
+                                              : nullptr);
+    double best_trial = std::numeric_limits<double>::infinity();
+    for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+      ctx.checkpoint();  // cooperative cancellation per exploration point
+      const double t = time_of(*out, refp, bench.traits.library_fraction,
+                               machine_, placements[pi]);
+      for (int trial = 0; trial < 3; ++trial) {
+        const double sample =
+            noisy(t, bench.traits.noise_cv, base ^ (pi * 8191 + trial));
+        if (sample < best_trial) {
+          best_trial = sample;
+          best_p = placements[pi];
+        }
       }
     }
   }
@@ -232,22 +271,30 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
       time_of(*out, refp, bench.traits.library_fraction, machine_, best_p);
   std::vector<double> samples;
   samples.reserve(10);
-  for (int r = 0; r < 10; ++r) {
-    ctx.checkpoint();  // cooperative cancellation per performance run
-    if (r == 4) {
-      // Injected faults strike mid-phase so the recovery path exercises
-      // a partially-evaluated cell, the worst case for isolation.
-      if (ctx.injected == FaultKind::Runtime) {
-        char buf[80];
-        std::snprintf(buf, sizeof buf,
-                      "injected runtime fault at performance run %d (attempt %d)",
-                      r + 1, ctx.attempt);
-        throw CellError(CellStatus::RuntimeError, buf);
+  {
+    const auto span =
+        obs::scoped(ctx.tracer, "measure", bench.name(), spec.name);
+    const PhaseClock clock(metrics != nullptr ? &metrics->measure_seconds
+                                              : nullptr);
+    for (int r = 0; r < 10; ++r) {
+      ctx.checkpoint();  // cooperative cancellation per performance run
+      if (r == 4) {
+        // Injected faults strike mid-phase so the recovery path
+        // exercises a partially-evaluated cell, the worst case for
+        // isolation.
+        if (ctx.injected == FaultKind::Runtime) {
+          char buf[80];
+          std::snprintf(
+              buf, sizeof buf,
+              "injected runtime fault at performance run %d (attempt %d)",
+              r + 1, ctx.attempt);
+          throw CellError(CellStatus::RuntimeError, buf);
+        }
+        if (ctx.injected == FaultKind::Hang) simulate_hang(ctx);
       }
-      if (ctx.injected == FaultKind::Hang) simulate_hang(ctx);
+      samples.push_back(
+          noisy(t_model, bench.traits.noise_cv, base ^ (0xABCD0000ULL + r)));
     }
-    samples.push_back(
-        noisy(t_model, bench.traits.noise_cv, base ^ (0xABCD0000ULL + r)));
   }
   m.best_seconds = stats::min(samples);
   m.median_seconds = stats::median(samples);

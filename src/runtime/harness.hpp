@@ -76,6 +76,11 @@ struct MeasuredRun {
   std::string bottleneck;
   double gflops = 0;
   double mem_gbs = 0;
+  /// Compact pass-decision provenance of the compile that produced this
+  /// cell ("interchange+,tile-,..." — compilers::decision_summary).
+  /// Deterministic and journaled; empty for cells that never compiled
+  /// (injected compile faults, restored pre-provenance journal lines).
+  std::string decisions;
 
   [[nodiscard]] bool valid() const noexcept {
     return status == CellStatus::Ok;
@@ -83,10 +88,15 @@ struct MeasuredRun {
 };
 
 /// Per-evaluation observability counters (filled by the cached paths;
-/// feeds the engine's CacheHit/CacheMiss events).
+/// feeds the engine's CacheHit/CacheMiss events).  The phase seconds
+/// are wall-clock accumulated across retry attempts — diagnostics-only
+/// (they feed CellPhase events and the metrics registry, never results).
 struct RunMetrics {
   int compile_cache_hits = 0;
   int compile_cache_misses = 0;
+  double compile_seconds = 0;  ///< compile + reference compile
+  double explore_seconds = 0;  ///< placement exploration trials
+  double measure_seconds = 0;  ///< 10-run performance phase
 };
 
 class Harness {

@@ -12,11 +12,13 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/study.hpp"
 #include "exec/engine.hpp"
 #include "exec/events.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -249,16 +251,19 @@ void expect_identical(const report::Table& a, const report::Table& b) {
       EXPECT_EQ(ca.bottleneck, cb.bottleneck);
       EXPECT_EQ(ca.gflops, cb.gflops) << ca.benchmark;
       EXPECT_EQ(ca.mem_gbs, cb.mem_gbs) << ca.benchmark;
+      EXPECT_EQ(ca.decisions, cb.decisions) << ca.benchmark;
     }
   }
 }
 
 report::Table run_with_jobs(const std::vector<kernels::Benchmark>& suite,
-                            int jobs, exec::EventSink* sink = nullptr) {
+                            int jobs, exec::EventSink* sink = nullptr,
+                            obs::Tracer* tracer = nullptr) {
   core::StudyOptions opt;
   opt.scale = 0.05;
   opt.jobs = jobs;
   opt.sink = sink;
+  opt.tracer = tracer;
   return core::Study(std::move(opt)).run_suite(suite);
 }
 
@@ -367,6 +372,79 @@ TEST(Events, ToStringCoversEveryKind) {
   EXPECT_STREQ(to_string(EventKind::JobRetried), "job-retried");
   EXPECT_STREQ(to_string(EventKind::CacheHit), "cache-hit");
   EXPECT_STREQ(to_string(EventKind::CacheMiss), "cache-miss");
+  EXPECT_STREQ(to_string(EventKind::CellPhase), "cell-phase");
+}
+
+TEST(Events, ParseLogLevelRoundTrips) {
+  exec::LogLevel level{};
+  ASSERT_TRUE(exec::parse_log_level("quiet", &level));
+  EXPECT_EQ(level, exec::LogLevel::Quiet);
+  ASSERT_TRUE(exec::parse_log_level("progress", &level));
+  EXPECT_EQ(level, exec::LogLevel::Progress);
+  ASSERT_TRUE(exec::parse_log_level("debug", &level));
+  EXPECT_EQ(level, exec::LogLevel::Debug);
+  EXPECT_FALSE(exec::parse_log_level("verbose", &level));
+  EXPECT_FALSE(exec::parse_log_level("", &level));
+}
+
+TEST(Events, CellPhaseEventsCoverEveryCellPhase) {
+  // Every cell compiles, so every cell emits a "compile" CellPhase
+  // event before its terminal event; valid cells add "explore" and
+  // "measure".  The terminal-event invariant (exactly one JobFinished
+  // or JobFailed per cell) must survive tracing being attached.
+  const auto suite = kernels::microkernel_suite(0.05);
+  for (const int jobs : {1, 2, 8}) {
+    exec::CollectingSink sink;
+    obs::Tracer tracer;
+    const auto t = run_with_jobs(suite, jobs, &sink, &tracer);
+    const std::size_t cells = t.rows.size() * t.compilers.size();
+
+    // Phase events carry positive durations and known phase names, and
+    // no cell reports the same phase twice.
+    std::set<std::tuple<std::size_t, std::size_t, std::string>> phases;
+    for (const auto& e : sink.events()) {
+      if (e.kind != exec::EventKind::CellPhase) continue;
+      EXPECT_TRUE(e.detail == "compile" || e.detail == "explore" ||
+                  e.detail == "measure")
+          << e.detail;
+      EXPECT_GT(e.wall_seconds, 0.0);
+      EXPECT_EQ(e.benchmark, t.rows[e.row].benchmark);
+      EXPECT_EQ(e.compiler, t.compilers[e.col]);
+      EXPECT_TRUE(phases.emplace(e.row, e.col, e.detail).second)
+          << "duplicate " << e.detail << " phase for cell " << e.row << ","
+          << e.col;
+    }
+    for (std::size_t r = 0; r < t.rows.size(); ++r)
+      for (std::size_t c = 0; c < t.compilers.size(); ++c) {
+        EXPECT_TRUE(phases.count({r, c, "compile"}))
+            << t.rows[r].benchmark << " x " << t.compilers[c];
+        if (t.rows[r].cells[c].valid()) {
+          EXPECT_TRUE(phases.count({r, c, "explore"}));
+          EXPECT_TRUE(phases.count({r, c, "measure"}));
+        }
+      }
+
+    // Exactly one terminal event per cell, tracing notwithstanding.
+    EXPECT_EQ(sink.count(exec::EventKind::JobFinished) +
+                  sink.count(exec::EventKind::JobFailed),
+              cells)
+        << jobs;
+    std::set<std::pair<std::size_t, std::size_t>> terminal;
+    for (const auto& e : sink.events()) {
+      if (e.kind != exec::EventKind::JobFinished &&
+          e.kind != exec::EventKind::JobFailed)
+        continue;
+      EXPECT_TRUE(terminal.emplace(e.row, e.col).second)
+          << "two terminal events for cell " << e.row << "," << e.col;
+    }
+    EXPECT_EQ(terminal.size(), cells) << jobs;
+
+    // The tracer saw the same work: one "cell" span per cell.
+    std::size_t cell_spans = 0;
+    for (const auto& r : tracer.records())
+      if (r.name == "cell") ++cell_spans;
+    EXPECT_EQ(cell_spans, cells) << jobs;
+  }
 }
 
 TEST(Events, StreamSinkIsThreadSafeForFailureEvents) {

@@ -381,6 +381,86 @@ TEST(Journal, CellKeySeesSeedSpecKernelAndQuirks) {
   EXPECT_NE(core::Journal::cell_key(42, spec, suite[0].kernel, false), base);
 }
 
+TEST(Journal, LinesCarryTheFormatVersionTag) {
+  core::JournalEntry e;
+  e.key = 1;
+  e.run.benchmark = "2mm";
+  e.run.compiler = "LLVM";
+  e.run.status = runtime::CellStatus::CompileError;
+  e.run.diagnostic = "x";
+  const auto line = core::Journal::encode(e);
+  char tag[24];
+  std::snprintf(tag, sizeof tag, "{\"v\":%d,", core::kJournalFormatVersion);
+  EXPECT_EQ(line.rfind(tag, 0), 0u) << line;
+}
+
+TEST(Journal, DecisionsFieldRoundTrips) {
+  core::JournalEntry e;
+  e.key = 2;
+  e.run.benchmark = "2mm";
+  e.run.compiler = "LLVM";
+  e.run.status = runtime::CellStatus::CompileError;
+  e.run.diagnostic = "quirk";
+  e.run.decisions = "interchange+,tile-,vectorize+,fuse-,polly-";
+  const auto back = core::Journal::decode(core::Journal::encode(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->run.decisions, e.run.decisions);
+  // Empty provenance is omitted from the line and restores as empty.
+  e.run.decisions.clear();
+  const auto line = core::Journal::encode(e);
+  EXPECT_EQ(line.find("decisions"), std::string::npos);
+  ASSERT_TRUE(core::Journal::decode(line).has_value());
+  EXPECT_TRUE(core::Journal::decode(line)->run.decisions.empty());
+}
+
+TEST(Journal, UntaggedPreProvenanceLinesStillDecode) {
+  // A v1 journal line (written before the "v" tag existed) must resume
+  // cleanly: same fields, no version tag, no decisions.
+  const std::string v1 =
+      "{\"key\":\"000000000000000b\",\"benchmark\":\"atax\","
+      "\"compiler\":\"Arm\",\"status\":\"crash\",\"diagnostic\":\"old\"}";
+  const auto e = core::Journal::decode(v1);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->key, 11u);
+  EXPECT_EQ(e->run.benchmark, "atax");
+  EXPECT_EQ(e->run.status, runtime::CellStatus::Crashed);
+  EXPECT_EQ(e->run.diagnostic, "old");
+  EXPECT_TRUE(e->run.decisions.empty());
+}
+
+TEST(Journal, FutureFormatVersionsAreRejectedNotHalfParsed) {
+  core::JournalEntry e;
+  e.key = 3;
+  e.run.benchmark = "2mm";
+  e.run.compiler = "GNU";
+  e.run.status = runtime::CellStatus::RuntimeError;
+  e.run.diagnostic = "x";
+  std::string line = core::Journal::encode(e);
+  char cur[16], next[16];
+  std::snprintf(cur, sizeof cur, "\"v\":%d", core::kJournalFormatVersion);
+  std::snprintf(next, sizeof next, "\"v\":%d", core::kJournalFormatVersion + 1);
+  ASSERT_NE(line.find(cur), std::string::npos);
+  line.replace(line.find(cur), std::string(cur).size(), next);
+  EXPECT_FALSE(core::Journal::decode(line).has_value());
+}
+
+TEST(Journal, ResumesFromPreProvenanceJournalFile) {
+  const std::string path = testing::TempDir() + "a64fxcc_journal_v1.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream f(path);
+    f << "{\"key\":\"0000000000000015\",\"benchmark\":\"bicg\","
+         "\"compiler\":\"GNU\",\"status\":\"runtime error\","
+         "\"diagnostic\":\"legacy\"}\n";
+  }
+  core::Journal j;
+  EXPECT_EQ(j.load(path), 1u);
+  ASSERT_NE(j.find(0x15), nullptr);
+  EXPECT_EQ(j.find(0x15)->diagnostic, "legacy");
+  EXPECT_TRUE(j.find(0x15)->decisions.empty());
+  std::remove(path.c_str());
+}
+
 // ---- resume ----------------------------------------------------------------
 
 TEST(Resume, SecondRunRestoresEverythingWithoutRecompiling) {

@@ -1,0 +1,462 @@
+// Observability: tracing spans, the Chrome trace export invariants, the
+// metrics registry, pass-decision provenance, and the contract that all
+// of it is diagnostics-only — study tables must stay byte-identical with
+// observability on or off, at any worker count, with or without faults.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/explain.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+// ---- tracer / spans -------------------------------------------------------
+
+TEST(Trace, SpansNestInSequenceOrder) {
+  obs::Tracer tracer;
+  {
+    const auto outer = obs::scoped(&tracer, "outer", "2mm", "LLVM");
+    EXPECT_TRUE(static_cast<bool>(outer));
+    const auto inner = obs::scoped(&tracer, "inner", "2mm", "LLVM");
+  }
+  const auto recs = tracer.records();
+  ASSERT_EQ(recs.size(), 2u);
+  // Inner ends first, so it is recorded first.
+  const auto& inner = recs[0];
+  const auto& outer = recs[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.tid, outer.tid);
+  // RAII nesting in global sequence order: B(outer) < B(inner) <
+  // E(inner) < E(outer) — the property the Chrome export sorts by.
+  EXPECT_LT(outer.begin_seq, inner.begin_seq);
+  EXPECT_LT(inner.begin_seq, inner.end_seq);
+  EXPECT_LT(inner.end_seq, outer.end_seq);
+  EXPECT_LE(outer.begin_us, inner.begin_us);
+  EXPECT_LE(inner.begin_us, inner.end_us);
+  EXPECT_GE(outer.seconds(), inner.seconds());
+  EXPECT_EQ(inner.benchmark, "2mm");
+  EXPECT_EQ(inner.compiler, "LLVM");
+}
+
+TEST(Trace, NullTracerSpansAreInert) {
+  // The harness instruments unconditionally; with no tracer attached a
+  // span must do nothing at all.
+  auto sp = obs::scoped(nullptr, "compile", "2mm", "LLVM");
+  EXPECT_FALSE(static_cast<bool>(sp));
+  sp.end();
+  sp.end();  // idempotent
+  obs::Span defaulted;
+  EXPECT_FALSE(static_cast<bool>(defaulted));
+}
+
+TEST(Trace, MovedFromSpanRecordsExactlyOnce) {
+  obs::Tracer tracer;
+  {
+    auto a = obs::scoped(&tracer, "phase", "", "");
+    const auto b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: moved-from is inert
+    EXPECT_TRUE(static_cast<bool>(b));
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Trace, EndIsIdempotent) {
+  obs::Tracer tracer;
+  auto sp = obs::scoped(&tracer, "phase", "", "");
+  sp.end();
+  sp.end();
+  EXPECT_EQ(tracer.size(), 1u);  // the destructor must not re-record
+}
+
+TEST(Trace, SummaryAggregatesByName) {
+  obs::Tracer tracer;
+  for (int i = 0; i < 3; ++i) obs::scoped(&tracer, "compile", "", "").end();
+  obs::scoped(&tracer, "measure", "", "").end();
+  const auto summary = tracer.summary();
+  ASSERT_EQ(summary.size(), 2u);  // sorted by name
+  EXPECT_EQ(summary[0].name, "compile");
+  EXPECT_EQ(summary[0].count, 3u);
+  EXPECT_GE(summary[0].total_seconds, summary[0].max_seconds);
+  EXPECT_EQ(summary[1].name, "measure");
+  EXPECT_EQ(summary[1].count, 1u);
+  const auto text = tracer.summary_text();
+  EXPECT_NE(text.find("compile"), std::string::npos);
+  EXPECT_NE(text.find("measure"), std::string::npos);
+}
+
+// Replay one study's records the way the Chrome export does and check
+// the viewer invariants: per thread, sorting all B/E events by sequence
+// number yields stack-disciplined pairs with monotone timestamps.
+TEST(Trace, StudySpansSatisfyChromeViewerInvariants) {
+  obs::Tracer tracer;
+  core::StudyOptions opt;
+  opt.scale = 0.05;
+  opt.jobs = 8;
+  opt.tracer = &tracer;
+  (void)core::Study(std::move(opt))
+      .run_suite(kernels::microkernel_suite(0.05));
+
+  struct Ev {
+    std::uint64_t seq;
+    double us;
+    bool begin;
+    const std::string* name;
+  };
+  std::map<int, std::vector<Ev>> by_tid;
+  const auto records = tracer.records();  // outlives the Ev name pointers
+  for (const auto& r : records) {
+    by_tid[r.tid].push_back({r.begin_seq, r.begin_us, true, &r.name});
+    by_tid[r.tid].push_back({r.end_seq, r.end_us, false, &r.name});
+  }
+  ASSERT_FALSE(by_tid.empty());
+  for (auto& [tid, evs] : by_tid) {
+    std::sort(evs.begin(), evs.end(),
+              [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+    std::vector<const std::string*> stack;
+    double last_us = 0;
+    for (const auto& ev : evs) {
+      EXPECT_GE(ev.us, last_us) << "non-monotone timestamp on tid " << tid;
+      last_us = ev.us;
+      if (ev.begin) {
+        stack.push_back(ev.name);
+      } else {
+        ASSERT_FALSE(stack.empty()) << "E without B on tid " << tid;
+        EXPECT_EQ(*stack.back(), *ev.name) << "mis-nested span on tid " << tid;
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+}
+
+TEST(Trace, ChromeJsonIsBalanced) {
+  obs::Tracer tracer;
+  {
+    const auto cell = obs::scoped(&tracer, "cell", "2mm", "LLVM");
+    obs::scoped(&tracer, "compile", "2mm", "LLVM").end();
+  }
+  const auto json = tracer.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"phaseSummary\""), std::string::npos);
+  const auto occurrences = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"ph\":\"B\""), 2u);
+  EXPECT_EQ(occurrences("\"ph\":\"E\""), 2u);
+  EXPECT_NE(json.find("\"2mm\""), std::string::npos);  // args survive
+}
+
+TEST(Trace, WriteTraceCreatesLoadableFile) {
+  obs::Tracer tracer;
+  obs::scoped(&tracer, "compile", "atax", "GNU").end();
+  const std::string path = testing::TempDir() + "a64fxcc_trace_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::write_trace(tracer, path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const auto body = ss.str();
+  EXPECT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_FALSE(obs::write_trace(tracer, "/nonexistent-dir/trace.json"));
+  std::remove(path.c_str());
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  obs::Histogram h;
+  h.add(5e-7);  // <= bound(0) = 1e-6
+  h.add(1e-6);  // boundary: still bucket 0
+  h.add(3e-6);  // bucket 1 (<= 4e-6)
+  h.add(1e9);   // beyond bound(15): overflow
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.overflow, 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 5e-7 + 1e-6 + 3e-6 + 1e9);
+  EXPECT_DOUBLE_EQ(h.min, 5e-7);
+  EXPECT_DOUBLE_EQ(h.max, 1e9);
+  // Bounds grow by 4x from 1 microsecond.
+  EXPECT_DOUBLE_EQ(obs::Histogram::bound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(obs::Histogram::bound(2), 16e-6);
+}
+
+TEST(Metrics, CountersMatchTableStatuses) {
+  // The acceptance check: metrics cell-status counts must equal what
+  // the table itself reports.
+  obs::MetricsSink metrics;
+  core::StudyOptions opt;
+  opt.scale = 0.05;
+  opt.jobs = 4;
+  opt.sink = &metrics;
+  const auto t = core::Study(std::move(opt))
+                     .run_suite(kernels::microkernel_suite(0.05));
+  std::map<runtime::CellStatus, std::uint64_t> by_status;
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells) ++by_status[cell.status];
+  EXPECT_EQ(metrics.counter("cells_ok"), by_status[runtime::CellStatus::Ok]);
+  EXPECT_EQ(metrics.counter("cells_compile_error"),
+            by_status[runtime::CellStatus::CompileError]);
+  EXPECT_EQ(metrics.counter("cells_runtime_error"),
+            by_status[runtime::CellStatus::RuntimeError]);
+  EXPECT_EQ(metrics.counter("cells_timeout"),
+            by_status[runtime::CellStatus::Timeout]);
+  EXPECT_EQ(metrics.counter("cells_crashed"),
+            by_status[runtime::CellStatus::Crashed]);
+  EXPECT_EQ(metrics.counter("jobs_started"),
+            t.rows.size() * t.compilers.size());
+  EXPECT_GT(metrics.counter("compile_cache_misses"), 0u);
+  EXPECT_EQ(metrics.counter("no_such_counter"), 0u);
+
+  const auto json = metrics.to_json();
+  EXPECT_NE(json.find("\"cells_ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"compile_cache_hit_rate\""), std::string::npos);
+  // CellPhase events fed the per-phase histograms.
+  EXPECT_NE(json.find("\"phase_compile_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_measure_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"cell_wall_seconds\""), std::string::npos);
+}
+
+TEST(Metrics, ForwardsEventsToInnerSink) {
+  exec::CollectingSink inner;
+  obs::MetricsSink metrics(&inner);
+  exec::Event e;
+  e.kind = exec::EventKind::JobFinished;
+  e.benchmark = "2mm";
+  metrics.on_event(e);
+  e.kind = exec::EventKind::CacheHit;
+  e.count = 7;
+  metrics.on_event(e);
+  EXPECT_EQ(inner.events().size(), 2u);
+  EXPECT_EQ(metrics.counter("cells_ok"), 1u);
+  EXPECT_EQ(metrics.counter("compile_cache_hits"), 7u);
+}
+
+TEST(Metrics, RetriesAndFailuresAreCounted) {
+  obs::MetricsSink metrics;
+  core::StudyOptions opt;
+  opt.faults.runtime = 0.3;
+  opt.max_retries = 2;
+  opt.retry_backoff_seconds = 0;
+  opt.scale = 0.05;
+  opt.sink = &metrics;
+  const auto t = core::Study(std::move(opt))
+                     .run_suite(kernels::microkernel_suite(0.05));
+  EXPECT_GT(metrics.counter("retries"), 0u);
+  std::uint64_t failed = 0;
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells)
+      if (!cell.valid()) ++failed;
+  EXPECT_EQ(metrics.counter("cells_compile_error") +
+                metrics.counter("cells_runtime_error") +
+                metrics.counter("cells_timeout") +
+                metrics.counter("cells_crashed"),
+            failed);
+}
+
+TEST(Metrics, WriteMetricsCreatesFile) {
+  obs::MetricsSink metrics;
+  const std::string path = testing::TempDir() + "a64fxcc_metrics_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(obs::write_metrics(metrics, path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_NE(ss.str().find("\"version\""), std::string::npos);
+  EXPECT_FALSE(obs::write_metrics(metrics, "/nonexistent-dir/m.json"));
+  std::remove(path.c_str());
+}
+
+TEST(Metrics, StreamSinkLevelsGateOutput) {
+  // Quiet writes nothing; Debug writes phase/cache lines Progress skips.
+  const auto bytes_written = [](exec::LogLevel level) {
+    std::FILE* f = std::tmpfile();
+    EXPECT_NE(f, nullptr);
+    {
+      exec::StreamSink sink(f, level);
+      exec::Event e;
+      e.kind = exec::EventKind::JobFinished;
+      e.benchmark = "2mm";
+      e.compiler = "LLVM";
+      sink.on_event(e);
+      e.kind = exec::EventKind::CellPhase;
+      e.detail = "compile";
+      e.wall_seconds = 0.001;
+      sink.on_event(e);
+    }
+    std::fflush(f);
+    const long n = std::ftell(f);
+    std::fclose(f);
+    return n;
+  };
+  EXPECT_EQ(bytes_written(exec::LogLevel::Quiet), 0L);
+  EXPECT_GT(bytes_written(exec::LogLevel::Progress), 0L);
+  EXPECT_GT(bytes_written(exec::LogLevel::Debug),
+            bytes_written(exec::LogLevel::Progress));
+}
+
+// ---- diagnostics-only contract --------------------------------------------
+
+report::Table run_suite_with(core::StudyOptions opt,
+                             const std::vector<kernels::Benchmark>& suite) {
+  opt.scale = 0.05;
+  return core::Study(std::move(opt)).run_suite(suite);
+}
+
+TEST(ObsDeterminism, TablesAreByteIdenticalWithObservabilityOn) {
+  // The acceptance criterion: rendered table bytes with tracing +
+  // metrics attached equal the bare run, for every worker count.
+  const auto suite = kernels::microkernel_suite(0.05);
+  core::StudyOptions bare;
+  bare.jobs = 1;
+  const auto baseline = report::render_csv(run_suite_with(bare, suite));
+  for (const int jobs : {1, 2, 8}) {
+    obs::Tracer tracer;
+    exec::StreamSink quiet(stderr, exec::LogLevel::Quiet);
+    obs::MetricsSink metrics(&quiet);
+    core::StudyOptions opt;
+    opt.jobs = jobs;
+    opt.sink = &metrics;
+    opt.tracer = &tracer;
+    const auto observed = report::render_csv(run_suite_with(opt, suite));
+    EXPECT_EQ(observed, baseline) << "jobs=" << jobs;
+    EXPECT_GT(tracer.size(), 0u) << "tracing was actually on";
+  }
+}
+
+TEST(ObsDeterminism, ByteIdenticalUnderFaultInjectionAndRetries) {
+  const auto suite = kernels::microkernel_suite(0.05);
+  core::StudyOptions bare;
+  bare.jobs = 1;
+  bare.faults.runtime = 0.3;
+  bare.max_retries = 2;
+  bare.retry_backoff_seconds = 0;
+  const auto baseline = report::render_csv(run_suite_with(bare, suite));
+  for (const int jobs : {2, 8}) {
+    obs::Tracer tracer;
+    obs::MetricsSink metrics;
+    auto opt = bare;
+    opt.jobs = jobs;
+    opt.sink = &metrics;
+    opt.tracer = &tracer;
+    const auto observed = report::render_csv(run_suite_with(opt, suite));
+    EXPECT_EQ(observed, baseline) << "jobs=" << jobs;
+    // Backoff spans only exist on the traced runs — and still don't
+    // perturb the table.
+    EXPECT_GT(metrics.counter("retries"), 0u);
+  }
+}
+
+// ---- pass-decision provenance ---------------------------------------------
+
+const ir::Kernel& find_kernel(const std::vector<kernels::Benchmark>& suite,
+                              const std::string& name) {
+  for (const auto& b : suite)
+    if (b.name() == name) return b.kernel;
+  ADD_FAILURE() << name << " not in suite";
+  return suite.front().kernel;
+}
+
+TEST(Provenance, InterchangeDecisionSeparatesFjtradFromLlvm) {
+  // The paper's 2mm story: FJtrad cannot interchange the C loop nest,
+  // the LLVM family can — and the decision log says so explicitly.
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto& k2mm = find_kernel(suite, "2mm");
+  const auto fj = compilers::compile(compilers::fjtrad(), k2mm);
+  const auto llvm = compilers::compile(compilers::llvm12(), k2mm);
+  const auto* fj_ic = compilers::find_decision(fj.decisions, "interchange");
+  const auto* llvm_ic = compilers::find_decision(llvm.decisions, "interchange");
+  ASSERT_NE(fj_ic, nullptr);
+  ASSERT_NE(llvm_ic, nullptr);
+  EXPECT_FALSE(fj_ic->fired);
+  EXPECT_NE(fj_ic->detail.find("not enabled"), std::string::npos);
+  EXPECT_TRUE(llvm_ic->fired);
+  EXPECT_EQ(compilers::find_decision(fj.decisions, "no-such-pass"), nullptr);
+}
+
+TEST(Provenance, DecisionSummaryListsCanonicalPassesInOrder) {
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto& k2mm = find_kernel(suite, "2mm");
+  const auto fj = compilers::compile(compilers::fjtrad(), k2mm);
+  const auto llvm = compilers::compile(compilers::llvm12(), k2mm);
+  const auto fj_s = compilers::decision_summary(fj.decisions);
+  const auto llvm_s = compilers::decision_summary(llvm.decisions);
+  EXPECT_NE(fj_s.find("interchange-"), std::string::npos) << fj_s;
+  EXPECT_NE(llvm_s.find("interchange+"), std::string::npos) << llvm_s;
+  // Fixed order: interchange before tile before vectorize.
+  EXPECT_LT(llvm_s.find("interchange"), llvm_s.find("tile"));
+  EXPECT_LT(llvm_s.find("tile"), llvm_s.find("vectorize"));
+  EXPECT_TRUE(compilers::decision_summary({}).empty());
+}
+
+TEST(Provenance, DecisionsAreCachedWithTheOutcome) {
+  compilers::CompileCache cache;
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto spec = compilers::llvm_polly();
+  const auto a = cache.get_or_compile(spec, suite[0].kernel);
+  const auto b = cache.get_or_compile(spec, suite[0].kernel);
+  ASSERT_TRUE(b.hit);
+  EXPECT_FALSE(a.outcome->decisions.empty());
+  EXPECT_EQ(a.outcome.get(), b.outcome.get());  // provenance rides the cache
+}
+
+TEST(Provenance, EveryTableCellCarriesDecisions) {
+  // All cells compile (even quirk-failed ones consult the quirk DB), so
+  // every cell's MeasuredRun records a non-empty provenance summary.
+  core::StudyOptions opt;
+  const auto t =
+      run_suite_with(std::move(opt), kernels::microkernel_suite(0.05));
+  for (const auto& row : t.rows)
+    for (const auto& cell : row.cells)
+      EXPECT_FALSE(cell.decisions.empty())
+          << row.benchmark << " x " << cell.compiler;
+}
+
+TEST(Provenance, ExplainRendersTheInterchangeDiff) {
+  const auto suite = kernels::polybench_suite(0.05);
+  const auto& k2mm = find_kernel(suite, "2mm");
+  const auto entries =
+      report::explain_benchmark(k2mm, compilers::paper_compilers());
+  ASSERT_EQ(entries.size(), 5u);
+  const auto text = report::render_explain("2mm", entries);
+  EXPECT_NE(text.find("pass decisions for 2mm"), std::string::npos);
+  EXPECT_NE(text.find("interchange:"), std::string::npos);
+  // FJtrad's line under "interchange:" must say blocked; an LLVM-family
+  // line must say fired.
+  const auto at = text.find("interchange:");
+  const auto block = text.substr(at, text.find("\n\n", at) - at);
+  EXPECT_NE(block.find("FJtrad"), std::string::npos);
+  EXPECT_NE(block.find("blocked"), std::string::npos);
+  EXPECT_NE(block.find("fired"), std::string::npos);
+}
+
+TEST(Provenance, DecisionsCsvHasOneLinePerCell) {
+  core::StudyOptions opt;
+  const auto t = run_suite_with(std::move(opt), kernels::top500_suite(0.05));
+  const auto csv = report::render_decisions_csv(t);
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + t.rows.size() * t.compilers.size());
+  EXPECT_EQ(csv.rfind("benchmark,compiler,decisions\n", 0), 0u);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -22,6 +23,9 @@
 #include "ir/parser.hpp"
 #include "ir/validate.hpp"
 #include "ir/printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/explain.hpp"
 #include "report/roofline.hpp"
 
 namespace {
@@ -97,6 +101,66 @@ bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
   }
   if (resume != nullptr || journal_path != nullptr) opt.journal = &journal;
   return true;
+}
+
+/// Observability state shared by `table` and `run`: the stream renderer
+/// (--log-level, with --progress as a Progress alias), the metrics
+/// registry (--metrics=out.json) and the span tracer (--trace=out.json).
+struct ObsSetup {
+  exec::LogLevel level = exec::LogLevel::Quiet;
+  const char* trace_path = nullptr;
+  const char* metrics_path = nullptr;
+  std::optional<exec::StreamSink> stream;
+  std::optional<obs::MetricsSink> metrics;
+  obs::Tracer tracer;
+};
+
+/// Parse the observability flags and attach sinks/tracer to `opt`.
+/// Returns false (after a diagnostic) on a malformed --log-level.
+bool apply_obs_flags(int argc, char** argv, core::StudyOptions& opt,
+                     ObsSetup& obs) {
+  if (has_flag(argc, argv, "--progress"))
+    obs.level = exec::LogLevel::Progress;  // legacy alias
+  if (const char* v = arg_value(argc, argv, "--log-level=")) {
+    if (!exec::parse_log_level(v, &obs.level)) {
+      std::fprintf(stderr,
+                   "unknown --log-level '%s' (quiet|progress|debug)\n", v);
+      return false;
+    }
+  }
+  obs.trace_path = arg_value(argc, argv, "--trace=");
+  obs.metrics_path = arg_value(argc, argv, "--metrics=");
+  obs.stream.emplace(stderr, obs.level);
+  if (obs.metrics_path != nullptr) {
+    // Metrics wrap the stream renderer so both see the same events.
+    obs.metrics.emplace(obs.level != exec::LogLevel::Quiet ? &*obs.stream
+                                                           : nullptr);
+    opt.sink = &*obs.metrics;
+  } else if (obs.level != exec::LogLevel::Quiet) {
+    opt.sink = &*obs.stream;
+  }
+  if (obs.trace_path != nullptr) opt.tracer = &obs.tracer;
+  return true;
+}
+
+/// Write the trace/metrics artifacts after a study.  Returns false on
+/// I/O failure (the study result itself is already rendered).
+bool flush_obs(ObsSetup& obs) {
+  bool ok = true;
+  if (obs.trace_path != nullptr) {
+    if (!obs::write_trace(obs.tracer, obs.trace_path)) {
+      std::fprintf(stderr, "cannot write trace '%s'\n", obs.trace_path);
+      ok = false;
+    }
+    if (obs.level == exec::LogLevel::Debug)
+      std::fputs(obs.tracer.summary_text().c_str(), stderr);
+  }
+  if (obs.metrics_path != nullptr &&
+      !obs::write_metrics(*obs.metrics, obs.metrics_path)) {
+    std::fprintf(stderr, "cannot write metrics '%s'\n", obs.metrics_path);
+    ok = false;
+  }
+  return ok;
 }
 
 /// One stderr line per failed cell after a study completes (the table
@@ -175,8 +239,8 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
   core::StudyOptions opt;
   opt.scale = scale;
   opt.jobs = arg_jobs(argc, argv);
-  exec::StreamSink progress(stderr);
-  if (has_flag(argc, argv, "--progress")) opt.sink = &progress;
+  ObsSetup obs;
+  if (!apply_obs_flags(argc, argv, opt, obs)) return 1;
   core::Journal journal;
   if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
   const core::Study study(std::move(opt));
@@ -190,6 +254,9 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
     std::fputs(report::render_markdown(t).c_str(), stdout);
   else
     std::fputs(report::render_ansi(t).c_str(), stdout);
+  if (has_flag(argc, argv, "--decisions"))
+    std::fputs(report::render_decisions_csv(t).c_str(), stdout);
+  flush_obs(obs);
   const auto s = core::summarize(t);
   std::printf("\nmedian best-compiler gain: %.3fx (mean %.3fx, peak %.3fx)\n",
               s.median_best_gain, s.mean_best_gain, s.max_best_gain);
@@ -203,6 +270,8 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     core::StudyOptions opt;
     opt.scale = scale;
     opt.jobs = arg_jobs(argc, argv);
+    ObsSetup obs;
+    if (!apply_obs_flags(argc, argv, opt, obs)) return 1;
     core::Journal journal;
     if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
     const core::Study study(std::move(opt));
@@ -211,6 +280,7 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     const auto t = study.run_suite(one);
     report_failures(t);
     std::fputs(report::render_ansi(t).c_str(), stdout);
+    flush_obs(obs);
     return 0;
   }
   std::fprintf(stderr, "unknown benchmark '%s' (try: a64fxcc list)\n",
@@ -299,6 +369,27 @@ int cmd_emit(const std::string& name, const std::string& compiler_name) {
   return 1;
 }
 
+int cmd_explain(const std::string& name, const std::string& compiler_name) {
+  for (const auto& b : kernels::all_benchmarks(0.25)) {
+    if (b.name() != name) continue;
+    std::vector<compilers::CompilerSpec> specs;
+    if (compiler_name.empty()) {
+      specs = compilers::paper_compilers();
+    } else if (auto s = compiler_by_name(compiler_name)) {
+      specs.push_back(std::move(*s));
+    } else {
+      std::fprintf(stderr, "unknown compiler '%s'\n", compiler_name.c_str());
+      return 1;
+    }
+    const auto entries = report::explain_benchmark(b.kernel, specs);
+    std::fputs(report::render_explain(name, entries).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown benchmark '%s' (try: a64fxcc list)\n",
+               name.c_str());
+  return 1;
+}
+
 int cmd_roofline(const std::string& name) {
   const auto m = machine::a64fx();
   for (const auto& b : kernels::all_benchmarks(0.25)) {
@@ -323,7 +414,9 @@ void usage() {
       "usage: a64fxcc <command> [args]\n"
       "  list [suite]                  suites: micro polybench top500 ecp fiber\n"
       "                                        spec-cpu spec-omp all\n"
-      "  table <suite> [--scale=f] [--jobs=N] [--progress] [--csv|--json|--md]\n"
+      "  table <suite> [--scale=f] [--jobs=N] [--csv|--json|--md] [--decisions]\n"
+      "                [--log-level=quiet|progress|debug] [--progress]\n"
+      "                [--trace=PATH] [--metrics=PATH]\n"
       "                [--retries=N] [--deadline=SECONDS] [--fail-fast]\n"
       "                [--resume=PATH] [--journal=PATH]\n"
       "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
@@ -332,8 +425,16 @@ void usage() {
       "                                   # is bit-identical for any N\n"
       "                                   # --resume restores completed cells\n"
       "                                   # from a journal and appends new ones\n"
+      "                                   # --trace = Chrome trace_event JSON,\n"
+      "                                   # --metrics = counters/histograms JSON;\n"
+      "                                   # both diagnostics-only (identical\n"
+      "                                   # tables on or off)\n"
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
+      "                  [--log-level=L] [--trace=PATH] [--metrics=PATH]\n"
+      "  explain <benchmark> [compiler]   # pass-decision provenance diff:\n"
+      "                                   # which pass fired/was blocked, and\n"
+      "                                   # why, per compiler\n"
       "  show <benchmark> [compiler]\n"
       "  file <path.kernel> [compiler]\n"
       "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
@@ -355,6 +456,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list(a2);
   if (cmd == "table") return cmd_table(a2, argc, argv);
   if (cmd == "run") return cmd_run(a2, argc, argv);
+  if (cmd == "explain") return cmd_explain(a2, a3);
   if (cmd == "show") return cmd_show(a2, a3);
   if (cmd == "file") return cmd_file(a2, a3);
   if (cmd == "emit") return cmd_emit(a2, a3);
