@@ -32,7 +32,9 @@ double backoff_for(double base, const std::string& benchmark,
 
 Study::Study(StudyOptions opt)
     : opt_(std::move(opt)),
-      harness_(opt_.machine, opt_.seed, opt_.apply_quirks) {}
+      harness_(opt_.machine, opt_.seed, opt_.apply_quirks) {
+  harness_.set_memoize_estimates(opt_.memoize_estimates);
+}
 
 report::Table Study::run_suite(
     const std::vector<kernels::Benchmark>& suite) const {
@@ -158,25 +160,42 @@ report::Table Study::run_suite(
         if (opt_.journal != nullptr) opt_.journal->record({key, m});
         if (sink != nullptr) {
           const double wall = wall_now();
-          if (metrics.compile_cache_hits > 0) {
-            sink->on_event({.kind = exec::EventKind::CacheHit,
-                            .benchmark = bench.name(),
-                            .compiler = spec.name,
-                            .row = r,
-                            .col = c,
-                            .worker = worker,
-                            .count = static_cast<std::uint64_t>(
-                                metrics.compile_cache_hits)});
-          }
-          if (metrics.compile_cache_misses > 0) {
-            sink->on_event({.kind = exec::EventKind::CacheMiss,
-                            .benchmark = bench.name(),
-                            .compiler = spec.name,
-                            .row = r,
-                            .col = c,
-                            .worker = worker,
-                            .count = static_cast<std::uint64_t>(
-                                metrics.compile_cache_misses)});
+          // One batched CacheHit/CacheMiss pair per cache kind; `detail`
+          // carries the kind ("compile"/"plan"/"estimate") so the
+          // metrics registry keys counters per cache.
+          const struct {
+            const char* kind;
+            int hits;
+            int misses;
+          } caches[] = {{"compile", metrics.compile_cache_hits,
+                         metrics.compile_cache_misses},
+                        {"plan", metrics.plan_cache_hits,
+                         metrics.plan_cache_misses},
+                        {"estimate", metrics.estimate_cache_hits,
+                         metrics.estimate_cache_misses}};
+          for (const auto& cache : caches) {
+            if (cache.hits > 0) {
+              sink->on_event({.kind = exec::EventKind::CacheHit,
+                              .benchmark = bench.name(),
+                              .compiler = spec.name,
+                              .row = r,
+                              .col = c,
+                              .worker = worker,
+                              .count =
+                                  static_cast<std::uint64_t>(cache.hits),
+                              .detail = cache.kind});
+            }
+            if (cache.misses > 0) {
+              sink->on_event({.kind = exec::EventKind::CacheMiss,
+                              .benchmark = bench.name(),
+                              .compiler = spec.name,
+                              .row = r,
+                              .col = c,
+                              .worker = worker,
+                              .count =
+                                  static_cast<std::uint64_t>(cache.misses),
+                              .detail = cache.kind});
+            }
           }
           // Per-phase wall-clock (accumulated across attempts) as
           // diagnostics-only CellPhase events, before the terminal one.

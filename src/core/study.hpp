@@ -55,6 +55,12 @@ struct StudyOptions {
   obs::Tracer* tracer = nullptr;
   /// Apply the paper-documented quirk DB (off for the ablation bench).
   bool apply_quirks = true;
+  /// Memoize performance-model plans/evaluations in the harness's
+  /// EstimateCache (see perf/estimate_cache.hpp).  Off switches the
+  /// harness back to one full perf::estimate per placement — tables are
+  /// bit-identical either way; the toggle exists for A/B benchmarking
+  /// (`bench_perf_model`) and the byte-identity tests.
+  bool memoize_estimates = true;
   /// Extra evaluation attempts after a failed one (0 = no retries).
   /// Retries are deterministic: the fault schedule and the backoff
   /// jitter are pure functions of (seed, benchmark, compiler, attempt),

@@ -26,8 +26,10 @@ enum class EventKind : std::uint8_t {
   JobFinished,  ///< cell evaluated OK; model_seconds/wall_seconds filled
   JobFailed,    ///< cell terminally failed (status + detail filled in)
   JobRetried,   ///< one failed attempt will be retried (attempt/backoff)
-  CacheHit,     ///< compile-cache hits while evaluating the cell (count)
-  CacheMiss,    ///< compile-cache misses while evaluating the cell (count)
+  CacheHit,     ///< memoization hits while evaluating the cell (count;
+                ///< detail = cache kind: "compile"/"plan"/"estimate",
+                ///< empty = compile for pre-split emitters)
+  CacheMiss,    ///< memoization misses while evaluating the cell (ditto)
   CellPhase,    ///< one phase of the cell finished (detail = phase name,
                 ///< wall_seconds = duration); diagnostics-only, emitted
                 ///< before the cell's terminal event

@@ -64,11 +64,16 @@ void MetricsSink::on_event(const exec::Event& e) {
       counters_["retries"] += 1;
       histograms_["backoff_seconds"].add(e.backoff_seconds);
       break;
+    // Cache events carry the cache kind in `detail` ("compile"/"plan"/
+    // "estimate"); an empty detail means a pre-split emitter and keeps
+    // the historical compile_cache_* names.
     case exec::EventKind::CacheHit:
-      counters_["compile_cache_hits"] += e.count;
+      counters_[(e.detail.empty() ? "compile" : e.detail) + "_cache_hits"] +=
+          e.count;
       break;
     case exec::EventKind::CacheMiss:
-      counters_["compile_cache_misses"] += e.count;
+      counters_[(e.detail.empty() ? "compile" : e.detail) + "_cache_misses"] +=
+          e.count;
       break;
     case exec::EventKind::CellPhase:
       histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
@@ -101,13 +106,21 @@ std::string MetricsSink::to_json() const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   };
-  const std::uint64_t hits = get("compile_cache_hits");
-  const std::uint64_t misses = get("compile_cache_misses");
-  const double rate =
-      hits + misses > 0
-          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
-          : 0.0;
-  std::snprintf(buf, sizeof buf, "\"compile_cache_hit_rate\":%.9f", rate);
+  const auto rate_of = [&](const char* hits_name, const char* misses_name) {
+    const std::uint64_t hits = get(hits_name);
+    const std::uint64_t misses = get(misses_name);
+    return hits + misses > 0
+               ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+               : 0.0;
+  };
+  std::snprintf(buf, sizeof buf, "\"compile_cache_hit_rate\":%.9f",
+                rate_of("compile_cache_hits", "compile_cache_misses"));
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"estimate_cache_hit_rate\":%.9f",
+                rate_of("estimate_cache_hits", "estimate_cache_misses"));
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"plan_cache_hit_rate\":%.9f",
+                rate_of("plan_cache_hits", "plan_cache_misses"));
   out += buf;
   out += "},\"histograms\":{";
   first = true;

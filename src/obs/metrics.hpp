@@ -67,11 +67,13 @@ class MetricsSink final : public exec::EventSink {
   /// Current value of one counter (0 when never touched).  Counter
   /// names: jobs_started, cells_ok, cells_compile_error,
   /// cells_runtime_error, cells_timeout, cells_crashed, retries,
-  /// compile_cache_hits, compile_cache_misses.
+  /// {compile,plan,estimate}_cache_hits and _misses (cache events key
+  /// by their `detail` cache kind; empty detail counts as compile).
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
 
   /// The whole registry as one JSON object: {"version":1,
-  /// "counters":{...},"gauges":{"compile_cache_hit_rate":..},
+  /// "counters":{...},"gauges":{"compile_cache_hit_rate":..,
+  /// "estimate_cache_hit_rate":..,"plan_cache_hit_rate":..},
   /// "histograms":{name:{count,sum,min,max,buckets:[{le,count}..]}}}.
   [[nodiscard]] std::string to_json() const;
 

@@ -1,0 +1,73 @@
+#include "perf/estimate_cache.hpp"
+
+namespace a64fxcc::perf {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t EstimateCache::KeyHash::operator()(const Key& k) const noexcept {
+  return static_cast<std::size_t>(mix64(k.plan ^ mix64(k.cfg)));
+}
+
+EstimateCache::PlanResult EstimateCache::get_or_analyze(
+    const ir::Kernel& k, const machine::Machine& m) {
+  const std::uint64_t fp = plan_fingerprint(k, m);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = plans_.find(fp); it != plans_.end()) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return {it->second, true};
+    }
+  }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto plan = std::make_shared<const KernelPlan>(analyze(k, m));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = plans_.try_emplace(fp, std::move(plan));
+  (void)inserted;  // losing the race keeps the first-inserted plan
+  return {it->second, false};
+}
+
+EstimateCache::EvalResult EstimateCache::get_or_evaluate(
+    const KernelPlan& plan, const ExecConfig& cfg,
+    const CodegenProfile& prof) {
+  const Key key{plan.fingerprint, config_fingerprint(cfg, prof)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = evals_.find(key); it != evals_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return {it->second, true};
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto result = std::make_shared<const PerfResult>(evaluate(plan, cfg, prof));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = evals_.try_emplace(key, std::move(result));
+  (void)inserted;
+  return {it->second, false};
+}
+
+std::size_t EstimateCache::plan_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+std::size_t EstimateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evals_.size();
+}
+
+void EstimateCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  evals_.clear();
+}
+
+}  // namespace a64fxcc::perf

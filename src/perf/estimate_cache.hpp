@@ -1,0 +1,99 @@
+#pragma once
+// Memoization of performance-model results — the sibling of
+// compilers::CompileCache for the perf side of a study cell.
+//
+// Both halves of the plan/evaluate split are pure functions, so their
+// results can be shared freely as shared_ptr<const T>:
+//
+//   get_or_analyze(kernel, machine)  memoizes perf::analyze per
+//     (kernel IR + bound params + metadata, machine) fingerprint — one
+//     plan per compiled cell, shared by every placement evaluated
+//     against it.  The FJtrad library-reference kernel of HPL-class
+//     benchmarks hits here across every compiler row of a table.
+//
+//   get_or_evaluate(plan, cfg, prof) memoizes perf::evaluate per
+//     (plan fingerprint, placement + codegen-profile fingerprint) — the
+//     explore winner, the measure phase and the repeated library
+//     reference estimates each compute once per cell.
+//
+// Thread-safe: calls may race from engine workers.  A miss computes
+// outside the lock (the functions are pure, racing results identical)
+// and the first insertion wins; both racers count as misses.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "perf/plan.hpp"
+
+namespace a64fxcc::perf {
+
+struct EstimateCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class EstimateCache {
+ public:
+  struct PlanResult {
+    std::shared_ptr<const KernelPlan> plan;
+    bool hit = false;
+  };
+  struct EvalResult {
+    std::shared_ptr<const PerfResult> result;
+    bool hit = false;
+  };
+
+  /// The memoized analyze(k, m), analyzing on first use.
+  [[nodiscard]] PlanResult get_or_analyze(const ir::Kernel& k,
+                                          const machine::Machine& m);
+
+  /// The memoized evaluate(*plan, cfg, prof), evaluating on first use.
+  /// `plan` must stay alive for the call (the cache keeps no reference
+  /// to it beyond its fingerprint).
+  [[nodiscard]] EvalResult get_or_evaluate(const KernelPlan& plan,
+                                           const ExecConfig& cfg,
+                                           const CodegenProfile& prof = {});
+
+  /// Plan-memoization counters (analyze calls saved).
+  [[nodiscard]] EstimateCacheStats plan_stats() const noexcept {
+    return {plan_hits_.load(std::memory_order_relaxed),
+            plan_misses_.load(std::memory_order_relaxed)};
+  }
+  /// Evaluation-memoization counters (estimate calls saved).
+  [[nodiscard]] EstimateCacheStats stats() const noexcept {
+    return {hits_.load(std::memory_order_relaxed),
+            misses_.load(std::memory_order_relaxed)};
+  }
+
+  [[nodiscard]] std::size_t plan_count() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t plan = 0;
+    std::uint64_t cfg = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const KernelPlan>> plans_;
+  std::unordered_map<Key, std::shared_ptr<const PerfResult>, KeyHash> evals_;
+  std::atomic<std::uint64_t> plan_hits_{0};
+  std::atomic<std::uint64_t> plan_misses_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace a64fxcc::perf

@@ -1,96 +1,12 @@
 #include "perf/perf_model.hpp"
 
 #include <algorithm>
-#include <cmath>
+
+#include "perf/plan.hpp"
 
 namespace a64fxcc::perf {
 
-namespace {
-
-using analysis::AccessPattern;
-using analysis::LoopChain;
-using analysis::PatternKind;
-using analysis::StmtStats;
-using ir::Kernel;
-using ir::Loop;
-using machine::Machine;
-
-/// Product of trip counts of loops strictly above `depth`.
-double outer_iters(LoopChain chain, std::size_t depth, const Kernel& k) {
-  double n = 1.0;
-  for (std::size_t d = 0; d < depth; ++d)
-    n *= analysis::trip_count(*chain[d], LoopChain(chain.data(), d), k);
-  return n;
-}
-
-/// Fraction of a cache's capacity an access's working set may occupy and
-/// still be considered resident across outer-loop iterations (LRU with
-/// competing streams evicts sets close to full capacity).
-constexpr double kResidencyShare = 0.6;
-
-/// Line fetches of one access from beyond a cache of size `capacity`
-/// over the whole statement execution.
-///
-/// Per-access residency analysis:
-///  1. Tiny hot tensors (<=10% of the cache) stay resident: cold misses
-///     only (high associativity protects frequently-touched lines).
-///  2. Find the access's own fit depth l_eff: the outermost subchain
-///     whose line-granular footprint fits in kResidencyShare * capacity.
-///  3. Each enclosing loop above l_eff multiplies the traffic unless the
-///     access's data below that loop is resident (invariant loop over a
-///     fitting working set = full reuse).
-///  4. If the deepest traffic-multiplying loop walks the tensor with a
-///     stride smaller than the line, consecutive iterations share lines:
-///     amortize (unit-stride streams cost bytes/line, not a line each).
-double traffic_lines(const AccessPattern& p, const StmtStats& st,
-                     double capacity, const Kernel& k, const Machine& m) {
-  const LoopChain chain(st.ctx.loops.data(), st.ctx.loops.size());
-  const ir::Access& a = *p.access;
-  const double line = static_cast<double>(m.line_bytes);
-  const double es = static_cast<double>(p.elem_size);
-  const double tensor_lines =
-      std::max(1.0, static_cast<double>(p.tensor_elems) * es / line);
-
-  if (tensor_lines * line <= 0.1 * capacity) return tensor_lines;  // (1)
-
-  const std::size_t d = chain.size();
-  std::size_t l_eff = d;
-  for (std::size_t l = 0; l <= d; ++l) {
-    if (analysis::footprint_lines(a, chain, l, k, line) * line <=
-        kResidencyShare * capacity) {
-      l_eff = l;
-      break;
-    }
-  }
-
-  double lines = analysis::footprint_lines(a, chain, l_eff, k, line);
-  std::ptrdiff_t innermost_varying = -1;
-  for (std::size_t dd = 0; dd < l_eff; ++dd) {
-    bool varies = true;
-    if (a.is_affine()) {
-      const auto s = analysis::linear_stride(a, chain[dd]->var, k);
-      varies = s.has_value() && *s != 0;
-    }
-    const bool resident_below =
-        analysis::footprint_lines(a, chain, dd + 1, k, line) * line <=
-        kResidencyShare * capacity;
-    if (varies || !resident_below) {
-      lines *= analysis::trip_count(*chain[dd], LoopChain(chain.data(), dd), k);
-      if (varies) innermost_varying = static_cast<std::ptrdiff_t>(dd);
-    }
-  }
-  if (innermost_varying >= 0 && a.is_affine()) {
-    const auto s = analysis::linear_stride(
-        a, chain[static_cast<std::size_t>(innermost_varying)]->var, k);
-    const double sb = static_cast<double>(std::llabs(*s)) * es;
-    if (sb > 0 && sb < line) lines *= sb / line;  // (4)
-  }
-  return lines;
-}
-
-}  // namespace
-
-ExecConfig make_config(int ranks, int threads, const Machine& m) {
+ExecConfig make_config(int ranks, int threads, const machine::Machine& m) {
   ExecConfig c;
   c.ranks = std::max(1, ranks);
   c.threads = std::max(1, threads);
@@ -113,261 +29,12 @@ ExecConfig make_config(int ranks, int threads, const Machine& m) {
   return c;
 }
 
-PerfResult estimate(const Kernel& k, const Machine& m, const ExecConfig& cfg,
-                    const CodegenProfile& prof) {
-  PerfResult result;
-  const auto stats = analysis::collect_stmt_stats(k);
-  const double hz = m.cycles_per_second();
-
-  double total_seconds = 0;
-
-  for (const auto& st : stats) {
-    StmtBreakdown b;
-    const Loop* inner = st.ctx.innermost();
-    b.loop_var = inner != nullptr ? k.var_name(inner->var) : "<top>";
-
-    // ---- parallelism --------------------------------------------------
-    const Loop* par = nullptr;
-    for (const Loop* l : st.ctx.loops)
-      if (l->annot.parallel) par = l;
-    int P = 1;
-    if (par != nullptr) {
-      // Trip count of the parallel loop bounds achievable workers.
-      const auto it = std::find(st.ctx.loops.begin(), st.ctx.loops.end(), par);
-      const std::size_t depth =
-          static_cast<std::size_t>(it - st.ctx.loops.begin());
-      const double ptrip = analysis::trip_count(
-          *par, LoopChain(st.ctx.loops.data(), depth), k);
-      P = std::max(1, std::min(cfg.total_workers(),
-                               static_cast<int>(std::floor(ptrip))));
-    }
-    const int domains_used = par != nullptr ? cfg.domains_used : 1;
-
-    // ---- per-iteration core cycles ------------------------------------
-    const int w_marked = inner != nullptr ? inner->annot.vector_width : 1;
-    // Codegen quality shrinks the effective SIMD width (kept continuous:
-    // partial vectorization, predication overheads and peel loops make
-    // effective lane counts fractional in practice).
-    const double W =
-        w_marked > 1
-            ? std::max(1.0, 1.0 + (w_marked - 1) * prof.vec_efficiency)
-            : 1.0;
-    const int unroll_f = inner != nullptr ? std::max(1, inner->annot.unroll) : 1;
-    const bool pipelined = inner != nullptr && inner->annot.pipelined;
-    const bool sw_prefetch = inner != nullptr && inner->annot.prefetch_dist > 0;
-
-    // Check for strided/indirect accesses under vectorization: these use
-    // gather/scatter-class instructions.
-    double gather_elems = 0;
-    double stream_bytes_iter = 0;
-    int scalar_accesses = 0;  // load/store *instructions* when W == 1
-    for (const auto& p : st.accesses) {
-      switch (p.kind) {
-        case PatternKind::Invariant: break;
-        case PatternKind::Unit:
-          stream_bytes_iter += static_cast<double>(p.elem_size);
-          ++scalar_accesses;
-          break;
-        case PatternKind::Strided:
-          if (W > 1)
-            gather_elems += 1;  // strided vector access = gather-class
-          else {
-            stream_bytes_iter += static_cast<double>(p.elem_size);
-            ++scalar_accesses;
-          }
-          break;
-        case PatternKind::Indirect:
-          gather_elems += 1;  // scalar or vector: pointer-chase class
-          break;
-      }
-    }
-
-    double cyc_comp = 0;
-    if (W > 1) {
-      cyc_comp += st.ops.flops / (static_cast<double>(m.fma_pipes) * W);
-      // Divides/specials pipeline per lane: partial vectorization gets a
-      // proportional share of the benefit, floored at the full-vector
-      // per-element cost.
-      cyc_comp +=
-          st.ops.divs * std::max(m.vec_div_cycles_lane, m.scalar_div_cycles / W);
-      cyc_comp += st.ops.specials *
-                  std::max(m.special_cycles / 4.0, m.special_cycles / W);
-    } else {
-      cyc_comp += st.ops.flops / m.scalar_fp_per_cycle;
-      cyc_comp += st.ops.divs * m.scalar_div_cycles;
-      cyc_comp += st.ops.specials * m.special_cycles;
-    }
-    cyc_comp += st.ops.int_ops / m.scalar_int_per_cycle;
-
-    // L1 port pressure: vector code moves whole lines per instruction;
-    // scalar code issues one <=8-byte load/store per element, limited by
-    // the two load/store pipes — the reason scalar STREAM cannot come
-    // close to saturating HBM2 even with 48 cores.
-    double cyc_l1 = W > 1 ? stream_bytes_iter / m.l1_bw_bytes_cycle
-                          : scalar_accesses * 0.5;
-    cyc_l1 += gather_elems * m.gather_cycles_elem;
-
-    double cyc_ovh =
-        m.loop_overhead_cycles / (static_cast<double>(unroll_f) * W);
-    if (pipelined) cyc_ovh *= 0.5;
-    // Scalar (non-vectorized) loops on the narrow A64FX core pay the
-    // full per-iteration issue cost; software pipelining also overlaps
-    // some of the compute chain.
-    if (pipelined) cyc_comp *= 0.8;
-
-    const double cyc_per_iter = (cyc_comp + cyc_l1 + cyc_ovh) * prof.core_factor;
-    const double iters_per_worker = st.iters / P;
-    b.comp_s = cyc_per_iter * iters_per_worker / hz;
-
-    // ---- cache/memory traffic -----------------------------------------
-    const double l1_cap = m.l1_bytes;
-    const double l2_cap = m.l2_bytes / std::max(1, cfg.threads_per_domain);
-
-    double l2_lines = 0;   // crossing L1<->L2
-    double mem_lines = 0;  // crossing L2<->memory
-    double nonpf_mem_lines = 0;  // memory fetches with unhidden latency
-    double nonpf_l2_lines = 0;   // L2 hits with unhidden latency
-    for (const auto& p : st.accesses) {
-      const double t1 = traffic_lines(p, st, l1_cap, k, m);
-      const double t2 = traffic_lines(p, st, l2_cap, k, m);
-      l2_lines += t1;
-      const double tm = std::min(t1, t2);
-      mem_lines += tm;
-      // Large strides defeat the hardware prefetcher (page-granular on
-      // A64FX); only software prefetch recovers them.
-      const double stride_bytes =
-          static_cast<double>(std::llabs(p.stride_elems)) *
-          static_cast<double>(p.elem_size);
-      const bool large_stride = stride_bytes >= m.prefetch_max_stride_bytes;
-      if (p.kind == PatternKind::Indirect) {
-        // Never prefetchable: full latency exposure.
-        nonpf_mem_lines += tm;
-        nonpf_l2_lines += std::max(0.0, t1 - tm);
-      } else if (p.kind == PatternKind::Strided) {
-        // Hardware prefetchers track small strides; software prefetch
-        // helps but is dropped on TLB misses, so page-crossing strides
-        // keep a substantial exposed-latency fraction either way.
-        double eff;
-        if (!large_stride) {
-          eff = sw_prefetch ? 0.97
-                            : (m.hw_prefetch_strided ? m.hw_prefetch_efficiency
-                                                     : 0.0);
-        } else {
-          eff = sw_prefetch ? 0.35 : 0.0;
-        }
-        nonpf_mem_lines += tm * (1.0 - eff);
-        nonpf_l2_lines += std::max(0.0, t1 - tm) * (1.0 - eff);
-      }
-      // Unit/Invariant: fully covered by any prefetcher.
-    }
-    const double line = static_cast<double>(m.line_bytes);
-    const double l2_bytes_total = l2_lines * line;
-    const double mem_bytes_total = mem_lines * line;
-
-    // L2 bandwidth: per-core and per-domain limits.
-    const double t_l2_core =
-        (l2_bytes_total / P) / (m.l2_bw_bytes_cycle_core * hz);
-    const double t_l2_dom =
-        l2_bytes_total / (m.l2_bw_gbs_domain * 1e9 * domains_used);
-    b.l2_s = std::max(t_l2_core, t_l2_dom);
-
-    // NUMA-spanning ranks pay ring-bus crossings on remote HBM accesses.
-    const double numa_eff = cfg.numa_spanning && par != nullptr ? 0.7 : 1.0;
-    b.mem_s =
-        mem_bytes_total / (m.mem_bw_gbs_domain * 1e9 * domains_used * numa_eff);
-
-    // Latency: unhidden misses are serialized per worker up to MLP.
-    // Vectorized gathers issue a whole vector's element accesses at once,
-    // exposing more independent misses to the memory system — one of the
-    // concrete ways better SVE codegen pays off on irregular code.
-    const double mlp_eff = m.mlp * (1.0 + (W - 1.0) * 0.25);
-    b.lat_s = (nonpf_mem_lines / P) * (m.mem_latency_ns * 1e-9) / mlp_eff +
-              (nonpf_l2_lines / P) * (m.l2_latency_ns * 1e-9) / mlp_eff;
-
-    b.ovh_s = 0;  // folded into comp_s via cyc_ovh
-    b.flops = st.ops.total() * st.iters;
-    b.mem_bytes = mem_bytes_total;
-
-    // Exposed miss latency does not overlap the dependent compute that
-    // consumes the loaded values (pointer chases, gather reductions), so
-    // core time and latency add; bandwidth-limited terms overlap both.
-    b.seconds = std::max({b.comp_s + b.lat_s, b.l2_s, b.mem_s});
-    // Worksharing imbalance: ragged chunk finishes cost a tail that grows
-    // with the threads per rank — one reason MPI-heavy placements beat
-    // the recommended 4x12 on "legacy" codes (Sec. 5).
-    if (par != nullptr && cfg.threads > 1)
-      b.seconds *= 1.0 + 0.015 * std::log2(static_cast<double>(cfg.threads));
-    const double mx = std::max({b.comp_s, b.l2_s, b.mem_s, b.lat_s});
-    b.bottleneck = mx == b.lat_s  ? "latency"
-                   : mx == b.comp_s ? "core"
-                   : mx == b.l2_s   ? "L2"
-                                    : "mem";
-
-    total_seconds += b.seconds;
-    result.total_flops += b.flops;
-    result.mem_bytes += b.mem_bytes;
-    result.detail.push_back(std::move(b));
-  }
-
-  // ---- threading-runtime overheads ------------------------------------
-  // OpenMP fork/barrier costs grow with the threads per rank; MPI ranks
-  // pay synchronization latency per parallel phase.  Splitting the two is
-  // what differentiates 48x1 / 4x12 / 1x48 placements for legacy codes.
-  double overhead = 0;
-  if (cfg.total_workers() > 1) {
-    std::vector<const Loop*> seen;
-    double total_execs = 0;
-    for (const auto& st : stats) {
-      for (std::size_t d = 0; d < st.ctx.loops.size(); ++d) {
-        const Loop* l = st.ctx.loops[d];
-        if (!l->annot.parallel) continue;
-        if (std::find(seen.begin(), seen.end(), l) != seen.end()) continue;
-        seen.push_back(l);
-        total_execs +=
-            outer_iters(LoopChain(st.ctx.loops.data(), st.ctx.loops.size()),
-                        d, k);
-      }
-    }
-    if (cfg.threads > 1) {
-      double omp = total_execs * (m.omp_barrier_us + m.omp_fork_us * 0.1) *
-                   1e-6 * std::log2(std::max(2, cfg.threads)) *
-                   prof.barrier_factor;
-      if (cfg.numa_spanning) omp *= 1.5;  // cross-CMG barriers
-      overhead += omp;
-    }
-    if (cfg.ranks > 1 && k.meta().parallel == ir::ParallelModel::MpiOpenMP) {
-      // Synchronization latency plus per-rank injection contention: many
-      // ranks per node raise the sync/halo cost, countering the
-      // imbalance advantage of thread-light placements.
-      overhead += total_execs * 1e-6 *
-                  (m.mpi_latency_us * std::log2(std::max(2, cfg.ranks)) +
-                   0.2 * cfg.ranks);
-    }
-  }
-  result.runtime_overhead_s = overhead;
-
-  result.seconds = total_seconds + overhead;
-
-  // Energy-to-solution: base + busy/idle core split + memory I/O energy.
-  {
-    const int total_cores = m.total_cores();
-    const int busy = std::min(cfg.total_workers(), total_cores);
-    const double node_w =
-        m.watts_base + busy * m.watts_core_active +
-        (total_cores - busy) * m.watts_core_idle +
-        (result.seconds > 0 ? result.mem_bytes / result.seconds / 1e9 : 0.0) *
-            m.watts_per_gbs * 1e0;
-    result.joules = node_w * result.seconds;
-  }
-  // Dominant bottleneck = that of the costliest statement.
-  double worst = -1;
-  for (const auto& d : result.detail) {
-    if (d.seconds > worst) {
-      worst = d.seconds;
-      result.bottleneck = d.bottleneck;
-    }
-  }
-  return result;
+PerfResult estimate(const ir::Kernel& k, const machine::Machine& m,
+                    const ExecConfig& cfg, const CodegenProfile& prof) {
+  // One-shot convenience path over the plan/evaluate split (see
+  // perf/plan.hpp).  Bit-identical to evaluating a reused plan: the plan
+  // holds the exact intermediate values the fused model computed inline.
+  return evaluate(analyze(k, m), cfg, prof);
 }
 
 }  // namespace a64fxcc::perf

@@ -93,26 +93,6 @@ std::vector<Placement> Harness::candidate_placements(
   return out;
 }
 
-namespace {
-
-/// Time of one compiled configuration, including the compiler-independent
-/// vendor-library component (derived from the FJtrad reference).
-double time_of(const compilers::CompileOutcome& out,
-               const compilers::CompileOutcome* ref, double library_fraction,
-               const machine::Machine& m, Placement p) {
-  if (!out.ok()) return std::numeric_limits<double>::infinity();
-  const auto cfg = perf::make_config(p.ranks, p.threads, m);
-  const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
-  double t = r.seconds * out.time_multiplier;
-  if (library_fraction > 0 && ref != nullptr && ref->ok()) {
-    const double t_ref = perf::estimate(*ref->kernel, m, cfg, ref->profile).seconds;
-    t += t_ref * library_fraction / (1.0 - library_fraction);
-  }
-  return t;
-}
-
-}  // namespace
-
 std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
     const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
     RunMetrics* metrics) const {
@@ -126,23 +106,97 @@ std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
   return std::move(outcome);
 }
 
+std::shared_ptr<const perf::KernelPlan> Harness::plan_cached(
+    const ir::Kernel& kernel, RunMetrics* metrics) const {
+  auto [plan, hit] = ecache_.get_or_analyze(kernel, machine_);
+  if (metrics != nullptr) {
+    if (hit)
+      ++metrics->plan_cache_hits;
+    else
+      ++metrics->plan_cache_misses;
+  }
+  return std::move(plan);
+}
+
+std::shared_ptr<const perf::PerfResult> Harness::evaluate_cached(
+    const perf::KernelPlan& plan, const perf::ExecConfig& cfg,
+    const perf::CodegenProfile& prof, RunMetrics* metrics) const {
+  auto [result, hit] = ecache_.get_or_evaluate(plan, cfg, prof);
+  if (metrics != nullptr) {
+    if (hit)
+      ++metrics->estimate_cache_hits;
+    else
+      ++metrics->estimate_cache_misses;
+  }
+  return std::move(result);
+}
+
+void Harness::attach_plans(CompiledCell& cell, RunMetrics* metrics) const {
+  if (!memoize_estimates_) return;
+  if (cell.out != nullptr && cell.out->ok())
+    cell.plan = plan_cached(*cell.out->kernel, metrics);
+  if (cell.library_fraction > 0 && cell.ref != nullptr && cell.ref->ok())
+    cell.ref_plan = plan_cached(*cell.ref->kernel, metrics);
+}
+
+double Harness::time_of(const CompiledCell& cell, Placement p,
+                        RunMetrics* metrics) const {
+  const compilers::CompileOutcome& out = *cell.out;
+  if (!out.ok()) return std::numeric_limits<double>::infinity();
+  const auto cfg = perf::make_config(p.ranks, p.threads, machine_);
+  // The memoized path evaluates the reused plan; the legacy path redoes
+  // the full analysis per call.  Bit-identical by the plan/evaluate
+  // contract (perf/plan.hpp) — only the work differs.
+  double t;
+  if (cell.plan != nullptr) {
+    t = evaluate_cached(*cell.plan, cfg, out.profile, metrics)->seconds *
+        out.time_multiplier;
+  } else {
+    t = perf::estimate(*out.kernel, machine_, cfg, out.profile).seconds *
+        out.time_multiplier;
+  }
+  if (cell.library_fraction > 0 && cell.ref != nullptr && cell.ref->ok()) {
+    const double t_ref =
+        cell.ref_plan != nullptr
+            ? evaluate_cached(*cell.ref_plan, cfg, cell.ref->profile, metrics)
+                  ->seconds
+            : perf::estimate(*cell.ref->kernel, machine_, cfg,
+                             cell.ref->profile)
+                  .seconds;
+    t += t_ref * cell.library_fraction / (1.0 - cell.library_fraction);
+  }
+  return t;
+}
+
 double Harness::model_time(const compilers::CompilerSpec& spec,
                            const kernels::Benchmark& bench, Placement p) const {
   const auto out = compile_cached(spec, bench.kernel);
+  std::shared_ptr<const compilers::CompileOutcome> ref;
+  CompiledCell cell;
+  cell.out = out.get();
+  cell.library_fraction = bench.traits.library_fraction;
   if (bench.traits.library_fraction > 0) {
-    const auto ref = compile_cached(compilers::fjtrad(), bench.kernel);
-    return time_of(*out, ref.get(), bench.traits.library_fraction, machine_, p);
+    ref = compile_cached(compilers::fjtrad(), bench.kernel);
+    cell.ref = ref.get();
   }
-  return time_of(*out, nullptr, 0.0, machine_, p);
+  attach_plans(cell, nullptr);
+  return time_of(cell, p, nullptr);
 }
 
-double Harness::noisy(double t, double cv, std::uint64_t stream) const {
+double noise_sample(std::uint64_t seed, std::uint64_t stream, double t,
+                    double cv) {
   if (cv <= 0 || !std::isfinite(t)) return t;
-  std::mt19937_64 rng(hash_mix(seed_ ^ stream));
+  // Fresh engine per sample — the documented single-draw-stream contract
+  // (see harness.hpp): a sample depends only on (seed, stream, t, cv).
+  std::mt19937_64 rng(hash_mix(seed ^ stream));
   std::normal_distribution<double> n(0.0, 1.0);
   // Lognormal multiplicative noise; sigma chosen so the sample CV ~ cv.
   const double sigma = std::sqrt(std::log1p(cv * cv));
   return t * std::exp(sigma * n(rng));
+}
+
+double Harness::noisy(double t, double cv, std::uint64_t stream) const {
+  return noise_sample(seed_, stream, t, cv);
 }
 
 namespace {
@@ -238,12 +292,26 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
     }
   }
 
+  // ---- plan phase: placement-invariant perf analysis, once per cell ----
+  CompiledCell cell;
+  cell.out = out.get();
+  cell.ref = refp;
+  cell.library_fraction = bench.traits.library_fraction;
+  if (memoize_estimates_) {
+    const auto span = obs::scoped(ctx.tracer, "plan", bench.name(), spec.name);
+    attach_plans(cell, metrics);
+  }
+
   const std::uint64_t base = cell_stream(bench.name(), spec.name);
 
   // ---- exploration phase: 3 trials per placement ----
   const auto placements =
       candidate_placements(bench.traits, bench.kernel.meta().parallel);
   Placement best_p = placements.front();
+  // Noise-free model time of the winning placement, carried out of the
+  // exploration loop so the performance phase reuses it instead of
+  // re-deriving it (time_of is pure, so reuse is bit-identical).
+  double t_best = std::numeric_limits<double>::infinity();
   {
     const auto span =
         obs::scoped(ctx.tracer, "explore", bench.name(), spec.name);
@@ -252,14 +320,15 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
     double best_trial = std::numeric_limits<double>::infinity();
     for (std::size_t pi = 0; pi < placements.size(); ++pi) {
       ctx.checkpoint();  // cooperative cancellation per exploration point
-      const double t = time_of(*out, refp, bench.traits.library_fraction,
-                               machine_, placements[pi]);
+      const double t = time_of(cell, placements[pi], metrics);
+      if (pi == 0) t_best = t;  // fallback: best_p starts at placements[0]
       for (int trial = 0; trial < 3; ++trial) {
         const double sample =
             noisy(t, bench.traits.noise_cv, base ^ (pi * 8191 + trial));
         if (sample < best_trial) {
           best_trial = sample;
           best_p = placements[pi];
+          t_best = t;
         }
       }
     }
@@ -267,8 +336,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
   m.placement = best_p;
 
   // ---- performance phase: 10 runs at the chosen placement ----
-  const double t_model =
-      time_of(*out, refp, bench.traits.library_fraction, machine_, best_p);
+  const double t_model = t_best;
   std::vector<double> samples;
   samples.reserve(10);
   {
@@ -300,9 +368,20 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
   m.median_seconds = stats::median(samples);
   m.cv = stats::cv(samples);
 
-  // Characterize the best run via the noise-free model.
+  // Characterize the best run via the noise-free model.  The explore
+  // loop already evaluated this (plan, placement) pair, so the memoized
+  // path is a guaranteed cache hit.
   const auto cfg = perf::make_config(best_p.ranks, best_p.threads, machine_);
-  const auto pr = perf::estimate(*out->kernel, machine_, cfg, out->profile);
+  std::shared_ptr<const perf::PerfResult> cached;
+  perf::PerfResult direct;
+  if (cell.plan != nullptr) {
+    const auto span =
+        obs::scoped(ctx.tracer, "evaluate", bench.name(), spec.name);
+    cached = evaluate_cached(*cell.plan, cfg, out->profile, metrics);
+  } else {
+    direct = perf::estimate(*out->kernel, machine_, cfg, out->profile);
+  }
+  const perf::PerfResult& pr = cached != nullptr ? *cached : direct;
   m.bottleneck = pr.bottleneck;
   m.gflops = pr.total_flops / m.best_seconds / 1e9;
   m.mem_gbs = pr.mem_bytes / m.best_seconds / 1e9;

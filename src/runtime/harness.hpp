@@ -30,6 +30,7 @@
 #include "compilers/compiler_model.hpp"
 #include "kernels/benchmark.hpp"
 #include "machine/machine.hpp"
+#include "perf/estimate_cache.hpp"
 #include "perf/perf_model.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/outcome.hpp"
@@ -41,6 +42,21 @@ namespace a64fxcc::runtime {
 /// is what makes parallel evaluation order-independent.
 [[nodiscard]] std::uint64_t cell_stream(const std::string& benchmark,
                                         const std::string& compiler);
+
+/// One lognormal noise sample: `t` perturbed to coefficient-of-variation
+/// `cv`, drawn from the stream identified by (seed, stream).
+///
+/// Seeding contract (deliberate, relied on by the engine's any-order
+/// parallelism and asserted by test_runtime): every sample comes from a
+/// FRESH mt19937_64 seeded with hash_mix(seed ^ stream) — each (seed,
+/// stream) pair is an independent single-draw stream, so a sample is a
+/// pure function of (seed, stream, t, cv) with no draw-order state.
+/// Equal streams give bit-equal samples by design; distinct streams are
+/// decorrelated by the hash mixing.  This is why the harness derives a
+/// distinct substream id per (cell, phase, trial) rather than drawing a
+/// sequence from one generator.
+[[nodiscard]] double noise_sample(std::uint64_t seed, std::uint64_t stream,
+                                  double t, double cv);
 
 struct Placement {
   int ranks = 1;
@@ -94,6 +110,10 @@ struct MeasuredRun {
 struct RunMetrics {
   int compile_cache_hits = 0;
   int compile_cache_misses = 0;
+  int plan_cache_hits = 0;       ///< perf::analyze results reused
+  int plan_cache_misses = 0;     ///< perf::analyze actually ran
+  int estimate_cache_hits = 0;   ///< perf::evaluate results reused
+  int estimate_cache_misses = 0; ///< perf::evaluate actually ran
   double compile_seconds = 0;  ///< compile + reference compile
   double explore_seconds = 0;  ///< placement exploration trials
   double measure_seconds = 0;  ///< 10-run performance phase
@@ -151,9 +171,28 @@ class Harness {
   compile_cached(const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
                  RunMetrics* metrics = nullptr) const;
 
+  /// Memoized perf::analyze of `kernel` on this harness's machine
+  /// (shared, immutable).
+  [[nodiscard]] std::shared_ptr<const perf::KernelPlan> plan_cached(
+      const ir::Kernel& kernel, RunMetrics* metrics = nullptr) const;
+
   /// Memoization statistics of the harness-owned compile cache.
   [[nodiscard]] const compilers::CompileCache& compile_cache() const noexcept {
     return cache_;
+  }
+
+  /// Memoization statistics of the harness-owned estimate cache.
+  [[nodiscard]] const perf::EstimateCache& estimate_cache() const noexcept {
+    return ecache_;
+  }
+
+  /// Toggle plan/estimate memoization (default on).  Off switches
+  /// time_of back to one full perf::estimate per placement — the
+  /// pre-split hot path, kept for A/B benchmarking and the byte-identity
+  /// tests.  Results are bit-identical either way.
+  void set_memoize_estimates(bool on) noexcept { memoize_estimates_ = on; }
+  [[nodiscard]] bool memoize_estimates() const noexcept {
+    return memoize_estimates_;
   }
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -167,14 +206,44 @@ class Harness {
   [[nodiscard]] Placement recommended_placement() const;
 
  private:
+  /// Everything time_of needs for one compiled cell: the compile
+  /// outcome(s) plus their memoized plans (null when memoization is off
+  /// or a compile failed — time_of then falls back to perf::estimate).
+  struct CompiledCell {
+    const compilers::CompileOutcome* out = nullptr;
+    const compilers::CompileOutcome* ref = nullptr;  ///< FJtrad library ref
+    double library_fraction = 0;
+    std::shared_ptr<const perf::KernelPlan> plan;
+    std::shared_ptr<const perf::KernelPlan> ref_plan;
+  };
+
+  /// Attach the memoized plans to a compiled cell (no-op with
+  /// memoization off).
+  void attach_plans(CompiledCell& cell, RunMetrics* metrics) const;
+
+  /// Model time of one placement of a compiled cell, including the
+  /// compiler-independent vendor-library component (derived from the
+  /// FJtrad reference).  Memoized via the estimate cache when enabled.
+  [[nodiscard]] double time_of(const CompiledCell& cell, Placement p,
+                               RunMetrics* metrics) const;
+
+  /// Memoized evaluate of a plan at one configuration (counts into
+  /// `metrics`); assumes memoize_estimates_.
+  [[nodiscard]] std::shared_ptr<const perf::PerfResult> evaluate_cached(
+      const perf::KernelPlan& plan, const perf::ExecConfig& cfg,
+      const perf::CodegenProfile& prof, RunMetrics* metrics) const;
+
   double noisy(double t, double cv, std::uint64_t stream) const;
 
   machine::Machine machine_;
   std::uint64_t seed_;
   bool apply_quirks_ = true;
+  bool memoize_estimates_ = true;
   /// Memoized compile() outcomes; mutable because memoization does not
   /// change observable results (compile() is pure).
   mutable compilers::CompileCache cache_;
+  /// Memoized perf plans/evaluations (pure functions, like compile()).
+  mutable perf::EstimateCache ecache_;
 };
 
 }  // namespace a64fxcc::runtime

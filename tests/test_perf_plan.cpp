@@ -1,0 +1,216 @@
+// Plan/evaluate split: the load-bearing guarantee is that the split is
+// EXACT — evaluate(analyze(k, m), cfg, prof) must be bit-identical to
+// estimate(k, m, cfg, prof) for every kernel, machine and configuration,
+// because the study's tables are asserted byte-identical before/after
+// the optimization.  Plus the EstimateCache memoization semantics
+// (sibling of the CompileCache tests in test_exec).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "compilers/compiler_model.hpp"
+#include "kernels/benchmark.hpp"
+#include "perf/estimate_cache.hpp"
+#include "perf/plan.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+// EXPECT_EQ on doubles = exact bit comparison (no tolerance): the two
+// paths must run the same arithmetic on the same values in the same
+// order, so not a single ULP may differ.
+void expect_bitwise(const perf::PerfResult& a, const perf::PerfResult& b,
+                    const std::string& what) {
+  EXPECT_EQ(a.seconds, b.seconds) << what;
+  EXPECT_EQ(a.total_flops, b.total_flops) << what;
+  EXPECT_EQ(a.mem_bytes, b.mem_bytes) << what;
+  EXPECT_EQ(a.runtime_overhead_s, b.runtime_overhead_s) << what;
+  EXPECT_EQ(a.joules, b.joules) << what;
+  EXPECT_EQ(a.bottleneck, b.bottleneck) << what;
+  ASSERT_EQ(a.detail.size(), b.detail.size()) << what;
+  for (std::size_t i = 0; i < a.detail.size(); ++i) {
+    const auto& da = a.detail[i];
+    const auto& db = b.detail[i];
+    EXPECT_EQ(da.loop_var, db.loop_var) << what;
+    EXPECT_EQ(da.seconds, db.seconds) << what;
+    EXPECT_EQ(da.comp_s, db.comp_s) << what;
+    EXPECT_EQ(da.l2_s, db.l2_s) << what;
+    EXPECT_EQ(da.mem_s, db.mem_s) << what;
+    EXPECT_EQ(da.lat_s, db.lat_s) << what;
+    EXPECT_EQ(da.flops, db.flops) << what;
+    EXPECT_EQ(da.mem_bytes, db.mem_bytes) << what;
+    EXPECT_EQ(da.bottleneck, db.bottleneck) << what;
+  }
+}
+
+std::vector<perf::ExecConfig> probe_configs(const machine::Machine& m) {
+  return {perf::make_config(1, 1, m), perf::make_config(1, 12, m),
+          perf::make_config(4, 12, m), perf::make_config(1, 48, m),
+          perf::make_config(48, 1, m), perf::make_config(8, 6, m)};
+}
+
+// ---- exactness across the kernel suite ------------------------------------
+
+TEST(PlanEvaluate, MatchesEstimateAcrossSourceKernels) {
+  const auto m = machine::a64fx();
+  const auto suite = kernels::all_benchmarks(0.05);
+  ASSERT_FALSE(suite.empty());
+  for (const auto& bench : suite) {
+    const auto plan = perf::analyze(bench.kernel, m);
+    for (const auto& cfg : probe_configs(m)) {
+      expect_bitwise(perf::evaluate(plan, cfg),
+                     perf::estimate(bench.kernel, m, cfg),
+                     bench.name());
+    }
+  }
+}
+
+TEST(PlanEvaluate, MatchesEstimateOnCompiledKernelsAndProfiles) {
+  // Compiled kernels exercise the annotation-driven paths (vectorized,
+  // unrolled, pipelined, software-prefetched loops) and non-default
+  // CodegenProfiles exercise the profile terms of the formula.
+  const auto m = machine::a64fx();
+  const auto suite = kernels::top500_suite(0.1);
+  for (const auto& bench : suite) {
+    for (const auto& spec : compilers::paper_compilers()) {
+      const auto out = compilers::compile(spec, bench.kernel);
+      if (!out.ok()) continue;
+      const auto plan = perf::analyze(*out.kernel, m);
+      for (const auto& cfg : probe_configs(m)) {
+        expect_bitwise(perf::evaluate(plan, cfg, out.profile),
+                       perf::estimate(*out.kernel, m, cfg, out.profile),
+                       bench.name() + "/" + spec.name);
+      }
+    }
+  }
+}
+
+TEST(PlanEvaluate, MatchesEstimateOnOtherMachines) {
+  const auto suite = kernels::microkernel_suite(0.05);
+  for (const auto& m :
+       {machine::xeon_cascadelake(), machine::a64fx_fx700(),
+        machine::thunderx2()}) {
+    for (const auto& bench : suite) {
+      const auto plan = perf::analyze(bench.kernel, m);
+      for (const auto& cfg : probe_configs(m)) {
+        expect_bitwise(perf::evaluate(plan, cfg),
+                       perf::estimate(bench.kernel, m, cfg),
+                       m.name + "/" + bench.name());
+      }
+    }
+  }
+}
+
+// ---- fingerprints ----------------------------------------------------------
+
+TEST(PlanFingerprint, DiscriminatesKernelMachineAndScale) {
+  const auto m = machine::a64fx();
+  const auto suite = kernels::microkernel_suite(0.05);
+  const auto& k1 = suite[0].kernel;
+  const auto& k2 = suite[1].kernel;
+  EXPECT_EQ(perf::plan_fingerprint(k1, m), perf::plan_fingerprint(k1, m));
+  EXPECT_NE(perf::plan_fingerprint(k1, m), perf::plan_fingerprint(k2, m));
+  EXPECT_NE(perf::plan_fingerprint(k1, m),
+            perf::plan_fingerprint(k1, machine::xeon_cascadelake()));
+  // Same structure at a different problem scale = different plan.
+  const auto rescaled = kernels::microkernel_suite(0.1);
+  EXPECT_NE(perf::plan_fingerprint(k1, m),
+            perf::plan_fingerprint(rescaled[0].kernel, m));
+}
+
+TEST(ConfigFingerprint, DiscriminatesPlacementAndProfile) {
+  const auto m = machine::a64fx();
+  const auto c1 = perf::make_config(4, 12, m);
+  const auto c2 = perf::make_config(48, 1, m);
+  EXPECT_EQ(perf::config_fingerprint(c1, {}), perf::config_fingerprint(c1, {}));
+  EXPECT_NE(perf::config_fingerprint(c1, {}), perf::config_fingerprint(c2, {}));
+  perf::CodegenProfile prof;
+  prof.vec_efficiency = 0.7;
+  EXPECT_NE(perf::config_fingerprint(c1, {}),
+            perf::config_fingerprint(c1, prof));
+}
+
+// ---- EstimateCache ---------------------------------------------------------
+
+TEST(EstimateCache, MemoizesPlansWithPointerIdentity) {
+  const auto m = machine::a64fx();
+  const auto suite = kernels::microkernel_suite(0.05);
+  perf::EstimateCache cache;
+  const auto r1 = cache.get_or_analyze(suite[0].kernel, m);
+  EXPECT_FALSE(r1.hit);
+  const auto r2 = cache.get_or_analyze(suite[0].kernel, m);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(r1.plan.get(), r2.plan.get());  // shared, not recomputed
+  EXPECT_EQ(cache.plan_count(), 1u);
+  EXPECT_EQ(cache.plan_stats().hits, 1u);
+  EXPECT_EQ(cache.plan_stats().misses, 1u);
+
+  const auto r3 = cache.get_or_analyze(suite[1].kernel, m);
+  EXPECT_FALSE(r3.hit);
+  EXPECT_NE(r3.plan.get(), r1.plan.get());
+  EXPECT_EQ(cache.plan_count(), 2u);
+}
+
+TEST(EstimateCache, MemoizesEvaluationsPerConfig) {
+  const auto m = machine::a64fx();
+  const auto suite = kernels::microkernel_suite(0.05);
+  perf::EstimateCache cache;
+  const auto plan = cache.get_or_analyze(suite[0].kernel, m).plan;
+
+  const auto c1 = perf::make_config(4, 12, m);
+  const auto c2 = perf::make_config(48, 1, m);
+  const auto e1 = cache.get_or_evaluate(*plan, c1);
+  EXPECT_FALSE(e1.hit);
+  const auto e2 = cache.get_or_evaluate(*plan, c1);
+  EXPECT_TRUE(e2.hit);
+  EXPECT_EQ(e1.result.get(), e2.result.get());
+  const auto e3 = cache.get_or_evaluate(*plan, c2);
+  EXPECT_FALSE(e3.hit);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // The memoized result is the evaluation, bitwise.
+  expect_bitwise(*e1.result, perf::estimate(suite[0].kernel, m, c1), "cached");
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.plan_count(), 0u);
+  EXPECT_TRUE(cache.get_or_evaluate(*plan, c1).hit == false);
+}
+
+TEST(EstimateCache, ConcurrentAccessKeepsOneEntry) {
+  const auto m = machine::a64fx();
+  const auto suite = kernels::microkernel_suite(0.05);
+  perf::EstimateCache cache;
+  const auto plan = cache.get_or_analyze(suite[0].kernel, m).plan;
+  const auto cfg = perf::make_config(4, 12, m);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 100;
+  std::vector<std::thread> workers;
+  std::vector<const perf::PerfResult*> first(kThreads, nullptr);
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto r = cache.get_or_evaluate(*plan, cfg);
+        if (first[w] == nullptr) first[w] = r.result.get();
+        // Every call returns the single map entry (first insert wins).
+        EXPECT_EQ(r.result.get(), first[w]);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(cache.size(), 1u);
+  for (int w = 1; w < kThreads; ++w) EXPECT_EQ(first[w], first[0]);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GE(s.misses, 1u);  // racing first calls may all miss; >= 1 did
+}
+
+}  // namespace

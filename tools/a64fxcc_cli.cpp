@@ -75,6 +75,9 @@ bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
     return false;
   }
   if (has_flag(argc, argv, "--fail-fast")) opt.fail_fast = true;
+  // A/B switch for the perf-model memoization (tables are bit-identical
+  // either way; see DESIGN.md "Plan/evaluate split").
+  if (has_flag(argc, argv, "--no-estimate-cache")) opt.memoize_estimates = false;
   if (const char* v = arg_value(argc, argv, "--inject-faults=")) {
     const auto plan = runtime::FaultPlan::parse(v);
     if (!plan) {
@@ -420,6 +423,9 @@ void usage() {
       "                [--retries=N] [--deadline=SECONDS] [--fail-fast]\n"
       "                [--resume=PATH] [--journal=PATH]\n"
       "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
+      "                [--no-estimate-cache]\n"
+      "                                   # disable perf-model memoization\n"
+      "                                   # (A/B only; identical tables)\n"
       "                                   # --jobs=0 (default) = all hardware\n"
       "                                   # threads, --jobs=1 = serial; output\n"
       "                                   # is bit-identical for any N\n"
@@ -431,6 +437,7 @@ void usage() {
       "                                   # tables on or off)\n"
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
+      "                  [--no-estimate-cache]\n"
       "                  [--log-level=L] [--trace=PATH] [--metrics=PATH]\n"
       "  explain <benchmark> [compiler]   # pass-decision provenance diff:\n"
       "                                   # which pass fired/was blocked, and\n"
