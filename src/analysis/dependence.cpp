@@ -201,59 +201,88 @@ std::optional<BinOp> reduction_op(const Stmt& s) {
   return std::nullopt;
 }
 
+namespace {
+
+/// Dependences between one ordered statement pair (`same` = the pair is a
+/// statement with itself).  Shared by the full analysis and the
+/// group-restricted variant so the two are verdict-identical per pair.
+void append_pair_deps(const StmtCtx& a, const StmtCtx& b, bool same,
+                      const Kernel& k, std::vector<Dependence>& deps) {
+  // Common loop chain (pointer-equal prefix).
+  std::vector<const Loop*> chain;
+  std::vector<VarId> common;
+  for (std::size_t d = 0; d < std::min(a.loops.size(), b.loops.size()); ++d) {
+    if (a.loops[d] != b.loops[d]) break;
+    chain.push_back(a.loops[d]);
+    common.push_back(a.loops[d]->var);
+  }
+  const auto accs_a = accesses_of(*a.stmt);
+  const auto accs_b = accesses_of(*b.stmt);
+  for (std::size_t ia = 0; ia < accs_a.size(); ++ia) {
+    for (std::size_t ib = 0; ib < accs_b.size(); ++ib) {
+      if (same && ib < ia) continue;  // unordered within a stmt
+      const auto& x = accs_a[ia];
+      const auto& y = accs_b[ib];
+      if (x.access->tensor != y.access->tensor) continue;
+      if (!x.is_write && !y.is_write) continue;
+      // The same textual access paired with itself only matters when
+      // it is a write (distinct iterations may collide, e.g. an
+      // indirect scatter or a non-injective affine store).
+      if (same && ia == ib && !x.is_write) continue;
+      Solve sol = solve_pair(*x.access, *y.access, common, k);
+      if (!sol.dependence) continue;
+      Dependence dep;
+      dep.tensor = x.access->tensor;
+      dep.src = a.stmt;
+      dep.dst = b.stmt;
+      dep.chain = chain;
+      dep.dirs = std::move(sol.dirs);
+      dep.kind = x.is_write && y.is_write
+                     ? DepKind::Output
+                     : (x.is_write ? DepKind::Flow : DepKind::Anti);
+      if (same) {
+        // Only the update pair itself (target <-> the structurally
+        // identical load) is a reduction; other self-dependences of
+        // the same statement (e.g. x[i-1] in x[i] = x[i-1]*c + x[i])
+        // are genuine recurrences and must stay blocking.
+        const auto red = reduction_op(*a.stmt);
+        dep.reduction = red.has_value() &&
+                        same_affine_access(*x.access, a.stmt->target) &&
+                        same_affine_access(*y.access, a.stmt->target);
+      }
+      deps.push_back(std::move(dep));
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<Dependence> analyze_dependences(const Kernel& k) {
   const auto stmts = collect_stmts(k);
   std::vector<Dependence> deps;
+  for (std::size_t s1 = 0; s1 < stmts.size(); ++s1)
+    for (std::size_t s2 = s1; s2 < stmts.size(); ++s2)
+      append_pair_deps(stmts[s1], stmts[s2], s1 == s2, k, deps);
+  return deps;
+}
 
+std::vector<Dependence> analyze_dependences_between(
+    const Kernel& k, std::span<const ir::Stmt* const> ga,
+    std::span<const ir::Stmt* const> gb) {
+  const auto stmts = collect_stmts(k);
+  const auto in = [](std::span<const ir::Stmt* const> g, const Stmt* s) {
+    return std::find(g.begin(), g.end(), s) != g.end();
+  };
+  std::vector<Dependence> deps;
   for (std::size_t s1 = 0; s1 < stmts.size(); ++s1) {
-    for (std::size_t s2 = s1; s2 < stmts.size(); ++s2) {
-      const auto& a = stmts[s1];
-      const auto& b = stmts[s2];
-      // Common loop chain (pointer-equal prefix).
-      std::vector<const Loop*> chain;
-      std::vector<VarId> common;
-      for (std::size_t d = 0; d < std::min(a.loops.size(), b.loops.size()); ++d) {
-        if (a.loops[d] != b.loops[d]) break;
-        chain.push_back(a.loops[d]);
-        common.push_back(a.loops[d]->var);
-      }
-      const auto accs_a = accesses_of(*a.stmt);
-      const auto accs_b = accesses_of(*b.stmt);
-      for (std::size_t ia = 0; ia < accs_a.size(); ++ia) {
-        for (std::size_t ib = 0; ib < accs_b.size(); ++ib) {
-          if (s1 == s2 && ib < ia) continue;  // unordered within a stmt
-          const auto& x = accs_a[ia];
-          const auto& y = accs_b[ib];
-          if (x.access->tensor != y.access->tensor) continue;
-          if (!x.is_write && !y.is_write) continue;
-          // The same textual access paired with itself only matters when
-          // it is a write (distinct iterations may collide, e.g. an
-          // indirect scatter or a non-injective affine store).
-          if (s1 == s2 && ia == ib && !x.is_write) continue;
-          Solve sol = solve_pair(*x.access, *y.access, common, k);
-          if (!sol.dependence) continue;
-          Dependence dep;
-          dep.tensor = x.access->tensor;
-          dep.src = a.stmt;
-          dep.dst = b.stmt;
-          dep.chain = chain;
-          dep.dirs = std::move(sol.dirs);
-          dep.kind = x.is_write && y.is_write
-                         ? DepKind::Output
-                         : (x.is_write ? DepKind::Flow : DepKind::Anti);
-          if (s1 == s2) {
-            // Only the update pair itself (target <-> the structurally
-            // identical load) is a reduction; other self-dependences of
-            // the same statement (e.g. x[i-1] in x[i] = x[i-1]*c + x[i])
-            // are genuine recurrences and must stay blocking.
-            const auto red = reduction_op(*a.stmt);
-            dep.reduction = red.has_value() &&
-                            same_affine_access(*x.access, a.stmt->target) &&
-                            same_affine_access(*y.access, a.stmt->target);
-          }
-          deps.push_back(std::move(dep));
-        }
-      }
+    const bool a_in_ga = in(ga, stmts[s1].stmt);
+    const bool a_in_gb = in(gb, stmts[s1].stmt);
+    if (!a_in_ga && !a_in_gb) continue;
+    for (std::size_t s2 = s1 + 1; s2 < stmts.size(); ++s2) {
+      const bool cross = (a_in_ga && in(gb, stmts[s2].stmt)) ||
+                         (a_in_gb && in(ga, stmts[s2].stmt));
+      if (!cross) continue;
+      append_pair_deps(stmts[s1], stmts[s2], false, k, deps);
     }
   }
   return deps;

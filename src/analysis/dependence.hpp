@@ -38,6 +38,16 @@ struct Dependence {
 /// All dependences among the kernel's statements.
 [[nodiscard]] std::vector<Dependence> analyze_dependences(const ir::Kernel& k);
 
+/// Only the dependences whose endpoints straddle the two statement
+/// groups (one endpoint in `ga`, the other in `gb`; groups must be
+/// disjoint).  Verdict-identical to filtering analyze_dependences(k) for
+/// cross pairs, but skips the same-group pair solving — the fast path
+/// for fusion/distribution legality, which only ever inspects cross-group
+/// dependences.
+[[nodiscard]] std::vector<Dependence> analyze_dependences_between(
+    const ir::Kernel& k, std::span<const ir::Stmt* const> ga,
+    std::span<const ir::Stmt* const> gb);
+
 /// If `s` is an associative reduction update (t = t op e, op in
 /// {+, *, min, max}, load structurally equal to target), return op.
 [[nodiscard]] std::optional<ir::BinOp> reduction_op(const ir::Stmt& s);

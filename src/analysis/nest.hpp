@@ -1,0 +1,35 @@
+#pragma once
+// Perfect-nest structure discovery.
+//
+// Lives in analysis/ (not passes/) so the analysis::Manager can cache
+// nest structure alongside dependence graphs and statement stats without
+// depending on the pass layer.  passes/passes.hpp re-exports these names
+// into a64fxcc::passes for source compatibility.
+
+#include <cstddef>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::analysis {
+
+/// A maximal perfect loop nest: loops[0] contains exactly loops[1], etc.;
+/// the innermost loop's body holds the statements (and possibly further
+/// non-perfectly-nested loops).
+struct PerfectNest {
+  std::vector<ir::Node*> loop_nodes;  ///< outermost first
+  [[nodiscard]] std::size_t depth() const noexcept { return loop_nodes.size(); }
+  [[nodiscard]] ir::Loop& loop(std::size_t i) const { return loop_nodes[i]->loop; }
+  [[nodiscard]] ir::Node& innermost() const { return *loop_nodes.back(); }
+};
+
+/// All maximal perfect nests in the kernel (each root loop yields one,
+/// plus nests hanging below imperfect points).
+[[nodiscard]] std::vector<PerfectNest> collect_perfect_nests(ir::Kernel& k);
+
+/// Is the sub-nest rectangular, i.e. no loop's bounds reference another
+/// loop's variable within the nest?  (Triangular nests are not
+/// interchanged by our passes, mirroring non-polyhedral compilers.)
+[[nodiscard]] bool is_rectangular(const PerfectNest& nest);
+
+}  // namespace a64fxcc::analysis

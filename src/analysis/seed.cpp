@@ -1,0 +1,286 @@
+#include "analysis/seed.hpp"
+
+#include <functional>
+
+namespace a64fxcc::analysis {
+
+namespace {
+
+void index_node(ir::Node& n, std::vector<ir::Node*>& nodes) {
+  nodes.push_back(&n);
+  if (n.is_loop())
+    for (auto& c : n.loop.body) index_node(*c, nodes);
+}
+
+/// Canonical enumeration of every Access object an analysis of `s` may
+/// hand out a pointer to: the store target, then the value tree, then
+/// indirect subscripts of the target (mirrors collect_stmt_stats's
+/// coverage; each object is visited exactly once).
+void for_each_stmt_access(const ir::Stmt& s,
+                          const std::function<void(const ir::Access&)>& fn) {
+  fn(s.target);
+  if (s.value) ir::for_each_access(*s.value, fn);
+  for (const auto& ix : s.target.index)
+    if (ix.indirect) ir::for_each_access(*ix.indirect, fn);
+}
+
+int access_ordinal(const ir::Stmt& s, const ir::Access* a) {
+  int ord = -1, i = 0;
+  for_each_stmt_access(s, [&](const ir::Access& cand) {
+    if (&cand == a && ord < 0) ord = i;
+    ++i;
+  });
+  return ord;
+}
+
+void collect_stmt_accesses(const ir::Stmt& s,
+                           std::vector<const ir::Access*>& out) {
+  out.clear();
+  for_each_stmt_access(s, [&](const ir::Access& cand) { out.push_back(&cand); });
+}
+
+/// Validated position -> node accessors for the rebase direction.
+const ir::Node* node_at(const TreeIndex& ti, int i) {
+  if (i < 0 || i >= static_cast<int>(ti.nodes.size())) return nullptr;
+  return ti.nodes[static_cast<std::size_t>(i)];
+}
+const ir::Stmt* stmt_at(const TreeIndex& ti, int i) {
+  const ir::Node* n = node_at(ti, i);
+  return (n != nullptr && n->is_stmt()) ? &n->stmt : nullptr;
+}
+const ir::Loop* loop_at(const TreeIndex& ti, int i) {
+  const ir::Node* n = node_at(ti, i);
+  return (n != nullptr && n->is_loop()) ? &n->loop : nullptr;
+}
+
+}  // namespace
+
+TreeIndex TreeIndex::build(ir::Kernel& k) {
+  TreeIndex ti;
+  for (auto& r : k.roots()) index_node(*r, ti.nodes);
+  return ti;
+}
+
+int TreeIndex::position(const void* p) const {
+  if (pos_.empty() && !nodes.empty()) {
+    pos_.reserve(nodes.size() * 3);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      ir::Node* n = nodes[i];
+      const int idx = static_cast<int>(i);
+      pos_.emplace(n, idx);
+      if (n->is_loop())
+        pos_.emplace(&n->loop, idx);
+      else
+        pos_.emplace(&n->stmt, idx);
+    }
+  }
+  const auto it = pos_.find(p);
+  return it == pos_.end() ? -1 : it->second;
+}
+
+bool SeedStore::seed_dependences(std::uint64_t fp, const TreeIndex& ti,
+                                 std::vector<Dependence>& out) const {
+  std::shared_ptr<const std::vector<DepSnap>> snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = deps_.find(fp);
+    if (it == deps_.end()) return false;
+    snap = it->second;
+  }
+  std::vector<Dependence> v;
+  v.reserve(snap->size());
+  for (const DepSnap& s : *snap) {
+    Dependence d;
+    d.kind = s.kind;
+    d.tensor = s.tensor;
+    d.src = stmt_at(ti, s.src);
+    d.dst = stmt_at(ti, s.dst);
+    if (d.src == nullptr || d.dst == nullptr) return false;
+    d.chain.reserve(s.chain.size());
+    for (const int i : s.chain) {
+      const ir::Loop* l = loop_at(ti, i);
+      if (l == nullptr) return false;
+      d.chain.push_back(l);
+    }
+    d.dirs = s.dirs;
+    d.reduction = s.reduction;
+    v.push_back(std::move(d));
+  }
+  out = std::move(v);
+  return true;
+}
+
+bool SeedStore::seed_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
+                                std::vector<StmtStats>& out) const {
+  std::shared_ptr<const std::vector<StmtStatsSnap>> snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = stats_.find(fp);
+    if (it == stats_.end()) return false;
+    snap = it->second;
+  }
+  std::vector<StmtStats> v;
+  v.reserve(snap->size());
+  std::vector<const ir::Access*> own_accesses;
+  for (const StmtStatsSnap& s : *snap) {
+    StmtStats st;
+    const ir::Node* n = node_at(ti, s.node);
+    if (n == nullptr || !n->is_stmt()) return false;
+    st.ctx.node = n;
+    st.ctx.stmt = &n->stmt;
+    st.ctx.loops.reserve(s.loops.size());
+    for (const int i : s.loops) {
+      const ir::Loop* l = loop_at(ti, i);
+      if (l == nullptr) return false;
+      st.ctx.loops.push_back(l);
+    }
+    st.ops = s.ops;
+    st.accesses.reserve(s.accesses.size());
+    collect_stmt_accesses(n->stmt, own_accesses);
+    for (const PatternSnap& p : s.accesses) {
+      // Every pattern collect_stmt_stats emits references its own
+      // statement's accesses (publish encodes them that way).
+      if (p.access.stmt_node != s.node) return false;
+      AccessPattern ap;
+      if (p.access.ordinal < 0 ||
+          p.access.ordinal >= static_cast<int>(own_accesses.size()))
+        return false;
+      ap.access = own_accesses[static_cast<std::size_t>(p.access.ordinal)];
+      ap.is_write = p.is_write;
+      ap.kind = p.kind;
+      ap.stride_elems = p.stride_elems;
+      ap.elem_size = p.elem_size;
+      ap.tensor_elems = p.tensor_elems;
+      st.accesses.push_back(ap);
+    }
+    st.iters = s.iters;
+    st.inner_trip = s.inner_trip;
+    v.push_back(std::move(st));
+  }
+  out = std::move(v);
+  return true;
+}
+
+bool SeedStore::seed_nests(std::uint64_t fp, const TreeIndex& ti,
+                           std::vector<PerfectNest>& out) const {
+  std::shared_ptr<const std::vector<NestSnap>> snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nests_.find(fp);
+    if (it == nests_.end()) return false;
+    snap = it->second;
+  }
+  std::vector<PerfectNest> v;
+  v.reserve(snap->size());
+  for (const NestSnap& s : *snap) {
+    PerfectNest nest;
+    nest.loop_nodes.reserve(s.loop_nodes.size());
+    for (const int i : s.loop_nodes) {
+      const ir::Node* n = node_at(ti, i);
+      if (n == nullptr || !n->is_loop()) return false;
+      nest.loop_nodes.push_back(const_cast<ir::Node*>(n));
+    }
+    v.push_back(std::move(nest));
+  }
+  out = std::move(v);
+  return true;
+}
+
+void SeedStore::publish_dependences(std::uint64_t fp, const TreeIndex& ti,
+                                    const std::vector<Dependence>& v) {
+  auto snap = std::make_shared<std::vector<DepSnap>>();
+  snap->reserve(v.size());
+  for (const Dependence& d : v) {
+    DepSnap s;
+    s.kind = d.kind;
+    s.tensor = d.tensor;
+    s.src = ti.position(d.src);
+    s.dst = ti.position(d.dst);
+    if (s.src < 0 || s.dst < 0) return;
+    s.chain.reserve(d.chain.size());
+    for (const ir::Loop* l : d.chain) {
+      const int i = ti.position(l);
+      if (i < 0) return;
+      s.chain.push_back(i);
+    }
+    s.dirs = d.dirs;
+    s.reduction = d.reduction;
+    snap->push_back(std::move(s));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (deps_.size() >= kMaxEntries) return;
+  deps_.try_emplace(fp, std::move(snap));
+}
+
+void SeedStore::publish_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
+                                   const std::vector<StmtStats>& v) {
+  auto snap = std::make_shared<std::vector<StmtStatsSnap>>();
+  snap->reserve(v.size());
+  for (const StmtStats& st : v) {
+    StmtStatsSnap s;
+    s.node = ti.position(st.ctx.node);
+    if (s.node < 0) return;
+    s.loops.reserve(st.ctx.loops.size());
+    for (const ir::Loop* l : st.ctx.loops) {
+      const int i = ti.position(l);
+      if (i < 0) return;
+      s.loops.push_back(i);
+    }
+    s.ops = st.ops;
+    s.accesses.reserve(st.accesses.size());
+    for (const AccessPattern& ap : st.accesses) {
+      PatternSnap p;
+      // An access pointer is owned by the statement whose tree contains
+      // it — which is st's own statement for every pattern
+      // collect_stmt_stats emits.
+      p.access.stmt_node = s.node;
+      p.access.ordinal = access_ordinal(st.ctx.node->stmt, ap.access);
+      if (p.access.ordinal < 0) return;
+      p.is_write = ap.is_write;
+      p.kind = ap.kind;
+      p.stride_elems = ap.stride_elems;
+      p.elem_size = ap.elem_size;
+      p.tensor_elems = ap.tensor_elems;
+      s.accesses.push_back(p);
+    }
+    s.iters = st.iters;
+    s.inner_trip = st.inner_trip;
+    snap->push_back(std::move(s));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.size() >= kMaxEntries) return;
+  stats_.try_emplace(fp, std::move(snap));
+}
+
+void SeedStore::publish_nests(std::uint64_t fp, const TreeIndex& ti,
+                              const std::vector<PerfectNest>& v) {
+  auto snap = std::make_shared<std::vector<NestSnap>>();
+  snap->reserve(v.size());
+  for (const PerfectNest& nest : v) {
+    NestSnap s;
+    s.loop_nodes.reserve(nest.loop_nodes.size());
+    for (const ir::Node* n : nest.loop_nodes) {
+      const int i = ti.position(n);
+      if (i < 0) return;
+      s.loop_nodes.push_back(i);
+    }
+    snap->push_back(std::move(s));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (nests_.size() >= kMaxEntries) return;
+  nests_.try_emplace(fp, std::move(snap));
+}
+
+std::size_t SeedStore::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return deps_.size() + stats_.size() + nests_.size();
+}
+
+void SeedStore::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  deps_.clear();
+  stats_.clear();
+  nests_.clear();
+}
+
+}  // namespace a64fxcc::analysis

@@ -1,0 +1,133 @@
+#pragma once
+// Cross-compile analysis seeding.
+//
+// The five compiler models each clone the same source kernel and pay the
+// same initial dependence/stats/nest computations before any pass has
+// mutated anything.  A SeedStore shares those results across Managers:
+// snapshots are stored in pointer-free index form keyed by the kernel's
+// structural fingerprint, and rebased onto a querying kernel's own nodes
+// by positional correspondence — equal fingerprints imply structurally
+// identical trees, the same trust the Manager's invalidation already
+// places in the hash (a mismatch discovered during rebase falls back to
+// a fresh compute).
+//
+// Determinism contract: a rebased result is identical to a fresh compute
+// down to the pointers, which are reconstructed to address the querying
+// kernel's nodes exactly where analyze_dependences / collect_stmt_stats /
+// collect_perfect_nests would have pointed them.  Seeding therefore
+// changes neither analysis values nor Manager counters — a seeded fill is
+// still a miss; it is merely a cheap one — so study tables, decision
+// provenance, and explain output stay byte-identical with or without a
+// store attached, at any worker count (scheduling decides only *who*
+// publishes first, never what a lookup returns).
+//
+// Thread-safe: lookups copy a shared_ptr under the lock and rebase
+// outside it; publishes are idempotent (first writer wins).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/nest.hpp"
+
+namespace a64fxcc::analysis {
+
+/// Pointer <-> pre-order-position correspondence for one kernel tree,
+/// built in a single pass.  Position i denotes the same node in every
+/// structurally identical kernel, which is what makes snapshots portable
+/// across clones.
+struct TreeIndex {
+  std::vector<ir::Node*> nodes;  ///< pre-order over all roots
+
+  [[nodiscard]] static TreeIndex build(ir::Kernel& k);
+
+  /// Position of a Node, or of a node's Loop/Stmt member, or -1.  The
+  /// reverse map is built on first use: only publishes (once per
+  /// fingerprint, process-wide) need it; the hot seeded path never does.
+  [[nodiscard]] int position(const void* p) const;
+
+ private:
+  /// Node, &node->loop and &node->stmt all map to the node's position.
+  mutable std::unordered_map<const void*, int> pos_;
+};
+
+class SeedStore {
+ public:
+  /// Rebase a stored snapshot for `fp` onto `ti`'s tree.  Returns false
+  /// when no snapshot exists or any index fails validation (fingerprint
+  /// collision); the caller recomputes fresh.
+  [[nodiscard]] bool seed_dependences(std::uint64_t fp, const TreeIndex& ti,
+                                      std::vector<Dependence>& out) const;
+  [[nodiscard]] bool seed_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
+                                     std::vector<StmtStats>& out) const;
+  [[nodiscard]] bool seed_nests(std::uint64_t fp, const TreeIndex& ti,
+                                std::vector<PerfectNest>& out) const;
+
+  /// Store a freshly computed result (no-op once the per-kind cap is
+  /// reached, or when any pointer fails to resolve against `ti`).
+  void publish_dependences(std::uint64_t fp, const TreeIndex& ti,
+                           const std::vector<Dependence>& v);
+  void publish_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
+                          const std::vector<StmtStats>& v);
+  void publish_nests(std::uint64_t fp, const TreeIndex& ti,
+                     const std::vector<PerfectNest>& v);
+
+  [[nodiscard]] std::size_t size() const;  ///< total stored snapshots
+  void clear();
+
+ private:
+  /// Runaway-growth backstop, far above any real study's distinct
+  /// (fingerprint, kind) population.
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  /// A tensor access named by its statement's node position and its
+  /// ordinal in the statement's canonical access enumeration.
+  struct AccessRef {
+    int stmt_node = -1;
+    int ordinal = -1;
+  };
+  struct DepSnap {
+    DepKind kind = DepKind::Flow;
+    ir::TensorId tensor = ir::kInvalidTensor;
+    int src = -1, dst = -1;  ///< stmt node positions
+    std::vector<int> chain;  ///< loop node positions
+    std::vector<Dir> dirs;
+    bool reduction = false;
+  };
+  struct PatternSnap {
+    AccessRef access;
+    bool is_write = false;
+    PatternKind kind = PatternKind::Invariant;
+    std::int64_t stride_elems = 0;
+    std::size_t elem_size = 8;
+    std::int64_t tensor_elems = 0;
+  };
+  struct StmtStatsSnap {
+    int node = -1;
+    std::vector<int> loops;  ///< loop node positions, outermost first
+    OpMix ops;
+    std::vector<PatternSnap> accesses;
+    double iters = 1;
+    double inner_trip = 1;
+  };
+  struct NestSnap {
+    std::vector<int> loop_nodes;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<DepSnap>>>
+      deps_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<StmtStatsSnap>>>
+      stats_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const std::vector<NestSnap>>>
+      nests_;
+};
+
+}  // namespace a64fxcc::analysis

@@ -97,7 +97,18 @@ std::size_t CompileCache::KeyHash::operator()(const Key& k) const noexcept {
 CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
                                                   const ir::Kernel& source,
                                                   bool apply_quirks) {
-  const Key key{fingerprint(spec), fingerprint(source), apply_quirks};
+  CompileContext ctx;
+  ctx.apply_quirks = apply_quirks;
+  return get_or_compile(spec, source, ctx);
+}
+
+CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
+                                                  const ir::Kernel& source,
+                                                  const CompileContext& ctx) {
+  // Qualified: ADL would also find ir::fingerprint (the structural,
+  // annotation-blind hash); the cache keys on the printed-IR one.
+  const Key key{fingerprint(spec), compilers::fingerprint(source),
+                ctx.apply_quirks};
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = map_.find(key); it != map_.end()) {
@@ -107,8 +118,14 @@ CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
   }
   // Compile outside the lock: other workers keep making progress, and a
   // rare duplicate compile of the same pure function is harmless.
-  auto outcome = std::make_shared<const CompileOutcome>(
-      compile(spec, source, apply_quirks));
+  // Compiles funnel through this cache's seed store (unless the caller
+  // brought one) so structurally identical kernels — the five specs of a
+  // benchmark — share their initial analyses.
+  CompileContext cctx = ctx;
+  if (cctx.memoize_analyses && cctx.analysis_seeds == nullptr)
+    cctx.analysis_seeds = &seeds_;
+  auto outcome =
+      std::make_shared<const CompileOutcome>(compile(spec, source, cctx));
   misses_.fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = map_.try_emplace(key, std::move(outcome));
@@ -121,8 +138,11 @@ std::size_t CompileCache::size() const {
 }
 
 void CompileCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
+  seeds_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
 }

@@ -56,6 +56,13 @@ class CompileCache {
                                       const ir::Kernel& source,
                                       bool apply_quirks = true);
 
+  /// Same, with per-call compile controls.  Only ctx.apply_quirks is part
+  /// of the key: memoize_analyses/tracer never change the outcome (see
+  /// CompileContext), so cache sharing across those settings is sound.
+  [[nodiscard]] Result get_or_compile(const CompilerSpec& spec,
+                                      const ir::Kernel& source,
+                                      const CompileContext& ctx);
+
   [[nodiscard]] CacheStats stats() const noexcept {
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed)};
@@ -76,6 +83,9 @@ class CompileCache {
 
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const CompileOutcome>, KeyHash> map_;
+  /// Shared across this cache's compiles so the five specs of one
+  /// benchmark pay each initial analysis once (see CompileContext).
+  analysis::SeedStore seeds_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

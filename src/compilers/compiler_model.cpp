@@ -13,9 +13,12 @@ using ir::Kernel;
 using ir::Language;
 
 /// Integer-work share of a kernel: used to blend fp/int codegen quality.
-double int_share(const Kernel& k) {
+/// Queries the pipeline's Manager — after a pipeline whose last passes
+/// are annotation-only (the common case), the stats are already cached.
+double int_share(analysis::Manager& am) {
+  const Kernel& k = am.kernel();
   double fp = 0, in = 0;
-  for (const auto& st : analysis::collect_stmt_stats(k)) {
+  for (const auto& st : am.stmt_stats()) {
     fp += (st.ops.flops + st.ops.divs + st.ops.specials) * st.iters;
     in += st.ops.int_ops * st.iters;
   }
@@ -41,11 +44,17 @@ double language_factor(const CompilerSpec& s, Language l) {
   return 1.0;
 }
 
-void run_pipeline(const CompilerSpec& s, Kernel& k, CompileOutcome& out) {
+void run_pipeline(const CompilerSpec& s, analysis::Manager& am,
+                  CompileOutcome& out) {
+  Kernel& k = am.kernel();
   std::string& log = out.log;
   auto& decisions = out.decisions;
   const auto take = [&](const passes::PassResult& r) {
     for (const auto& d : r.decisions) decisions.push_back(d);
+    // Passes self-invalidate right after mutating; this second call is a
+    // belt-and-braces no-op then (same fingerprint), and the enforcement
+    // point for any future pass that forgets.
+    am.invalidate(r.preserved);
   };
   const auto skipped = [&](const char* pass, const std::string& why) {
     decisions.push_back({pass, false, why});
@@ -54,16 +63,17 @@ void run_pipeline(const CompilerSpec& s, Kernel& k, CompileOutcome& out) {
                                   " pipeline";
 
   if (s.distribute && !s.use_polly) {
-    const auto r = passes::distribute_loops(k);
+    const auto r = passes::distribute_loops(am);
     log += r.log + "\n";
     take(r);
   }
   if (s.use_polly) {
-    const auto r = passes::polly(k, {.tile_size = s.polly_tile, .vec = s.vec});
+    const auto r = passes::polly(am, {.tile_size = s.polly_tile, .vec = s.vec});
     log += r.log + "\n";
     take(r);
   } else if (s.interchange) {
-    const auto r = passes::interchange_for_locality(k, s.interchange_aggressive);
+    const auto r =
+        passes::interchange_for_locality(am, s.interchange_aggressive);
     log += r.log + "\n";
     take(r);
   } else {
@@ -71,7 +81,7 @@ void run_pipeline(const CompilerSpec& s, Kernel& k, CompileOutcome& out) {
   }
   if (!s.use_polly) skipped("tile", not_enabled);
   if (s.fuse) {
-    const auto r = passes::fuse_loops(k);
+    const auto r = passes::fuse_loops(am);
     log += r.log + "\n";
     take(r);
   } else {
@@ -86,23 +96,23 @@ void run_pipeline(const CompilerSpec& s, Kernel& k, CompileOutcome& out) {
     skipped("vectorize", not_enabled);
   }
   if (vec_ok && !s.use_polly) {
-    const auto r = passes::vectorize(k, s.vec);
+    const auto r = passes::vectorize(am, s.vec);
     log += r.log + "\n";
     take(r);
   }
   if (!s.use_polly) skipped("polly", not_enabled);
   if (s.unroll > 1) {
-    const auto r = passes::unroll(k, s.unroll);
+    const auto r = passes::unroll(am, s.unroll);
     log += r.log + "\n";
     take(r);
   }
   if (s.prefetch_dist > 0) {
-    const auto r = passes::prefetch(k, s.prefetch_dist);
+    const auto r = passes::prefetch(am, s.prefetch_dist);
     log += r.log + "\n";
     take(r);
   }
   if (s.pipeline) {
-    const auto r = passes::software_pipeline(k);
+    const auto r = passes::software_pipeline(am);
     log += r.log + "\n";
     take(r);
   }
@@ -147,11 +157,19 @@ std::string to_string(CompilerId id) {
 
 CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
                        bool apply_quirks) {
+  CompileContext ctx;
+  ctx.apply_quirks = apply_quirks;
+  return compile(spec, source, ctx);
+}
+
+CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
+                       const CompileContext& ctx) {
   CompileOutcome out;
   out.log = spec.name + " (" + spec.flags + ")\n";
 
   // Paper-documented bugs first: they pre-empt everything.
-  if (const Quirk* q = apply_quirks ? find_quirk(spec.id, source.name()) : nullptr) {
+  if (const Quirk* q =
+          ctx.apply_quirks ? find_quirk(spec.id, source.name()) : nullptr) {
     if (q->effect != CompileOutcome::Status::Ok) {
       out.status = q->effect;
       out.diagnostic = q->reason;
@@ -177,9 +195,18 @@ CompileOutcome compile(const CompilerSpec& spec, const Kernel& source,
   }
 
   Kernel k = source.clone();
-  run_pipeline(*effective, k, out);
+  // One Manager for the whole pipeline: the clone's node pointers are
+  // private to this compile, so cached graphs can be handed from pass to
+  // pass until a fired transform invalidates them.
+  analysis::Manager am(k, {.memoize = ctx.memoize_analyses,
+                           .seeds = ctx.analysis_seeds,
+                           .tracer = ctx.tracer,
+                           .benchmark = source.name(),
+                           .compiler = effective->name});
+  run_pipeline(*effective, am, out);
 
-  const double s_int = int_share(k);
+  const double s_int = int_share(am);
+  out.analysis_cache = am.counters();
   const double blended = std::pow(effective->fp_core_factor, 1.0 - s_int) *
                          std::pow(effective->int_core_factor, s_int);
   out.profile.core_factor =

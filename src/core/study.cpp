@@ -34,6 +34,7 @@ Study::Study(StudyOptions opt)
     : opt_(std::move(opt)),
       harness_(opt_.machine, opt_.seed, opt_.apply_quirks) {
   harness_.set_memoize_estimates(opt_.memoize_estimates);
+  harness_.set_memoize_analyses(opt_.memoize_analyses);
 }
 
 report::Table Study::run_suite(
@@ -172,7 +173,9 @@ report::Table Study::run_suite(
                         {"plan", metrics.plan_cache_hits,
                          metrics.plan_cache_misses},
                         {"estimate", metrics.estimate_cache_hits,
-                         metrics.estimate_cache_misses}};
+                         metrics.estimate_cache_misses},
+                        {"analysis", metrics.analysis_cache_hits,
+                         metrics.analysis_cache_misses}};
           for (const auto& cache : caches) {
             if (cache.hits > 0) {
               sink->on_event({.kind = exec::EventKind::CacheHit,
@@ -196,6 +199,17 @@ report::Table Study::run_suite(
                                   static_cast<std::uint64_t>(cache.misses),
                               .detail = cache.kind});
             }
+          }
+          if (metrics.analysis_cache_invalidations > 0) {
+            sink->on_event({.kind = exec::EventKind::CacheInvalidate,
+                            .benchmark = bench.name(),
+                            .compiler = spec.name,
+                            .row = r,
+                            .col = c,
+                            .worker = worker,
+                            .count = static_cast<std::uint64_t>(
+                                metrics.analysis_cache_invalidations),
+                            .detail = "analysis"});
           }
           // Per-phase wall-clock (accumulated across attempts) as
           // diagnostics-only CellPhase events, before the terminal one.

@@ -61,6 +61,13 @@ struct StudyOptions {
   /// bit-identical either way; the toggle exists for A/B benchmarking
   /// (`bench_perf_model`) and the byte-identity tests.
   bool memoize_estimates = true;
+  /// Memoize in-pipeline analyses (dependence graphs, stmt stats, nest
+  /// structure) in the compile pipeline's analysis::Manager.  Off
+  /// (`--no-analysis-cache`) recomputes on every query — tables,
+  /// journals and provenance are byte-identical either way; the toggle
+  /// exists for A/B benchmarking (`bench_compile`) and the
+  /// byte-identity tests.
+  bool memoize_analyses = true;
   /// Extra evaluation attempts after a failed one (0 = no retries).
   /// Retries are deterministic: the fault schedule and the backoff
   /// jitter are pure functions of (seed, benchmark, compiler, attempt),

@@ -30,6 +30,9 @@ enum class EventKind : std::uint8_t {
                 ///< detail = cache kind: "compile"/"plan"/"estimate",
                 ///< empty = compile for pre-split emitters)
   CacheMiss,    ///< memoization misses while evaluating the cell (ditto)
+  CacheInvalidate,  ///< cached analyses dropped by mutating passes while
+                    ///< evaluating the cell (count; detail = cache kind,
+                    ///< currently always "analysis")
   CellPhase,    ///< one phase of the cell finished (detail = phase name,
                 ///< wall_seconds = duration); diagnostics-only, emitted
                 ///< before the cell's terminal event
@@ -43,6 +46,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::JobRetried: return "job-retried";
     case EventKind::CacheHit: return "cache-hit";
     case EventKind::CacheMiss: return "cache-miss";
+    case EventKind::CacheInvalidate: return "cache-invalidate";
     case EventKind::CellPhase: return "cell-phase";
   }
   return "?";
@@ -184,6 +188,7 @@ class StreamSink final : public EventSink {
         break;
       case EventKind::CacheHit:
       case EventKind::CacheMiss:
+      case EventKind::CacheInvalidate:
         if (level_ < LogLevel::Debug) return;
         n = std::snprintf(buf, sizeof buf,
                           "  [w%d] %-18s x %-10s %s x%llu\n", e.worker,

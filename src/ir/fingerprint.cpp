@@ -1,0 +1,166 @@
+#include "ir/fingerprint.hpp"
+
+#include <string>
+
+namespace a64fxcc::ir {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Hasher {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void add(std::uint64_t v) { h = mix(h ^ v); }
+  void add(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
+  void add(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    add(bits);
+  }
+  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
+  void add(int v) { add(static_cast<std::uint64_t>(static_cast<unsigned>(v))); }
+  void add(const std::string& s) { add(fnv(s)); }
+};
+
+// Distinct tags keep adjacent constructs from aliasing (e.g. a loop with
+// an empty body vs a statement following it).
+enum Tag : std::uint64_t {
+  kAffine = 0x41,
+  kIndexAffine = 0x42,
+  kIndexIndirect = 0x43,
+  kAccess = 0x44,
+  kExpr = 0x45,
+  kNull = 0x46,
+  kLoop = 0x47,
+  kStmt = 0x48,
+  kListEnd = 0x49,
+};
+
+void add_affine(Hasher& h, const AffineExpr& e) {
+  h.add(kAffine);
+  h.add(e.constant_term());
+  // terms() is canonical (sorted by VarId, no zero coefficients), so
+  // walking it in order is a stable structural hash.
+  for (const auto& [v, c] : e.terms()) {
+    h.add(static_cast<std::uint64_t>(v));
+    h.add(c);
+  }
+  h.add(kListEnd);
+}
+
+void add_expr(Hasher& h, const Expr* e);
+
+void add_access(Hasher& h, const Access& a) {
+  h.add(kAccess);
+  h.add(static_cast<std::uint64_t>(a.tensor));
+  for (const auto& ix : a.index) {
+    if (ix.is_affine()) {
+      h.add(kIndexAffine);
+      add_affine(h, ix.affine);
+    } else {
+      h.add(kIndexIndirect);
+      add_affine(h, ix.affine);
+      add_expr(h, ix.indirect.get());
+    }
+  }
+  h.add(kListEnd);
+}
+
+void add_expr(Hasher& h, const Expr* e) {
+  if (e == nullptr) {
+    h.add(kNull);
+    return;
+  }
+  h.add(kExpr);
+  h.add(static_cast<std::uint64_t>(e->kind));
+  switch (e->kind) {
+    case ExprKind::Const:
+      h.add(e->fconst);
+      break;
+    case ExprKind::Load:
+      add_access(h, e->access);
+      break;
+    case ExprKind::Var:
+      h.add(static_cast<std::uint64_t>(e->var));
+      break;
+    case ExprKind::Unary:
+      h.add(static_cast<std::uint64_t>(e->un));
+      add_expr(h, e->a.get());
+      break;
+    case ExprKind::Binary:
+      h.add(static_cast<std::uint64_t>(e->bin));
+      add_expr(h, e->a.get());
+      add_expr(h, e->b.get());
+      break;
+    case ExprKind::Select:
+      add_expr(h, e->a.get());
+      add_expr(h, e->b.get());
+      add_expr(h, e->c.get());
+      break;
+  }
+}
+
+void add_node(Hasher& h, const Node& n) {
+  if (n.is_loop()) {
+    const Loop& l = n.loop;
+    h.add(kLoop);
+    h.add(static_cast<std::uint64_t>(l.var));
+    add_affine(h, l.lower);
+    add_affine(h, l.upper);
+    if (l.upper2.has_value()) {
+      add_affine(h, *l.upper2);
+    } else {
+      h.add(kNull);
+    }
+    h.add(l.step);
+    // l.annot deliberately NOT hashed: no cached analysis reads loop
+    // annotations, so annotation-only passes keep the fingerprint stable.
+    for (const auto& c : l.body) add_node(h, *c);
+    h.add(kListEnd);
+  } else {
+    h.add(kStmt);
+    add_access(h, n.stmt.target);
+    add_expr(h, n.stmt.value.get());
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const Kernel& k) {
+  Hasher h;
+  h.add(k.name());
+  h.add(static_cast<std::uint64_t>(k.meta().language));
+  h.add(static_cast<std::uint64_t>(k.meta().parallel));
+  h.add(k.meta().suite);
+  for (const auto& p : k.params()) {
+    h.add(p.name);
+    h.add(p.value);
+  }
+  h.add(kListEnd);
+  for (const auto& t : k.tensors()) {
+    h.add(t.name);
+    h.add(static_cast<std::uint64_t>(t.type));
+    for (const auto& s : t.shape) add_affine(h, s);
+    h.add(t.is_input);
+  }
+  h.add(kListEnd);
+  for (const auto& r : k.roots()) add_node(h, *r);
+  h.add(kListEnd);
+  return h.h;
+}
+
+}  // namespace a64fxcc::ir

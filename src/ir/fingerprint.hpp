@@ -1,0 +1,28 @@
+#pragma once
+// Structural fingerprint of a kernel's analysis-relevant IR.
+//
+// Hashes exactly the inputs the compile-phase analyses read: parameters,
+// tensor declarations, loop headers (var/bounds/step) and statement
+// expressions, walked directly over the tree.  Loop *annotations* are
+// deliberately excluded — no cached analysis (dependences, statement
+// stats, perfect nests) reads them — so annotation-only passes
+// (vectorize/unroll/prefetch/pipeline/OCL hints) keep the fingerprint
+// stable and the analysis::Manager keeps its caches warm across them.
+//
+// This is distinct from compilers::fingerprint(Kernel) (compile_cache),
+// which hashes the *printed* IR including annotations and keys journal
+// entries; that fingerprint must not change meaning, so the structural
+// one lives here under its own name.
+
+#include <cstdint>
+
+#include "ir/kernel.hpp"
+
+namespace a64fxcc::ir {
+
+/// Order-sensitive structural hash of `k` (see header comment for what
+/// is and is not included).  Two kernels with equal fingerprints present
+/// identical inputs to the dependence/access/nest analyses.
+[[nodiscard]] std::uint64_t fingerprint(const Kernel& k);
+
+}  // namespace a64fxcc::ir

@@ -75,6 +75,10 @@ void MetricsSink::on_event(const exec::Event& e) {
       counters_[(e.detail.empty() ? "compile" : e.detail) + "_cache_misses"] +=
           e.count;
       break;
+    case exec::EventKind::CacheInvalidate:
+      counters_[(e.detail.empty() ? "analysis" : e.detail) +
+                "_cache_invalidations"] += e.count;
+      break;
     case exec::EventKind::CellPhase:
       histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
       break;
@@ -121,6 +125,9 @@ std::string MetricsSink::to_json() const {
   out += buf;
   std::snprintf(buf, sizeof buf, ",\"plan_cache_hit_rate\":%.9f",
                 rate_of("plan_cache_hits", "plan_cache_misses"));
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"analysis_cache_hit_rate\":%.9f",
+                rate_of("analysis_cache_hits", "analysis_cache_misses"));
   out += buf;
   out += "},\"histograms\":{";
   first = true;

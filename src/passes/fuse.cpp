@@ -73,15 +73,11 @@ std::vector<const ir::Stmt*> stmts_in(const Node& n) {
 bool groups_separable(Kernel& k, const Node& a, const Node& b) {
   const auto ga = stmts_in(a);
   const auto gb = stmts_in(b);
-  const auto deps = analysis::analyze_dependences(k);
-  for (const auto& d : deps) {
-    const bool src_a = std::find(ga.begin(), ga.end(), d.src) != ga.end();
-    const bool dst_b = std::find(gb.begin(), gb.end(), d.dst) != gb.end();
-    const bool src_b = std::find(gb.begin(), gb.end(), d.src) != gb.end();
-    const bool dst_a = std::find(ga.begin(), ga.end(), d.dst) != ga.end();
-    const bool cross = (src_a && dst_b) || (src_b && dst_a);
-    if (cross && has_negative_instantiation(d)) return false;
-  }
+  // Restricted analysis: only cross-group pairs are solved (the same
+  // verdict the old filter-the-full-graph code produced, without paying
+  // for every same-group pair per candidate).
+  for (const auto& d : analysis::analyze_dependences_between(k, ga, gb))
+    if (has_negative_instantiation(d)) return false;
   return true;
 }
 
@@ -121,21 +117,18 @@ bool fuse_in_list(Kernel& k, std::vector<NodePtr>& list, std::string& log) {
     // Partition a's body into the original part and the appended part.
     bool legal = true;
     {
-      // Build pseudo-nodes for group membership: statements from the
-      // appended range vs. the original range.
+      // Group membership: statements from the original range vs. the
+      // appended range.  Only cross-group pairs decide legality, so the
+      // restricted analysis replaces the old full re-analysis per
+      // candidate (the O(candidates x whole-kernel) hot spot).
       std::vector<const ir::Stmt*> ga, gb;
       for (std::size_t c = 0; c < a.loop.body.size(); ++c) {
         ir::for_each_stmt(*a.loop.body[c], [&](const ir::Stmt& s) {
           (c < a_old ? ga : gb).push_back(&s);
         });
       }
-      for (const auto& d : analysis::analyze_dependences(k)) {
-        const bool cross =
-            (std::find(ga.begin(), ga.end(), d.src) != ga.end() &&
-             std::find(gb.begin(), gb.end(), d.dst) != gb.end()) ||
-            (std::find(gb.begin(), gb.end(), d.src) != gb.end() &&
-             std::find(ga.begin(), ga.end(), d.dst) != ga.end());
-        if (cross && has_negative_instantiation(d)) {
+      for (const auto& d : analysis::analyze_dependences_between(k, ga, gb)) {
+        if (has_negative_instantiation(d)) {
           legal = false;
           break;
         }
@@ -194,20 +187,47 @@ bool distribute_in_list(Kernel& k, std::vector<NodePtr>& list,
 
 }  // namespace
 
-PassResult fuse_loops(Kernel& k) {
+// Fusion trials work directly on the kernel with the restricted
+// cross-group analysis (never through the Manager): a rejected trial
+// undoes its mutation exactly, so the fingerprint — and every cached
+// analysis — survives an unchanged run.  Only an accepted fusion (which
+// destroys a loop node) invalidates, and the full post-fusion graph is
+// then recomputed at most once, lazily, by the next Manager query.
+
+PassResult fuse_loops(analysis::Manager& am) {
   PassResult r;
+  Kernel& k = am.kernel();
   while (fuse_in_list(k, k.roots(), r.log)) r.changed = true;
+  if (r.changed) {
+    r.preserved = analysis::PreservedAnalyses::none();
+    am.invalidate(r.preserved);
+  }
   if (!r.changed) r.log = "no fusable loops";
   r.decisions.push_back({"fuse", r.changed, r.log});
   return r;
 }
 
-PassResult distribute_loops(Kernel& k) {
+PassResult fuse_loops(Kernel& k) {
+  analysis::Manager am(k);
+  return fuse_loops(am);
+}
+
+PassResult distribute_loops(analysis::Manager& am) {
   PassResult r;
+  Kernel& k = am.kernel();
   while (distribute_in_list(k, k.roots(), r.log)) r.changed = true;
+  if (r.changed) {
+    r.preserved = analysis::PreservedAnalyses::none();
+    am.invalidate(r.preserved);
+  }
   if (!r.changed) r.log = "no distributable loops";
   r.decisions.push_back({"distribute", r.changed, r.log});
   return r;
+}
+
+PassResult distribute_loops(Kernel& k) {
+  analysis::Manager am(k);
+  return distribute_loops(am);
 }
 
 }  // namespace a64fxcc::passes

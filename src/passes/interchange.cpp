@@ -30,6 +30,14 @@ void swap_headers(Loop& a, Loop& b) {
   std::swap(a.annot, b.annot);
 }
 
+/// What a fired interchange leaves valid: headers moved between existing
+/// nodes, so nest *structure* survives, but dependence direction vectors
+/// and stride/trip stats are stale.
+analysis::PreservedAnalyses interchange_preserved() {
+  return analysis::PreservedAnalyses::none().preserve(
+      analysis::AnalysisKind::Nests);
+}
+
 /// Does `dep`'s chain contain every loop of the nest?
 bool covers_nest(const Dependence& dep, const PerfectNest& nest) {
   for (const Node* n : nest.loop_nodes) {
@@ -82,7 +90,7 @@ bool bounds_allow_permutation(const PerfectNest& nest,
   return true;
 }
 
-bool legal_permutation(Kernel& k, const PerfectNest& nest,
+bool legal_permutation(analysis::Manager& am, const PerfectNest& nest,
                        std::span<const int> perm, std::string* why) {
   if (!bounds_allow_permutation(nest, perm)) {
     if (why) *why = "bounds couple the reordered loops";
@@ -95,12 +103,15 @@ bool legal_permutation(Kernel& k, const PerfectNest& nest,
       return false;
     }
   }
-  const auto deps = analysis::analyze_dependences(k);
+  // The cached graph makes the permutation search cheap: only the first
+  // query after a fired transform recomputes.
+  const auto& deps = am.dependences();
   for (const auto& d : deps) {
     if (!covers_nest(d, nest)) continue;
     const auto cp = chain_perm(d, nest, perm);
     if (analysis::violates_permutation(d, cp)) {
-      if (why) *why = "dependence on tensor " + k.tensor(d.tensor).name;
+      if (why)
+        *why = "dependence on tensor " + am.kernel().tensor(d.tensor).name;
       return false;
     }
   }
@@ -141,18 +152,24 @@ double order_cost(const Kernel& k, const PerfectNest& nest, VarId inner_var) {
 
 }  // namespace
 
-PassResult interchange(Kernel& k, const PerfectNest& nest,
+PassResult interchange(analysis::Manager& am, const PerfectNest& nest,
                        std::span<const int> perm) {
   PassResult r;
+  const auto c0 = am.counters();
+  const auto stamp = [&](Decision d) {
+    d.analysis_hits = am.counters().hits - c0.hits;
+    d.analysis_misses = am.counters().misses - c0.misses;
+    r.decisions.push_back(std::move(d));
+  };
   if (perm.size() != nest.depth()) {
     r.log = "permutation size mismatch";
-    r.decisions.push_back({"interchange", false, r.log});
+    stamp({"interchange", false, r.log});
     return r;
   }
   std::string why;
-  if (!legal_permutation(k, nest, perm, &why)) {
+  if (!legal_permutation(am, nest, perm, &why)) {
     r.log = "interchange refused: " + why;
-    r.decisions.push_back({"interchange", false, "blocked: " + why});
+    stamp({"interchange", false, "blocked: " + why});
     return r;
   }
   bool identity = true;
@@ -160,7 +177,7 @@ PassResult interchange(Kernel& k, const PerfectNest& nest,
     if (perm[i] != static_cast<int>(i)) identity = false;
   if (identity) {
     r.log = "identity permutation";
-    r.decisions.push_back({"interchange", false, r.log});
+    stamp({"interchange", false, r.log});
     return r;
   }
   // Apply by copying headers out and back in permuted order.
@@ -174,17 +191,32 @@ PassResult interchange(Kernel& k, const PerfectNest& nest,
   for (std::size_t i = 0; i < nest.depth(); ++i)
     swap_headers(nest.loop(i), headers[static_cast<std::size_t>(perm[i])]);
   r.changed = true;
+  r.preserved = interchange_preserved();
+  am.invalidate(r.preserved);  // stale graph must not serve the next query
   r.log = "interchanged nest of depth " + std::to_string(nest.depth());
-  r.decisions.push_back({"interchange", true, r.log});
+  stamp({"interchange", true, r.log});
   return r;
 }
 
-PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
+PassResult interchange(Kernel& k, const PerfectNest& nest,
+                       std::span<const int> perm) {
+  analysis::Manager am(k);
+  return interchange(am, nest, perm);
+}
+
+PassResult interchange_for_locality(analysis::Manager& am, bool aggressive,
+                                    int max_depth) {
   PassResult result;
+  Kernel& k = am.kernel();
+  const auto c0 = am.counters();
   // Remember the strongest blocking reason so a no-op run can say *why*
   // nothing fired (the 2mm story: legal but unprofitable vs. illegal).
   std::string blocked;
-  for (auto& nest : collect_perfect_nests(k)) {
+  // Copy: invalidate() may clear the Manager's cached vector while we
+  // iterate.  The Node* entries themselves survive fired interchanges
+  // (headers move between nodes; the tree shape is untouched).
+  const auto nests = am.nests();
+  for (const auto& nest : nests) {
     const auto d = nest.depth();
     if (d < 2 || d > static_cast<std::size_t>(max_depth)) continue;
 
@@ -202,7 +234,7 @@ PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
       const double c = order_cost(k, nest, inner);
       if (c < best_cost - 1e-12) {
         std::string why;
-        if (legal_permutation(k, nest, perm, &why)) {
+        if (legal_permutation(am, nest, perm, &why)) {
           best_cost = c;
           best = perm;
         } else if (blocked.empty()) {
@@ -213,7 +245,7 @@ PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
 
     const double threshold = aggressive ? 0.999 : 0.7;
     if (best != ident && best_cost < base_cost * threshold) {
-      const auto rr = interchange(k, nest, best);
+      const auto rr = interchange(am, nest, best);
       if (rr.changed) {
         result.changed = true;
         result.log += "locality interchange applied (cost " +
@@ -224,14 +256,22 @@ PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
       blocked = "below profitability threshold";
     }
   }
+  if (result.changed) result.preserved = interchange_preserved();
   if (!result.changed) result.log = "no profitable legal interchange";
-  result.decisions.push_back(
-      {"interchange", result.changed,
-       result.changed ? result.log
-       : blocked.empty()
-           ? "no profitable reordering (stride costs already optimal)"
-           : "blocked: " + blocked});
+  Decision dec{"interchange", result.changed,
+               result.changed ? result.log
+               : blocked.empty()
+                   ? "no profitable reordering (stride costs already optimal)"
+                   : "blocked: " + blocked};
+  dec.analysis_hits = am.counters().hits - c0.hits;
+  dec.analysis_misses = am.counters().misses - c0.misses;
+  result.decisions.push_back(std::move(dec));
   return result;
+}
+
+PassResult interchange_for_locality(Kernel& k, bool aggressive, int max_depth) {
+  analysis::Manager am(k);
+  return interchange_for_locality(am, aggressive, max_depth);
 }
 
 }  // namespace a64fxcc::passes

@@ -1,56 +1,11 @@
-// Perfect-nest discovery and shared structural utilities for passes.
-
-#include <algorithm>
+// Shared structural utilities for passes.  Perfect-nest discovery moved
+// to analysis/nest.cpp so the analysis::Manager can cache it.
 
 #include "passes/passes.hpp"
 
 namespace a64fxcc::passes {
 
-namespace {
-
-using ir::Kernel;
-using ir::Loop;
-using ir::Node;
-using ir::NodePtr;
-
-void collect_from(Node& head, std::vector<PerfectNest>& out) {
-  if (!head.is_loop()) return;
-  PerfectNest nest;
-  Node* cur = &head;
-  nest.loop_nodes.push_back(cur);
-  while (cur->loop.body.size() == 1 && cur->loop.body[0]->is_loop()) {
-    cur = cur->loop.body[0].get();
-    nest.loop_nodes.push_back(cur);
-  }
-  out.push_back(nest);
-  // Recurse below the imperfect point (loops mixed with statements).
-  for (auto& child : cur->loop.body)
-    if (child->is_loop()) collect_from(*child, out);
-}
-
-}  // namespace
-
-std::vector<PerfectNest> collect_perfect_nests(Kernel& k) {
-  std::vector<PerfectNest> out;
-  for (auto& r : k.roots()) collect_from(*r, out);
-  return out;
-}
-
-bool is_rectangular(const PerfectNest& nest) {
-  for (std::size_t i = 0; i < nest.depth(); ++i) {
-    const Loop& li = nest.loop(i);
-    for (std::size_t j = 0; j < nest.depth(); ++j) {
-      if (i == j) continue;
-      const ir::VarId vj = nest.loop(j).var;
-      if (li.lower.uses(vj) || li.upper.uses(vj) ||
-          (li.upper2.has_value() && li.upper2->uses(vj)))
-        return false;
-    }
-  }
-  return true;
-}
-
-bool is_static_control_part(const Kernel& k) {
+bool is_static_control_part(const ir::Kernel& k) {
   bool affine = true;
   for (const auto& r : k.roots()) {
     ir::for_each_stmt(*r, [&](const ir::Stmt& s) {

@@ -11,14 +11,30 @@
 // vectorization (SVE maturity differs wildly across GCC 10 / LLVM 12 /
 // fcc), polyhedral scheduling (LLVM+Polly's quarter-million-x win on
 // mvt), tiling, unrolling, software prefetch and software pipelining.
+//
+// Analyses are queried through an analysis::Manager rather than computed
+// ad hoc: each pass reports a PreservedAnalyses set, passes self-
+// invalidate right after mutating the tree, and the pipeline invalidates
+// again on the PassResult — so legality checks across the whole pipeline
+// share one dependence graph while it stays valid.  Every pass also has
+// a plain Kernel& convenience overload that spins up a throwaway Manager
+// (used by unit tests and one-shot callers).
 
 #include <string>
 #include <vector>
 
 #include "analysis/dependence.hpp"
+#include "analysis/manager.hpp"
+#include "analysis/nest.hpp"
 #include "ir/kernel.hpp"
 
 namespace a64fxcc::passes {
+
+// Nest discovery lives in analysis/ so the Manager can cache it; the
+// names remain available under passes:: for source compatibility.
+using analysis::PerfectNest;
+using analysis::collect_perfect_nests;
+using analysis::is_rectangular;
 
 /// One structured pass decision: did the pass fire on this kernel, and
 /// why (not).  This is the provenance record behind `a64fxcc explain` —
@@ -30,6 +46,12 @@ struct Decision {
   std::string pass;    ///< "interchange", "tile", "vectorize", "fuse", "polly", ...
   bool fired = false;  ///< did the transformation apply
   std::string detail;  ///< what was done, or the blocking reason
+  /// Analysis-cache traffic attributable to this pass invocation (the
+  /// Manager counter delta while it ran).  Counters are maintained
+  /// identically with memoization disabled, so these are part of the
+  /// deterministic provenance, not a timing artifact.
+  int analysis_hits = 0;
+  int analysis_misses = 0;
 };
 
 struct PassResult {
@@ -38,32 +60,22 @@ struct PassResult {
   /// Structured fired/blocked records, one per pass invocation (drivers
   /// like `polly` append one per sub-pass they ran).
   std::vector<Decision> decisions;
+  /// What the pass left valid for the next pass's analysis queries.
+  /// Defaults to everything — correct for blocked and annotation-only
+  /// passes, which is the common case.
+  analysis::PreservedAnalyses preserved;
 };
-
-/// A maximal perfect loop nest: loops[0] contains exactly loops[1], etc.;
-/// the innermost loop's body holds the statements (and possibly further
-/// non-perfectly-nested loops).
-struct PerfectNest {
-  std::vector<ir::Node*> loop_nodes;  ///< outermost first
-  [[nodiscard]] std::size_t depth() const noexcept { return loop_nodes.size(); }
-  [[nodiscard]] ir::Loop& loop(std::size_t i) const { return loop_nodes[i]->loop; }
-  [[nodiscard]] ir::Node& innermost() const { return *loop_nodes.back(); }
-};
-
-/// All maximal perfect nests in the kernel (each root loop yields one,
-/// plus nests hanging below imperfect points).
-[[nodiscard]] std::vector<PerfectNest> collect_perfect_nests(ir::Kernel& k);
-
-/// Is the sub-nest rectangular, i.e. no loop's bounds reference another
-/// loop's variable within the nest?  (Triangular nests are not
-/// interchanged by our passes, mirroring non-polyhedral compilers.)
-[[nodiscard]] bool is_rectangular(const PerfectNest& nest);
 
 // ---- individual transformations ------------------------------------------
+//
+// Each pass takes the pipeline's analysis::Manager (which owns the
+// kernel binding); the Kernel& overload wraps a temporary Manager.
 
 /// Reorder the loops of `nest` according to `perm` (perm[i] = index of
 /// the original loop that moves to position i).  Checks dependence
 /// legality and rectangularity; no-op with explanation on failure.
+PassResult interchange(analysis::Manager& am, const PerfectNest& nest,
+                       std::span<const int> perm);
 PassResult interchange(ir::Kernel& k, const PerfectNest& nest,
                        std::span<const int> perm);
 
@@ -71,12 +83,16 @@ PassResult interchange(ir::Kernel& k, const PerfectNest& nest,
 /// `max_depth` loops) for the dependence-legal order with the lowest
 /// stride cost, and apply it.  `aggressive` lowers the improvement
 /// threshold required to transform (icc/Polly-like vs. conservative).
+PassResult interchange_for_locality(analysis::Manager& am, bool aggressive,
+                                    int max_depth = 4);
 PassResult interchange_for_locality(ir::Kernel& k, bool aggressive,
                                     int max_depth = 4);
 
 /// Tile the outermost `ndims` loops of the nest with the given tile
 /// sizes.  Produces tile loops outside, point loops (with upper2 bounds)
 /// inside.  Legality: full permutation check on the implied order.
+PassResult tile(analysis::Manager& am, const PerfectNest& nest,
+                std::span<const std::int64_t> sizes);
 PassResult tile(ir::Kernel& k, const PerfectNest& nest,
                 std::span<const std::int64_t> sizes);
 
@@ -92,24 +108,30 @@ struct VectorizeOptions {
 
 /// Mark each innermost loop vectorizable under `opt` with annot.
 /// vector_width = opt.width.
+PassResult vectorize(analysis::Manager& am, const VectorizeOptions& opt);
 PassResult vectorize(ir::Kernel& k, const VectorizeOptions& opt);
 
 /// Set unroll annotations on innermost loops (factor clamped to trip).
+PassResult unroll(analysis::Manager& am, int factor);
 PassResult unroll(ir::Kernel& k, int factor);
 
 /// Insert software-prefetch annotations on innermost loops that stream
 /// from memory (unit/strided patterns), with the given distance.
+PassResult prefetch(analysis::Manager& am, int distance);
 PassResult prefetch(ir::Kernel& k, int distance);
 
 /// Mark innermost loops of Fortran-style regular bodies as software-
 /// pipelined (Fujitsu trad mode's signature optimization).
+PassResult software_pipeline(analysis::Manager& am);
 PassResult software_pipeline(ir::Kernel& k);
 
 /// Fuse adjacent sibling loops with identical bounds/step where legal.
+PassResult fuse_loops(analysis::Manager& am);
 PassResult fuse_loops(ir::Kernel& k);
 
 /// Distribute (fission) loops whose bodies contain multiple independent
 /// statements into separate loops, where legal.
+PassResult distribute_loops(analysis::Manager& am);
 PassResult distribute_loops(ir::Kernel& k);
 
 /// Polly-class polyhedral driver: on fully affine kernels ("SCoPs"),
@@ -120,6 +142,7 @@ struct PollyOptions {
   std::int64_t tile_size = 32;
   VectorizeOptions vec;
 };
+PassResult polly(analysis::Manager& am, const PollyOptions& opt);
 PassResult polly(ir::Kernel& k, const PollyOptions& opt);
 
 /// True iff every access and every loop bound in the kernel is affine —

@@ -9,8 +9,10 @@
 
 namespace a64fxcc::passes {
 
-PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
+PassResult polly(analysis::Manager& am, const PollyOptions& opt) {
   PassResult r;
+  ir::Kernel& k = am.kernel();
+  const auto c0 = am.counters();
   if (!is_static_control_part(k)) {
     r.log = "polly: not a static control part (non-affine access), skipped";
     r.decisions.push_back(
@@ -22,12 +24,14 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
   // Polyhedral schedulers treat statements individually: distribution is
   // implicit in the schedule search, which is what lets them reorder the
   // imperfect gemm-style nests non-polyhedral compilers give up on.
-  const auto dist = distribute_loops(k);
+  const auto dist = distribute_loops(am);
+  r.preserved.intersect(dist.preserved);
   if (dist.changed) {
     r.changed = true;
     r.log += "polly " + dist.log + "; ";
   }
-  const auto ic = interchange_for_locality(k, /*aggressive=*/true);
+  const auto ic = interchange_for_locality(am, /*aggressive=*/true);
+  r.preserved.intersect(ic.preserved);
   if (ic.changed) {
     r.changed = true;
     r.log += "polly " + ic.log;
@@ -38,8 +42,12 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
   for (const auto* sub : {&dist, &ic})
     for (const auto& d : sub->decisions) r.decisions.push_back(d);
 
-  // Tile deep rectangular nests (matmul-class) for cache reuse.
-  for (auto& nest : collect_perfect_nests(k)) {
+  // Tile deep rectangular nests (matmul-class) for cache reuse.  Copy:
+  // a fired tile invalidates the Manager's cached nest vector while we
+  // iterate (the Node* entries stay live — tiling splices existing nodes
+  // under new tile loops, it never destroys them).
+  const auto nests = am.nests();
+  for (const auto& nest : nests) {
     if (nest.depth() < 3) continue;
     if (!is_rectangular(nest)) continue;
     // Skip nests that are already tiled.
@@ -48,7 +56,8 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
       if (nest.loop(i).annot.tiled) tiled_already = true;
     if (tiled_already) continue;
     const std::vector<std::int64_t> sizes(nest.depth(), opt.tile_size);
-    const auto tr = tile(k, nest, sizes);
+    const auto tr = tile(am, nest, sizes);
+    r.preserved.intersect(tr.preserved);
     if (tr.changed) {
       r.changed = true;
       r.log += "polly " + tr.log + "; ";
@@ -56,19 +65,29 @@ PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
     for (const auto& d : tr.decisions) r.decisions.push_back(d);
   }
 
-  const auto vr = vectorize(k, opt.vec);
+  const auto vr = vectorize(am, opt.vec);
+  r.preserved.intersect(vr.preserved);
   if (vr.changed) {
     r.changed = true;
     r.log += "polly vectorized; ";
   }
   for (const auto& d : vr.decisions) r.decisions.push_back(d);
   if (!r.changed) r.log = "polly: SCoP detected but nothing profitable";
-  r.decisions.push_back(
-      {"polly", r.changed,
-       r.changed ? "SCoP scheduled (tile size " +
-                       std::to_string(opt.tile_size) + ")"
-                 : "SCoP detected but nothing profitable"});
+  Decision summary{"polly", r.changed,
+                   r.changed ? "SCoP scheduled (tile size " +
+                                   std::to_string(opt.tile_size) + ")"
+                             : "SCoP detected but nothing profitable"};
+  // The driver's record carries the whole schedule search's analysis
+  // traffic (sub-pass records keep their own slices).
+  summary.analysis_hits = am.counters().hits - c0.hits;
+  summary.analysis_misses = am.counters().misses - c0.misses;
+  r.decisions.push_back(std::move(summary));
   return r;
+}
+
+PassResult polly(ir::Kernel& k, const PollyOptions& opt) {
+  analysis::Manager am(k);
+  return polly(am, opt);
 }
 
 }  // namespace a64fxcc::passes

@@ -39,8 +39,9 @@ bool find_owner(std::vector<NodePtr>& list, const Node* target, Owner& out) {
 /// Fully-permutable band test: every dependence covering the nest must
 /// have no valid (lex-non-negative) instantiation with a Gt in any of
 /// the first `ndims` band positions.
-bool band_permutable(Kernel& k, const PerfectNest& nest, std::size_t ndims) {
-  const auto deps = analysis::analyze_dependences(k);
+bool band_permutable(analysis::Manager& am, const PerfectNest& nest,
+                     std::size_t ndims) {
+  const auto& deps = am.dependences();
   for (const auto& d : deps) {
     // Positions of the band loops inside the dependence chain.
     std::vector<std::size_t> pos;
@@ -64,33 +65,38 @@ bool band_permutable(Kernel& k, const PerfectNest& nest, std::size_t ndims) {
 
 }  // namespace
 
-PassResult tile(Kernel& k, const PerfectNest& nest,
+PassResult tile(analysis::Manager& am, const PerfectNest& nest,
                 std::span<const std::int64_t> sizes) {
   PassResult r;
+  Kernel& k = am.kernel();
+  const auto c0 = am.counters();
+  const auto stamp = [&](Decision d) {
+    d.analysis_hits = am.counters().hits - c0.hits;
+    d.analysis_misses = am.counters().misses - c0.misses;
+    r.decisions.push_back(std::move(d));
+  };
   const std::size_t ndims = sizes.size();
   if (ndims == 0 || ndims > nest.depth()) {
     r.log = "invalid tile band size";
-    r.decisions.push_back({"tile", false, r.log});
+    stamp({"tile", false, r.log});
     return r;
   }
   if (!is_rectangular(nest)) {
     r.log = "tiling refused: non-rectangular nest";
-    r.decisions.push_back({"tile", false, "blocked: non-rectangular nest"});
+    stamp({"tile", false, "blocked: non-rectangular nest"});
     return r;
   }
   for (std::size_t i = 0; i < ndims; ++i) {
     if (nest.loop(i).step != 1 || nest.loop(i).annot.parallel ||
         nest.loop(i).upper2.has_value()) {
       r.log = "tiling refused: unsupported loop shape in band";
-      r.decisions.push_back(
-          {"tile", false, "blocked: unsupported loop shape in band"});
+      stamp({"tile", false, "blocked: unsupported loop shape in band"});
       return r;
     }
   }
-  if (!band_permutable(k, nest, ndims)) {
+  if (!band_permutable(am, nest, ndims)) {
     r.log = "tiling refused: band not fully permutable";
-    r.decisions.push_back(
-        {"tile", false, "blocked: band not fully permutable (dependence)"});
+    stamp({"tile", false, "blocked: band not fully permutable (dependence)"});
     return r;
   }
 
@@ -113,7 +119,7 @@ PassResult tile(Kernel& k, const PerfectNest& nest,
   }
   if (!found) {
     r.log = "internal: nest head not found";
-    r.decisions.push_back({"tile", false, r.log});
+    stamp({"tile", false, r.log});
     return r;
   }
 
@@ -144,12 +150,21 @@ PassResult tile(Kernel& k, const PerfectNest& nest,
   (*owner.list)[owner.index] = std::move(chain_top);
 
   r.changed = true;
+  // Tiling rewrites the band structurally: nothing survives.
+  r.preserved = analysis::PreservedAnalyses::none();
+  am.invalidate(r.preserved);
   r.log = "tiled band of " + std::to_string(ndims) + " loops";
-  r.decisions.push_back(
-      {"tile", true,
-       "tiled band of " + std::to_string(ndims) + " loops at " +
-           std::to_string(sizes[0]) + "x" + std::to_string(sizes[ndims - 1])});
+  stamp({"tile", true,
+         "tiled band of " + std::to_string(ndims) + " loops at " +
+             std::to_string(sizes[0]) + "x" +
+             std::to_string(sizes[ndims - 1])});
   return r;
+}
+
+PassResult tile(Kernel& k, const PerfectNest& nest,
+                std::span<const std::int64_t> sizes) {
+  analysis::Manager am(k);
+  return tile(am, nest, sizes);
 }
 
 }  // namespace a64fxcc::passes

@@ -2,6 +2,10 @@
 // speedup realized is the performance model's job; this pass decides
 // *whether* a loop is vectorized under a given compiler's capabilities,
 // which is where GCC 10 / LLVM 12 / Fujitsu fcc differ on SVE.
+//
+// All four passes here only write loop annotations, so they preserve
+// every analysis (PassResult::preserved stays at its all() default) and
+// keep the Manager's caches warm for the rest of the pipeline.
 
 #include <algorithm>
 #include <set>
@@ -29,10 +33,12 @@ void innermost_loops(Node& n, std::vector<Loop*>& out) {
 
 }  // namespace
 
-PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
+PassResult vectorize(analysis::Manager& am, const VectorizeOptions& opt) {
   PassResult r;
-  const auto deps = analysis::analyze_dependences(k);
-  const auto stats = analysis::collect_stmt_stats(k);
+  Kernel& k = am.kernel();
+  const auto c0 = am.counters();
+  const auto& deps = am.dependences();
+  const auto& stats = am.stmt_stats();
 
   std::vector<Loop*> candidates;
   for (auto& root : k.roots()) innermost_loops(*root, candidates);
@@ -102,24 +108,33 @@ PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
     r.log += k.var_name(loop->var) + ": vectorized x" +
              std::to_string(opt.width) + "; ";
   }
-  r.decisions.push_back(
-      {"vectorize", r.changed,
-       r.changed ? "vectorized " + std::to_string(vectorized) + " loop(s) x" +
-                       std::to_string(opt.width)
-       : blocked.empty() ? "no candidate innermost loops"
-                         : "blocked: " + blocked});
+  Decision d{"vectorize", r.changed,
+             r.changed ? "vectorized " + std::to_string(vectorized) +
+                             " loop(s) x" + std::to_string(opt.width)
+             : blocked.empty() ? "no candidate innermost loops"
+                               : "blocked: " + blocked};
+  d.analysis_hits = am.counters().hits - c0.hits;
+  d.analysis_misses = am.counters().misses - c0.misses;
+  r.decisions.push_back(std::move(d));
   return r;
 }
 
-PassResult unroll(Kernel& k, int factor) {
+PassResult vectorize(Kernel& k, const VectorizeOptions& opt) {
+  analysis::Manager am(k);
+  return vectorize(am, opt);
+}
+
+PassResult unroll(analysis::Manager& am, int factor) {
   PassResult r;
+  Kernel& k = am.kernel();
   if (factor <= 1) {
     r.log = "factor <= 1";
     return r;
   }
+  const auto c0 = am.counters();
   std::vector<Loop*> candidates;
   for (auto& root : k.roots()) innermost_loops(*root, candidates);
-  const auto stats = analysis::collect_stmt_stats(k);
+  const auto& stats = am.stmt_stats();
   for (Loop* loop : candidates) {
     double trip = 1.0;
     for (const auto& st : stats)
@@ -132,17 +147,26 @@ PassResult unroll(Kernel& k, int factor) {
   }
   r.log = r.changed ? "unrolled innermost loops x" + std::to_string(factor)
                     : "nothing to unroll";
-  r.decisions.push_back({"unroll", r.changed, r.log});
+  Decision d{"unroll", r.changed, r.log};
+  d.analysis_hits = am.counters().hits - c0.hits;
+  d.analysis_misses = am.counters().misses - c0.misses;
+  r.decisions.push_back(std::move(d));
   return r;
 }
 
-PassResult prefetch(Kernel& k, int distance) {
+PassResult unroll(Kernel& k, int factor) {
+  analysis::Manager am(k);
+  return unroll(am, factor);
+}
+
+PassResult prefetch(analysis::Manager& am, int distance) {
   PassResult r;
   if (distance <= 0) {
     r.log = "distance <= 0";
     return r;
   }
-  const auto stats = analysis::collect_stmt_stats(k);
+  const auto c0 = am.counters();
+  const auto& stats = am.stmt_stats();
   std::set<Loop*> streaming;
   for (const auto& st : stats) {
     if (st.ctx.innermost() == nullptr) continue;
@@ -158,14 +182,23 @@ PassResult prefetch(Kernel& k, int distance) {
   r.log = r.changed ? "prefetch inserted on " +
                           std::to_string(streaming.size()) + " loops"
                     : "no streaming loops";
-  r.decisions.push_back({"prefetch", r.changed, r.log});
+  Decision d{"prefetch", r.changed, r.log};
+  d.analysis_hits = am.counters().hits - c0.hits;
+  d.analysis_misses = am.counters().misses - c0.misses;
+  r.decisions.push_back(std::move(d));
   return r;
 }
 
-PassResult software_pipeline(Kernel& k) {
+PassResult prefetch(Kernel& k, int distance) {
+  analysis::Manager am(k);
+  return prefetch(am, distance);
+}
+
+PassResult software_pipeline(analysis::Manager& am) {
   PassResult r;
-  const auto deps = analysis::analyze_dependences(k);
-  const auto stats = analysis::collect_stmt_stats(k);
+  const auto c0 = am.counters();
+  const auto& deps = am.dependences();
+  const auto& stats = am.stmt_stats();
   std::set<Loop*> eligible;
   for (const auto& st : stats) {
     if (st.ctx.innermost() == nullptr) continue;
@@ -188,8 +221,16 @@ PassResult software_pipeline(Kernel& k) {
   r.log = r.changed ? "software-pipelined " + std::to_string(eligible.size()) +
                           " loops"
                     : "no pipelinable loops";
-  r.decisions.push_back({"pipeline", r.changed, r.log});
+  Decision d{"pipeline", r.changed, r.log};
+  d.analysis_hits = am.counters().hits - c0.hits;
+  d.analysis_misses = am.counters().misses - c0.misses;
+  r.decisions.push_back(std::move(d));
   return r;
+}
+
+PassResult software_pipeline(Kernel& k) {
+  analysis::Manager am(k);
+  return software_pipeline(am);
 }
 
 }  // namespace a64fxcc::passes

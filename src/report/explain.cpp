@@ -30,11 +30,14 @@ std::vector<std::string> pass_order(const std::vector<ExplainEntry>& entries) {
 
 std::vector<ExplainEntry> explain_benchmark(
     const ir::Kernel& kernel,
-    const std::vector<compilers::CompilerSpec>& specs) {
+    const std::vector<compilers::CompilerSpec>& specs,
+    bool memoize_analyses) {
+  compilers::CompileContext ctx;
+  ctx.memoize_analyses = memoize_analyses;
   std::vector<ExplainEntry> out;
   out.reserve(specs.size());
   for (const auto& spec : specs) {
-    const auto o = compilers::compile(spec, kernel);
+    const auto o = compilers::compile(spec, kernel, ctx);
     out.push_back({spec.name, o.status, o.diagnostic, o.decisions});
   }
   return out;
@@ -63,7 +66,16 @@ std::string render_explain(const std::string& benchmark,
       std::snprintf(buf, sizeof buf, "  %-12s ", e.compiler.c_str());
       os << buf;
       if (const auto* d = compilers::find_decision(e.decisions, pass)) {
-        os << (d->fired ? "fired   " : "blocked ") << d->detail << "\n";
+        os << (d->fired ? "fired   " : "blocked ") << d->detail;
+        // Analysis-manager traffic of the pass, when it consulted any
+        // analyses at all (deterministic: counters are maintained
+        // identically with memoization off).
+        if (d->analysis_hits + d->analysis_misses > 0) {
+          std::snprintf(buf, sizeof buf, "  [analysis: %dh/%dm]",
+                        d->analysis_hits, d->analysis_misses);
+          os << buf;
+        }
+        os << "\n";
       } else if (e.status != compilers::CompileOutcome::Status::Ok) {
         os << "n/a     compile pre-empted by quirk: " << e.diagnostic << "\n";
       } else {

@@ -95,13 +95,24 @@ std::vector<Placement> Harness::candidate_placements(
 
 std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
     const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
-    RunMetrics* metrics) const {
-  auto [outcome, hit] = cache_.get_or_compile(spec, kernel, apply_quirks_);
+    RunMetrics* metrics, obs::Tracer* tracer) const {
+  compilers::CompileContext cctx;
+  cctx.apply_quirks = apply_quirks_;
+  cctx.memoize_analyses = memoize_analyses_;
+  cctx.tracer = tracer;
+  auto [outcome, hit] = cache_.get_or_compile(spec, kernel, cctx);
   if (metrics != nullptr) {
-    if (hit)
+    if (hit) {
       ++metrics->compile_cache_hits;
-    else
+    } else {
       ++metrics->compile_cache_misses;
+      // Analysis traffic happened only on the miss path; a compile-cache
+      // hit reuses the outcome without re-running the pipeline.
+      metrics->analysis_cache_hits += outcome->analysis_cache.hits;
+      metrics->analysis_cache_misses += outcome->analysis_cache.misses;
+      metrics->analysis_cache_invalidations +=
+          outcome->analysis_cache.invalidations;
+    }
   }
   return std::move(outcome);
 }
@@ -277,7 +288,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
         obs::scoped(ctx.tracer, "compile", bench.name(), spec.name);
     const PhaseClock clock(metrics != nullptr ? &metrics->compile_seconds
                                               : nullptr);
-    out = compile_cached(spec, bench.kernel, metrics);
+    out = compile_cached(spec, bench.kernel, metrics, ctx.tracer);
     m.decisions = compilers::decision_summary(out->decisions);
     m.status = cell_status(out->status);
     if (!out->ok()) {
@@ -287,7 +298,8 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
     // Library-heavy benchmarks need the FJtrad reference for the SSL2
     // part.
     if (bench.traits.library_fraction > 0) {
-      ref = compile_cached(compilers::fjtrad(), bench.kernel, metrics);
+      ref = compile_cached(compilers::fjtrad(), bench.kernel, metrics,
+                           ctx.tracer);
       refp = ref.get();
     }
   }

@@ -114,6 +114,13 @@ struct RunMetrics {
   int plan_cache_misses = 0;     ///< perf::analyze actually ran
   int estimate_cache_hits = 0;   ///< perf::evaluate results reused
   int estimate_cache_misses = 0; ///< perf::evaluate actually ran
+  // In-pipeline analysis::Manager traffic, accumulated on compile-cache
+  // misses only (a compile-cache hit does no analysis work).  Counters
+  // are maintained identically with memoization off (see
+  // analysis::Manager), so these are deterministic per cell.
+  int analysis_cache_hits = 0;
+  int analysis_cache_misses = 0;
+  int analysis_cache_invalidations = 0;
   double compile_seconds = 0;  ///< compile + reference compile
   double explore_seconds = 0;  ///< placement exploration trials
   double measure_seconds = 0;  ///< 10-run performance phase
@@ -167,9 +174,12 @@ class Harness {
                                   Placement p) const;
 
   /// Memoized compile of `kernel` under `spec` (shared, immutable).
+  /// `tracer` (may be null) receives the pipeline's "analysis:*" spans
+  /// when the call actually compiles.
   [[nodiscard]] std::shared_ptr<const compilers::CompileOutcome>
   compile_cached(const compilers::CompilerSpec& spec, const ir::Kernel& kernel,
-                 RunMetrics* metrics = nullptr) const;
+                 RunMetrics* metrics = nullptr,
+                 obs::Tracer* tracer = nullptr) const;
 
   /// Memoized perf::analyze of `kernel` on this harness's machine
   /// (shared, immutable).
@@ -193,6 +203,16 @@ class Harness {
   void set_memoize_estimates(bool on) noexcept { memoize_estimates_ = on; }
   [[nodiscard]] bool memoize_estimates() const noexcept {
     return memoize_estimates_;
+  }
+
+  /// Toggle in-pipeline analysis memoization (default on).  Off makes
+  /// the compile pipeline's analysis::Manager recompute dependence
+  /// graphs / stmt stats / nest structure on every query — the
+  /// `--no-analysis-cache` A/B.  Outcomes, decisions, and all counters
+  /// are byte-identical either way.
+  void set_memoize_analyses(bool on) noexcept { memoize_analyses_ = on; }
+  [[nodiscard]] bool memoize_analyses() const noexcept {
+    return memoize_analyses_;
   }
 
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
@@ -239,6 +259,7 @@ class Harness {
   std::uint64_t seed_;
   bool apply_quirks_ = true;
   bool memoize_estimates_ = true;
+  bool memoize_analyses_ = true;
   /// Memoized compile() outcomes; mutable because memoization does not
   /// change observable results (compile() is pure).
   mutable compilers::CompileCache cache_;

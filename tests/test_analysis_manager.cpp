@@ -1,0 +1,409 @@
+// Analysis manager with preserved-analyses invalidation:
+//
+//  - cached results are field-identical to fresh analyze_* calls;
+//  - a mutating pass invalidates exactly the non-preserved analyses
+//    (the stale-dependence-graph trap);
+//  - the structural fingerprint ignores annotations but sees structure;
+//  - counters (and thus decision provenance) are identical with
+//    memoization on and off;
+//  - full-study tables are byte-identical cache on/off at 1/2/8 workers,
+//    with and without fault injection — the acceptance criterion.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/manager.hpp"
+#include "core/study.hpp"
+#include "ir/printer.hpp"
+#include "kernels/benchmark.hpp"
+#include "passes/passes.hpp"
+#include "report/explain.hpp"
+#include "report/figure2.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+// ---- field-identity helpers (the cached structs hold pointers into the
+// kernel, so fresh and cached results over the SAME kernel object must
+// agree pointer for pointer) ----
+
+void expect_deps_equal(const std::vector<analysis::Dependence>& a,
+                       const std::vector<analysis::Dependence>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].tensor, b[i].tensor) << i;
+    EXPECT_EQ(a[i].src, b[i].src) << i;
+    EXPECT_EQ(a[i].dst, b[i].dst) << i;
+    EXPECT_EQ(a[i].chain, b[i].chain) << i;
+    EXPECT_EQ(a[i].dirs, b[i].dirs) << i;
+    EXPECT_EQ(a[i].reduction, b[i].reduction) << i;
+  }
+}
+
+void expect_stats_equal(const std::vector<analysis::StmtStats>& a,
+                        const std::vector<analysis::StmtStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ctx.stmt, b[i].ctx.stmt) << i;
+    EXPECT_EQ(a[i].ctx.node, b[i].ctx.node) << i;
+    EXPECT_EQ(a[i].ctx.loops, b[i].ctx.loops) << i;
+    EXPECT_EQ(a[i].ops.flops, b[i].ops.flops) << i;
+    EXPECT_EQ(a[i].ops.divs, b[i].ops.divs) << i;
+    EXPECT_EQ(a[i].ops.specials, b[i].ops.specials) << i;
+    EXPECT_EQ(a[i].ops.int_ops, b[i].ops.int_ops) << i;
+    EXPECT_EQ(a[i].iters, b[i].iters) << i;
+    EXPECT_EQ(a[i].inner_trip, b[i].inner_trip) << i;
+    ASSERT_EQ(a[i].accesses.size(), b[i].accesses.size()) << i;
+    for (std::size_t j = 0; j < a[i].accesses.size(); ++j) {
+      EXPECT_EQ(a[i].accesses[j].access, b[i].accesses[j].access) << i;
+      EXPECT_EQ(a[i].accesses[j].is_write, b[i].accesses[j].is_write) << i;
+      EXPECT_EQ(a[i].accesses[j].kind, b[i].accesses[j].kind) << i;
+      EXPECT_EQ(a[i].accesses[j].stride_elems, b[i].accesses[j].stride_elems)
+          << i;
+      EXPECT_EQ(a[i].accesses[j].elem_size, b[i].accesses[j].elem_size) << i;
+      EXPECT_EQ(a[i].accesses[j].tensor_elems, b[i].accesses[j].tensor_elems)
+          << i;
+    }
+  }
+}
+
+void expect_nests_equal(const std::vector<analysis::PerfectNest>& a,
+                        const std::vector<analysis::PerfectNest>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].loop_nodes, b[i].loop_nodes) << i;
+}
+
+TEST(AnalysisManager, CachedResultsFieldIdenticalToFreshAnalyses) {
+  for (const auto& b : kernels::polybench_suite(0.02)) {
+    ir::Kernel k = b.kernel.clone();
+    analysis::Manager am(k);
+    expect_deps_equal(am.dependences(), analysis::analyze_dependences(k));
+    expect_stats_equal(am.stmt_stats(), analysis::collect_stmt_stats(k));
+    expect_nests_equal(am.nests(), analysis::collect_perfect_nests(k));
+    // Second round of queries: all hits, values unchanged.  (Four hits:
+    // dependences is queried twice for the same-reference check.)
+    EXPECT_EQ(am.counters().misses, 3);
+    const auto* deps0 = &am.dependences();
+    EXPECT_EQ(deps0, &am.dependences());
+    (void)am.stmt_stats();
+    (void)am.nests();
+    EXPECT_EQ(am.counters().hits, 4);
+    EXPECT_EQ(am.counters().misses, 3);
+    EXPECT_EQ(am.counters().invalidations, 0);
+  }
+}
+
+TEST(SeedStore, SeededFillIdenticalToFreshComputeIncludingPointers) {
+  for (const auto& b : kernels::polybench_suite(0.02)) {
+    analysis::SeedStore seeds;
+    // First compile's clone computes fresh and publishes.
+    ir::Kernel donor = b.kernel.clone();
+    analysis::Manager am_donor(donor, {.seeds = &seeds});
+    (void)am_donor.dependences();
+    (void)am_donor.stmt_stats();
+    (void)am_donor.nests();
+    EXPECT_GT(seeds.size(), 0u);
+
+    // Second compile's clone fills its misses from the store.  The
+    // rebased results must match a fresh compute on the SAME clone down
+    // to the pointers (they address this clone's nodes, not the donor's).
+    ir::Kernel k = b.kernel.clone();
+    analysis::Manager am(k, {.seeds = &seeds});
+    expect_deps_equal(am.dependences(), analysis::analyze_dependences(k));
+    expect_stats_equal(am.stmt_stats(), analysis::collect_stmt_stats(k));
+    expect_nests_equal(am.nests(), analysis::collect_perfect_nests(k));
+    // A seeded fill is still a miss: counters cannot depend on who
+    // compiled first.
+    EXPECT_EQ(am.counters().misses, 3);
+    EXPECT_EQ(am.counters().hits, 0);
+  }
+}
+
+TEST(SeedStore, OutcomeAndCounterNeutralAcrossSpecs) {
+  // Compiling all five specs against one shared store must reproduce the
+  // storeless outcomes exactly — including mid-pipeline invalidations
+  // and recomputes on mutated kernels (interchange/tile fire here).
+  const auto specs = compilers::paper_compilers();
+  for (const auto& b : kernels::polybench_suite(0.02)) {
+    analysis::SeedStore seeds;
+    compilers::CompileContext with, without;
+    with.analysis_seeds = &seeds;
+    for (const auto& spec : specs) {
+      const auto a = compilers::compile(spec, b.kernel, with);
+      const auto c = compilers::compile(spec, b.kernel, without);
+      EXPECT_EQ(a.status, c.status) << b.name() << " x " << spec.name;
+      EXPECT_EQ(a.log, c.log) << b.name() << " x " << spec.name;
+      EXPECT_EQ(a.time_multiplier, c.time_multiplier) << b.name();
+      EXPECT_TRUE(a.analysis_cache == c.analysis_cache)
+          << b.name() << " x " << spec.name;
+      ASSERT_EQ(a.decisions.size(), c.decisions.size()) << b.name();
+      for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+        EXPECT_EQ(a.decisions[i].pass, c.decisions[i].pass);
+        EXPECT_EQ(a.decisions[i].fired, c.decisions[i].fired);
+        EXPECT_EQ(a.decisions[i].detail, c.decisions[i].detail);
+        EXPECT_EQ(a.decisions[i].analysis_hits, c.decisions[i].analysis_hits);
+        EXPECT_EQ(a.decisions[i].analysis_misses,
+                  c.decisions[i].analysis_misses);
+      }
+      ASSERT_EQ(a.ok(), c.ok());
+      if (a.ok())
+        EXPECT_EQ(ir::to_string(*a.kernel), ir::to_string(*c.kernel))
+            << b.name() << " x " << spec.name;
+    }
+  }
+}
+
+TEST(AnalysisManager, AllPreservedInvalidationKeepsEverythingWarm) {
+  auto suite = kernels::polybench_suite(0.02);
+  ASSERT_FALSE(suite.empty());
+  ir::Kernel k = suite.front().kernel.clone();
+  analysis::Manager am(k);
+  (void)am.dependences();
+  (void)am.stmt_stats();
+  (void)am.nests();
+  am.invalidate(analysis::PreservedAnalyses::all());
+  (void)am.dependences();
+  (void)am.stmt_stats();
+  (void)am.nests();
+  EXPECT_EQ(am.counters().hits, 3);
+  EXPECT_EQ(am.counters().misses, 3);
+  EXPECT_EQ(am.counters().invalidations, 0);
+}
+
+TEST(AnalysisManager, UnchangedFingerprintKeepsCachesEvenWhenNonePreserved) {
+  // invalidate(none()) with no structural change is the blocked-pass /
+  // exact-undo path: the fingerprint check keeps everything warm.
+  auto suite = kernels::polybench_suite(0.02);
+  ir::Kernel k = suite.front().kernel.clone();
+  analysis::Manager am(k);
+  (void)am.dependences();
+  am.invalidate(analysis::PreservedAnalyses::none());
+  (void)am.dependences();
+  EXPECT_EQ(am.counters().hits, 1);
+  EXPECT_EQ(am.counters().misses, 1);
+  EXPECT_EQ(am.counters().invalidations, 0);
+}
+
+TEST(AnalysisManager, MutatingPassInvalidatesNonPreservedAnalyses) {
+  // The stale-graph trap: prime every cache, let aggressive interchange
+  // mutate the tree, and check the manager recomputes (rather than
+  // serving the pre-mutation graph).
+  bool fired_somewhere = false;
+  for (const auto& b : kernels::all_benchmarks(0.02)) {
+    ir::Kernel k = b.kernel.clone();
+    analysis::Manager am(k);
+    (void)am.dependences();
+    (void)am.stmt_stats();
+    (void)am.nests();
+    const std::uint64_t fp0 = am.fingerprint();
+    const auto r = passes::interchange_for_locality(am, /*aggressive=*/true);
+    if (!r.changed) continue;
+    fired_somewhere = true;
+    // A fired interchange is a structural change...
+    EXPECT_NE(am.fingerprint(), fp0) << b.name();
+    // ...that preserves only the nest structure: deps + stats dropped
+    // (at least once; multi-nest kernels may fire more than one).
+    EXPECT_GE(am.counters().invalidations, 2) << b.name();
+    // Post-invalidation queries recompute against the MUTATED kernel and
+    // agree with fresh analyses of it, field for field.
+    expect_deps_equal(am.dependences(), analysis::analyze_dependences(k));
+    expect_stats_equal(am.stmt_stats(), analysis::collect_stmt_stats(k));
+    expect_nests_equal(am.nests(), analysis::collect_perfect_nests(k));
+    break;
+  }
+  EXPECT_TRUE(fired_somewhere)
+      << "no benchmark let aggressive interchange fire; the trap is untested";
+}
+
+TEST(AnalysisManager, FingerprintIgnoresAnnotationsButSeesStructure) {
+  auto suite = kernels::polybench_suite(0.02);
+  ir::Kernel k = suite.front().kernel.clone();
+  const std::uint64_t fp0 = ir::fingerprint(k);
+  EXPECT_EQ(fp0, ir::fingerprint(k));                  // deterministic
+  EXPECT_EQ(fp0, ir::fingerprint(suite.front().kernel.clone()));  // clone-stable
+
+  // Annotation-only mutation (what vectorize/unroll/prefetch do): the
+  // structural fingerprint must not move, or annotation passes would
+  // needlessly chill every cache.
+  ASSERT_FALSE(k.roots().empty());
+  ASSERT_TRUE(k.roots().front()->is_loop());
+  ir::for_each_loop(*k.roots().front(), [](ir::Loop& l) {
+    l.annot.vector_width = 8;
+    l.annot.unroll = 4;
+    l.annot.prefetch_dist = 16;
+    l.annot.pipelined = true;
+  });
+  EXPECT_EQ(ir::fingerprint(k), fp0);
+
+  // Structural mutations move it: a parameter rebind...
+  ASSERT_FALSE(k.params().empty());
+  const auto& p = k.params().front();
+  k.set_param(p.name, p.value + 1);
+  const std::uint64_t fp1 = ir::fingerprint(k);
+  EXPECT_NE(fp1, fp0);
+  // ...and a loop-bound change.
+  ir::for_each_loop(*k.roots().front(),
+                    [](ir::Loop& l) { l.step = l.step + 1; });
+  EXPECT_NE(ir::fingerprint(k), fp1);
+}
+
+TEST(AnalysisManager, CountersIdenticalWithMemoizationOnAndOff) {
+  // The counter-identity contract behind byte-identical provenance:
+  // every compile outcome (kernel, log, decisions incl. per-pass
+  // analysis traffic, counters) matches with the cache disabled.
+  compilers::CompileContext on;
+  compilers::CompileContext off;
+  off.memoize_analyses = false;
+  for (const auto& b : kernels::polybench_suite(0.02)) {
+    for (const auto& spec : compilers::paper_compilers()) {
+      const auto a = compilers::compile(spec, b.kernel, on);
+      const auto c = compilers::compile(spec, b.kernel, off);
+      EXPECT_EQ(a.analysis_cache, c.analysis_cache)
+          << b.name() << " x " << spec.name;
+      EXPECT_EQ(a.status, c.status);
+      EXPECT_EQ(a.log, c.log);
+      ASSERT_EQ(a.decisions.size(), c.decisions.size());
+      for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+        EXPECT_EQ(a.decisions[i].pass, c.decisions[i].pass);
+        EXPECT_EQ(a.decisions[i].fired, c.decisions[i].fired);
+        EXPECT_EQ(a.decisions[i].detail, c.decisions[i].detail);
+        EXPECT_EQ(a.decisions[i].analysis_hits, c.decisions[i].analysis_hits);
+        EXPECT_EQ(a.decisions[i].analysis_misses,
+                  c.decisions[i].analysis_misses);
+      }
+      if (a.ok())
+        EXPECT_EQ(ir::to_string(*a.kernel), ir::to_string(*c.kernel));
+      // With memoization on, repeated queries must actually hit.
+      EXPECT_GT(a.analysis_cache.hits, 0)
+          << b.name() << " x " << spec.name
+          << ": pipeline shares no analyses at all?";
+    }
+  }
+}
+
+TEST(AnalysisManager, ExplainByteIdenticalAndShowsAnalysisTraffic) {
+  auto suite = kernels::polybench_suite(0.02);
+  const auto& b = suite.front();
+  const auto specs = compilers::paper_compilers();
+  const auto on = report::explain_benchmark(b.kernel, specs, true);
+  const auto off = report::explain_benchmark(b.kernel, specs, false);
+  const std::string r_on = report::render_explain(b.name(), on);
+  const std::string r_off = report::render_explain(b.name(), off);
+  EXPECT_EQ(r_on, r_off);
+  EXPECT_NE(r_on.find("[analysis:"), std::string::npos)
+      << "explain shows no per-pass analysis cache traffic:\n"
+      << r_on;
+}
+
+TEST(DependencesBetween, CrossGroupVerdictIdenticalToFilteredFullAnalysis) {
+  // The fuse-legality fast path: analyze_dependences_between must report
+  // exactly the cross-group slice of the full analysis, in order.
+  for (const auto& b : kernels::polybench_suite(0.02)) {
+    const ir::Kernel& k = b.kernel;
+    const auto ctxs = analysis::collect_stmts(k);
+    if (ctxs.size() < 2) continue;
+    std::vector<const ir::Stmt*> ga, gb;
+    for (std::size_t i = 0; i < ctxs.size(); ++i)
+      (i < ctxs.size() / 2 ? ga : gb).push_back(ctxs[i].stmt);
+    const auto between = analysis::analyze_dependences_between(k, ga, gb);
+    std::vector<analysis::Dependence> filtered;
+    const auto in = [](const std::vector<const ir::Stmt*>& g,
+                       const ir::Stmt* s) {
+      for (const auto* e : g)
+        if (e == s) return true;
+      return false;
+    };
+    for (const auto& d : analysis::analyze_dependences(k)) {
+      const bool cross = (in(ga, d.src) && in(gb, d.dst)) ||
+                         (in(gb, d.src) && in(ga, d.dst));
+      if (cross) filtered.push_back(d);
+    }
+    expect_deps_equal(between, filtered);
+  }
+}
+
+// ---- study-level byte identity (the acceptance criterion) ----
+
+std::vector<kernels::Benchmark> mixed_suite() {
+  auto suite = kernels::polybench_suite(0.03);
+  auto micro = kernels::microkernel_suite(0.03);
+  for (std::size_t i = 0; i < 4 && i < micro.size(); ++i)
+    suite.push_back(std::move(micro[i]));
+  auto top = kernels::top500_suite(0.03);
+  for (std::size_t i = 0; i < 2 && i < top.size(); ++i)
+    suite.push_back(std::move(top[i]));
+  return suite;
+}
+
+report::Table run_table(int jobs, bool memoize_analyses, const char* faults) {
+  core::StudyOptions opt;
+  opt.scale = 0.03;
+  opt.jobs = jobs;
+  opt.memoize_analyses = memoize_analyses;
+  if (faults != nullptr) {
+    const auto plan = runtime::FaultPlan::parse(faults);
+    EXPECT_TRUE(plan.has_value());
+    opt.faults = *plan;
+    opt.max_retries = 2;
+  }
+  return core::Study(std::move(opt)).run_suite(mixed_suite());
+}
+
+TEST(AnalysisCacheIdentity, TablesByteIdenticalAcrossCacheAndWorkers) {
+  const auto reference = run_table(1, false, nullptr);
+  const std::string ref_csv = report::render_csv(reference);
+  const std::string ref_json = report::render_json(reference);
+  const std::string ref_decisions = report::render_decisions_csv(reference);
+  for (const int jobs : {1, 2, 8}) {
+    for (const bool memoize : {false, true}) {
+      if (jobs == 1 && !memoize) continue;  // the reference itself
+      const auto t = run_table(jobs, memoize, nullptr);
+      EXPECT_EQ(report::render_csv(t), ref_csv)
+          << "jobs=" << jobs << " memoize=" << memoize;
+      EXPECT_EQ(report::render_json(t), ref_json)
+          << "jobs=" << jobs << " memoize=" << memoize;
+      EXPECT_EQ(report::render_decisions_csv(t), ref_decisions)
+          << "jobs=" << jobs << " memoize=" << memoize;
+    }
+  }
+}
+
+TEST(AnalysisCacheIdentity, TablesByteIdenticalUnderFaultInjection) {
+  const char* kFaults = "compile:0.2,runtime:0.2";
+  const auto reference = run_table(1, false, kFaults);
+  const std::string ref_csv = report::render_csv(reference);
+  for (const int jobs : {1, 2, 8}) {
+    for (const bool memoize : {false, true}) {
+      if (jobs == 1 && !memoize) continue;
+      const auto t = run_table(jobs, memoize, kFaults);
+      EXPECT_EQ(report::render_csv(t), ref_csv)
+          << "jobs=" << jobs << " memoize=" << memoize;
+    }
+  }
+}
+
+TEST(AnalysisCacheMetrics, StudyCountsAnalysisTraffic) {
+  core::StudyOptions opt;
+  opt.scale = 0.03;
+  opt.jobs = 2;
+  exec::CollectingSink sink;
+  opt.sink = &sink;
+  core::Study study(std::move(opt));
+  const auto t = study.run_suite(kernels::polybench_suite(0.03));
+  ASSERT_FALSE(t.rows.empty());
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& e : sink.events()) {
+    if (e.detail != "analysis") continue;
+    if (e.kind == exec::EventKind::CacheHit) hits += e.count;
+    if (e.kind == exec::EventKind::CacheMiss) misses += e.count;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+}
+
+}  // namespace

@@ -78,6 +78,9 @@ bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
   // A/B switch for the perf-model memoization (tables are bit-identical
   // either way; see DESIGN.md "Plan/evaluate split").
   if (has_flag(argc, argv, "--no-estimate-cache")) opt.memoize_estimates = false;
+  // Likewise for the in-pipeline analysis memoization (see DESIGN.md
+  // "Analysis manager").
+  if (has_flag(argc, argv, "--no-analysis-cache")) opt.memoize_analyses = false;
   if (const char* v = arg_value(argc, argv, "--inject-faults=")) {
     const auto plan = runtime::FaultPlan::parse(v);
     if (!plan) {
@@ -372,7 +375,9 @@ int cmd_emit(const std::string& name, const std::string& compiler_name) {
   return 1;
 }
 
-int cmd_explain(const std::string& name, const std::string& compiler_name) {
+int cmd_explain(const std::string& name, const std::string& compiler_name,
+                int argc, char** argv) {
+  const bool memoize = !has_flag(argc, argv, "--no-analysis-cache");
   for (const auto& b : kernels::all_benchmarks(0.25)) {
     if (b.name() != name) continue;
     std::vector<compilers::CompilerSpec> specs;
@@ -384,7 +389,7 @@ int cmd_explain(const std::string& name, const std::string& compiler_name) {
       std::fprintf(stderr, "unknown compiler '%s'\n", compiler_name.c_str());
       return 1;
     }
-    const auto entries = report::explain_benchmark(b.kernel, specs);
+    const auto entries = report::explain_benchmark(b.kernel, specs, memoize);
     std::fputs(report::render_explain(name, entries).c_str(), stdout);
     return 0;
   }
@@ -423,9 +428,10 @@ void usage() {
       "                [--retries=N] [--deadline=SECONDS] [--fail-fast]\n"
       "                [--resume=PATH] [--journal=PATH]\n"
       "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
-      "                [--no-estimate-cache]\n"
-      "                                   # disable perf-model memoization\n"
-      "                                   # (A/B only; identical tables)\n"
+      "                [--no-estimate-cache] [--no-analysis-cache]\n"
+      "                                   # disable perf-model / in-pipeline\n"
+      "                                   # analysis memoization (A/B only;\n"
+      "                                   # identical tables)\n"
       "                                   # --jobs=0 (default) = all hardware\n"
       "                                   # threads, --jobs=1 = serial; output\n"
       "                                   # is bit-identical for any N\n"
@@ -437,11 +443,13 @@ void usage() {
       "                                   # tables on or off)\n"
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
-      "                  [--no-estimate-cache]\n"
+      "                  [--no-estimate-cache] [--no-analysis-cache]\n"
       "                  [--log-level=L] [--trace=PATH] [--metrics=PATH]\n"
-      "  explain <benchmark> [compiler]   # pass-decision provenance diff:\n"
+      "  explain <benchmark> [compiler] [--no-analysis-cache]\n"
+      "                                   # pass-decision provenance diff:\n"
       "                                   # which pass fired/was blocked, and\n"
-      "                                   # why, per compiler\n"
+      "                                   # why, per compiler (plus per-pass\n"
+      "                                   # analysis cache hit/miss traffic)\n"
       "  show <benchmark> [compiler]\n"
       "  file <path.kernel> [compiler]\n"
       "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
@@ -463,7 +471,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list(a2);
   if (cmd == "table") return cmd_table(a2, argc, argv);
   if (cmd == "run") return cmd_run(a2, argc, argv);
-  if (cmd == "explain") return cmd_explain(a2, a3);
+  if (cmd == "explain") return cmd_explain(a2, a3, argc, argv);
   if (cmd == "show") return cmd_show(a2, a3);
   if (cmd == "file") return cmd_file(a2, a3);
   if (cmd == "emit") return cmd_emit(a2, a3);
