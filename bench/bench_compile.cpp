@@ -13,6 +13,11 @@
 //   3. the analysis cache hit/miss/invalidation totals of the memoized
 //      sweep — how much analysis work the pipeline actually shares.
 //
+//   4. a warm-tier worker sweep (1,2,4,8,16,32,48 workers over one
+//      shared cache::Service): cells/second when nearly every compile
+//      lookup is a cache hit — the scaling curve of the tier's
+//      lock-free read path, emitted as "worker_sweep" in the JSON line.
+//
 // Usage: bench_compile [--scale=f] [--jobs=N] [--reps=N]
 
 #include <chrono>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cache/service.hpp"
 #include "ir/printer.hpp"
 
 namespace {
@@ -79,6 +85,28 @@ std::vector<kernels::Benchmark> study_suite(double scale) {
   for (auto& b : kernels::microkernel_suite(scale))
     suite.push_back(std::move(b));
   return suite;
+}
+
+/// Best-of-`reps` wall time of one suite run on a shared warm tier, plus
+/// the cell count — the warm sweep's unit of work.
+double warm_study_seconds(double scale, int jobs, int reps,
+                          cache::Service* tier, std::size_t* cells) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    core::StudyOptions opt;
+    opt.scale = scale;
+    opt.jobs = jobs;
+    opt.cache_service = tier;
+    const core::Study study(std::move(opt));
+    const auto suite = study_suite(scale);
+    if (cells != nullptr)
+      *cells = suite.size() * study.options().compilers.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)study.run_suite(suite);
+    const double t = seconds_since(t0);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
 }
 
 double run_study_seconds(double scale, int jobs, int reps, bool memoize,
@@ -206,6 +234,27 @@ int main(int argc, char** argv) {
               totals.hits, totals.misses, totals.invalidations,
               100.0 * hit_rate);
 
+  // ---- 4. warm-tier worker sweep ----
+  // One cache::Service shared by every run: the first study fills it,
+  // the sweep then measures cells/second per worker count with (nearly)
+  // every compile lookup a hit — the tier's lock-free read path under
+  // increasing concurrency.
+  cache::Service tier;
+  (void)warm_study_seconds(args.scale, 1, 1, &tier, nullptr);
+  std::printf("  warm-tier sweep (cells/s, best of %d):\n", reps);
+  std::string sweep_json = "[";
+  for (const int w : {1, 2, 4, 8, 16, 32, 48}) {
+    std::size_t cells = 0;
+    const double t = warm_study_seconds(args.scale, w, reps, &tier, &cells);
+    const double cps = static_cast<double>(cells) / t;
+    std::printf("    jobs=%-3d %10.0f cells/s  (%.4fs)\n", w, cps, t);
+    char item[96];
+    std::snprintf(item, sizeof item, "%s{\"jobs\":%d,\"cells_per_sec\":%.1f}",
+                  sweep_json.size() > 1 ? "," : "", w, cps);
+    sweep_json += item;
+  }
+  sweep_json += "]";
+
   benchutil::claim("compile.pipeline_speedup", ">=2x", on_pps / off_pps);
   benchutil::claim("compile.analysis_cache_hit_rate", ">0", hit_rate);
 
@@ -219,10 +268,10 @@ int main(int argc, char** argv) {
       "\"study_speedup\":%.4f,\"identical\":%s,"
       "\"analysis_cache_hits\":%d,\"analysis_cache_misses\":%d,"
       "\"analysis_cache_invalidations\":%d,\"analysis_cache_hit_rate\":%.4f,"
-      "\"checksum\":%.6g}\n",
+      "\"worker_sweep\":%s,\"checksum\":%.6g}\n",
       args.scale, jobs, reps, pipelines, off_pps, on_pps, on_pps / off_pps,
       t_off, t_on, t_off / t_on, same ? "true" : "false", totals.hits,
-      totals.misses, totals.invalidations, hit_rate, acc);
+      totals.misses, totals.invalidations, hit_rate, sweep_json.c_str(), acc);
 
   return same ? 0 : 1;
 }

@@ -13,15 +13,22 @@
 //   3. the estimate/plan cache hit rates of the cached study — how much
 //      of the explore/measure/reference work is actually shared.
 //
+//   4. a warm-tier worker sweep (1,2,4,8,16,32,48 workers over one
+//      shared cache::Service): cells/second when nearly every lookup is
+//      a cache hit — the scaling curve of the tier's lock-free read
+//      path, emitted as "worker_sweep" in the JSON line.
+//
 // Usage: bench_perf_model [--scale=f] [--jobs=N] [--reps=N]
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "cache/service.hpp"
 #include "perf/plan.hpp"
 
 namespace {
@@ -62,6 +69,28 @@ std::vector<kernels::Benchmark> explore_suite(double scale) {
   auto suite = kernels::top500_suite(scale);
   for (auto& b : kernels::fiber_suite(scale)) suite.push_back(std::move(b));
   return suite;
+}
+
+/// Best-of-`reps` wall time of one suite run on a shared warm tier, plus
+/// the cell count — the warm sweep's unit of work.
+double warm_study_seconds(double scale, int jobs, int reps,
+                          cache::Service* tier, std::size_t* cells) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    core::StudyOptions opt;
+    opt.scale = scale;
+    opt.jobs = jobs;
+    opt.cache_service = tier;
+    const core::Study study(std::move(opt));
+    const auto suite = explore_suite(scale);
+    if (cells != nullptr)
+      *cells = suite.size() * study.options().compilers.size();
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)study.run_suite(suite);
+    const double t = seconds_since(t0);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
 }
 
 double run_study_seconds(double scale, int jobs, int reps, bool memoize,
@@ -175,6 +204,27 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ps.hits),
       static_cast<unsigned long long>(ps.misses));
 
+  // ---- 4. warm-tier worker sweep ----
+  // One cache::Service shared by every run: the first study fills it,
+  // the sweep then measures cells/second per worker count with (nearly)
+  // every compile/plan/estimate lookup a hit — the tier's lock-free
+  // read path under increasing concurrency.
+  cache::Service tier;
+  (void)warm_study_seconds(args.scale, 1, 1, &tier, nullptr);
+  std::printf("  warm-tier sweep (cells/s, best of %d):\n", reps);
+  std::string sweep_json = "[";
+  for (const int w : {1, 2, 4, 8, 16, 32, 48}) {
+    std::size_t cells = 0;
+    const double t = warm_study_seconds(args.scale, w, reps, &tier, &cells);
+    const double cps = static_cast<double>(cells) / t;
+    std::printf("    jobs=%-3d %10.0f cells/s  (%.4fs)\n", w, cps, t);
+    char item[96];
+    std::snprintf(item, sizeof item, "%s{\"jobs\":%d,\"cells_per_sec\":%.1f}",
+                  sweep_json.size() > 1 ? "," : "", w, cps);
+    sweep_json += item;
+  }
+  sweep_json += "]";
+
   benchutil::claim("perf_model.hot_path_speedup", ">=2x", split_eps / legacy_eps);
   benchutil::claim("perf_model.study_speedup", ">=2x", t_off / t_on);
   benchutil::claim("perf_model.estimate_cache_hit_rate", ">0", es.hit_rate());
@@ -189,13 +239,13 @@ int main(int argc, char** argv) {
       "\"study_speedup\":%.4f,\"identical\":%s,"
       "\"estimate_cache_hits\":%llu,\"estimate_cache_misses\":%llu,"
       "\"estimate_cache_hit_rate\":%.4f,\"plan_cache_hits\":%llu,"
-      "\"plan_cache_misses\":%llu,\"checksum\":%.6g}\n",
+      "\"plan_cache_misses\":%llu,\"worker_sweep\":%s,\"checksum\":%.6g}\n",
       args.scale, jobs, reps, evals, legacy_eps, split_eps,
       split_eps / legacy_eps, t_off, t_on, t_off / t_on,
       same ? "true" : "false", static_cast<unsigned long long>(es.hits),
       static_cast<unsigned long long>(es.misses), es.hit_rate(),
       static_cast<unsigned long long>(ps.hits),
-      static_cast<unsigned long long>(ps.misses), acc);
+      static_cast<unsigned long long>(ps.misses), sweep_json.c_str(), acc);
 
   return same ? 0 : 1;
 }

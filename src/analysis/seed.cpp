@@ -78,18 +78,52 @@ int TreeIndex::position(const void* p) const {
   return it == pos_.end() ? -1 : it->second;
 }
 
+SeedStore::SeedStore()
+    : owned_(std::make_unique<Map>(
+          "analysis_seeds", Map::Config{.max_entries = kMaxEntries})),
+      map_(owned_.get()) {}
+
+SeedStore::SeedStore(cache::Service& svc)
+    : map_(&svc.get_or_create<SeedKey, Snapshot>(
+          "analysis_seeds", /*weight=*/1,
+          Map::Config{.max_entries = kMaxEntries})) {}
+
+std::uint64_t SeedStore::route(std::uint64_t fp, Kind k) noexcept {
+  // Keyed through the shared mixer so the three snapshot kinds of one
+  // fingerprint land in decorrelated shards.
+  return cache::mix64(fp ^ cache::mix64(static_cast<std::uint64_t>(k)));
+}
+
+std::shared_ptr<const SeedStore::Snapshot> SeedStore::lookup(std::uint64_t fp,
+                                                             Kind k) const {
+  const SeedKey key{fp, static_cast<std::uint64_t>(k)};
+  return map_->find(route(fp, k), key);
+}
+
+void SeedStore::publish(std::uint64_t fp, Kind k, Snapshot snap) {
+  const SeedKey key{fp, static_cast<std::uint64_t>(k)};
+  // Deterministic byte estimate: a pure function of snapshot content.
+  std::size_t bytes = sizeof(Snapshot);
+  for (const DepSnap& s : snap.deps)
+    bytes += sizeof(DepSnap) + s.chain.size() * sizeof(int) +
+             s.dirs.size() * sizeof(Dir);
+  for (const StmtStatsSnap& s : snap.stats)
+    bytes += sizeof(StmtStatsSnap) + s.loops.size() * sizeof(int) +
+             s.accesses.size() * sizeof(PatternSnap);
+  for (const NestSnap& s : snap.nests)
+    bytes += sizeof(NestSnap) + s.loop_nodes.size() * sizeof(int);
+  (void)map_->publish(route(fp, k), key,
+                      std::make_shared<const Snapshot>(std::move(snap)),
+                      bytes);
+}
+
 bool SeedStore::seed_dependences(std::uint64_t fp, const TreeIndex& ti,
                                  std::vector<Dependence>& out) const {
-  std::shared_ptr<const std::vector<DepSnap>> snap;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = deps_.find(fp);
-    if (it == deps_.end()) return false;
-    snap = it->second;
-  }
+  const auto snap = lookup(fp, Kind::Deps);
+  if (snap == nullptr) return false;
   std::vector<Dependence> v;
-  v.reserve(snap->size());
-  for (const DepSnap& s : *snap) {
+  v.reserve(snap->deps.size());
+  for (const DepSnap& s : snap->deps) {
     Dependence d;
     d.kind = s.kind;
     d.tensor = s.tensor;
@@ -112,17 +146,12 @@ bool SeedStore::seed_dependences(std::uint64_t fp, const TreeIndex& ti,
 
 bool SeedStore::seed_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
                                 std::vector<StmtStats>& out) const {
-  std::shared_ptr<const std::vector<StmtStatsSnap>> snap;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = stats_.find(fp);
-    if (it == stats_.end()) return false;
-    snap = it->second;
-  }
+  const auto snap = lookup(fp, Kind::Stats);
+  if (snap == nullptr) return false;
   std::vector<StmtStats> v;
-  v.reserve(snap->size());
+  v.reserve(snap->stats.size());
   std::vector<const ir::Access*> own_accesses;
-  for (const StmtStatsSnap& s : *snap) {
+  for (const StmtStatsSnap& s : snap->stats) {
     StmtStats st;
     const ir::Node* n = node_at(ti, s.node);
     if (n == nullptr || !n->is_stmt()) return false;
@@ -163,16 +192,11 @@ bool SeedStore::seed_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
 
 bool SeedStore::seed_nests(std::uint64_t fp, const TreeIndex& ti,
                            std::vector<PerfectNest>& out) const {
-  std::shared_ptr<const std::vector<NestSnap>> snap;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const auto it = nests_.find(fp);
-    if (it == nests_.end()) return false;
-    snap = it->second;
-  }
+  const auto snap = lookup(fp, Kind::Nests);
+  if (snap == nullptr) return false;
   std::vector<PerfectNest> v;
-  v.reserve(snap->size());
-  for (const NestSnap& s : *snap) {
+  v.reserve(snap->nests.size());
+  for (const NestSnap& s : snap->nests) {
     PerfectNest nest;
     nest.loop_nodes.reserve(s.loop_nodes.size());
     for (const int i : s.loop_nodes) {
@@ -188,8 +212,8 @@ bool SeedStore::seed_nests(std::uint64_t fp, const TreeIndex& ti,
 
 void SeedStore::publish_dependences(std::uint64_t fp, const TreeIndex& ti,
                                     const std::vector<Dependence>& v) {
-  auto snap = std::make_shared<std::vector<DepSnap>>();
-  snap->reserve(v.size());
+  Snapshot snap;
+  snap.deps.reserve(v.size());
   for (const Dependence& d : v) {
     DepSnap s;
     s.kind = d.kind;
@@ -205,17 +229,15 @@ void SeedStore::publish_dependences(std::uint64_t fp, const TreeIndex& ti,
     }
     s.dirs = d.dirs;
     s.reduction = d.reduction;
-    snap->push_back(std::move(s));
+    snap.deps.push_back(std::move(s));
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (deps_.size() >= kMaxEntries) return;
-  deps_.try_emplace(fp, std::move(snap));
+  publish(fp, Kind::Deps, std::move(snap));
 }
 
 void SeedStore::publish_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
                                    const std::vector<StmtStats>& v) {
-  auto snap = std::make_shared<std::vector<StmtStatsSnap>>();
-  snap->reserve(v.size());
+  Snapshot snap;
+  snap.stats.reserve(v.size());
   for (const StmtStats& st : v) {
     StmtStatsSnap s;
     s.node = ti.position(st.ctx.node);
@@ -245,17 +267,15 @@ void SeedStore::publish_stmt_stats(std::uint64_t fp, const TreeIndex& ti,
     }
     s.iters = st.iters;
     s.inner_trip = st.inner_trip;
-    snap->push_back(std::move(s));
+    snap.stats.push_back(std::move(s));
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (stats_.size() >= kMaxEntries) return;
-  stats_.try_emplace(fp, std::move(snap));
+  publish(fp, Kind::Stats, std::move(snap));
 }
 
 void SeedStore::publish_nests(std::uint64_t fp, const TreeIndex& ti,
                               const std::vector<PerfectNest>& v) {
-  auto snap = std::make_shared<std::vector<NestSnap>>();
-  snap->reserve(v.size());
+  Snapshot snap;
+  snap.nests.reserve(v.size());
   for (const PerfectNest& nest : v) {
     NestSnap s;
     s.loop_nodes.reserve(nest.loop_nodes.size());
@@ -264,23 +284,13 @@ void SeedStore::publish_nests(std::uint64_t fp, const TreeIndex& ti,
       if (i < 0) return;
       s.loop_nodes.push_back(i);
     }
-    snap->push_back(std::move(s));
+    snap.nests.push_back(std::move(s));
   }
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (nests_.size() >= kMaxEntries) return;
-  nests_.try_emplace(fp, std::move(snap));
+  publish(fp, Kind::Nests, std::move(snap));
 }
 
-std::size_t SeedStore::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return deps_.size() + stats_.size() + nests_.size();
-}
+std::size_t SeedStore::size() const { return map_->size(); }
 
-void SeedStore::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  deps_.clear();
-  stats_.clear();
-  nests_.clear();
-}
+void SeedStore::clear() { map_->drop_values(); }
 
 }  // namespace a64fxcc::analysis

@@ -11,6 +11,11 @@
 // places in the hash (a mismatch discovered during rebase falls back to
 // a fresh compute).
 //
+// Storage is one tier cache ("analysis_seeds" on the cache::Service, or
+// a private map standalone) keyed by (fingerprint, snapshot kind):
+// mutex-free lookups, budgeted with deterministic eviction, epoch
+// invalidation.  An evicted seed only costs a fresh compute.
+//
 // Determinism contract: a rebased result is identical to a fresh compute
 // down to the pointers, which are reconstructed to address the querying
 // kernel's nodes exactly where analyze_dependences / collect_stmt_stats /
@@ -21,18 +26,18 @@
 // store attached, at any worker count (scheduling decides only *who*
 // publishes first, never what a lookup returns).
 //
-// Thread-safe: lookups copy a shared_ptr under the lock and rebase
-// outside it; publishes are idempotent (first writer wins).
+// Thread-safe: lookups copy a shared_ptr from the tier and rebase
+// outside any lock; publishes are idempotent (first writer wins).
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/access.hpp"
 #include "analysis/dependence.hpp"
 #include "analysis/nest.hpp"
+#include "cache/service.hpp"
 
 namespace a64fxcc::analysis {
 
@@ -57,6 +62,12 @@ struct TreeIndex {
 
 class SeedStore {
  public:
+  /// Standalone: a private unbounded map.
+  SeedStore();
+  /// Tier-backed: registered on `svc` as "analysis_seeds" (weight 1);
+  /// shares warm snapshots with every SeedStore on the same Service.
+  explicit SeedStore(cache::Service& svc);
+
   /// Rebase a stored snapshot for `fp` onto `ti`'s tree.  Returns false
   /// when no snapshot exists or any index fails validation (fingerprint
   /// collision); the caller recomputes fresh.
@@ -67,7 +78,7 @@ class SeedStore {
   [[nodiscard]] bool seed_nests(std::uint64_t fp, const TreeIndex& ti,
                                 std::vector<PerfectNest>& out) const;
 
-  /// Store a freshly computed result (no-op once the per-kind cap is
+  /// Store a freshly computed result (no-op once the entry cap is
   /// reached, or when any pointer fails to resolve against `ti`).
   void publish_dependences(std::uint64_t fp, const TreeIndex& ti,
                            const std::vector<Dependence>& v);
@@ -83,6 +94,14 @@ class SeedStore {
   /// Runaway-growth backstop, far above any real study's distinct
   /// (fingerprint, kind) population.
   static constexpr std::size_t kMaxEntries = 1 << 16;
+
+  enum class Kind : std::uint64_t { Deps = 1, Stats = 2, Nests = 3 };
+
+  struct SeedKey {
+    std::uint64_t fp = 0;
+    std::uint64_t kind = 0;
+    friend bool operator==(const SeedKey&, const SeedKey&) = default;
+  };
 
   /// A tensor access named by its statement's node position and its
   /// ordinal in the statement's canonical access enumeration.
@@ -118,16 +137,24 @@ class SeedStore {
     std::vector<int> loop_nodes;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const std::vector<DepSnap>>>
-      deps_;
-  std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const std::vector<StmtStatsSnap>>>
-      stats_;
-  std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const std::vector<NestSnap>>>
-      nests_;
+  /// One stored snapshot: exactly the vector matching its key's Kind is
+  /// populated (one map for all three kinds keeps the tier registry at
+  /// one entry per store).
+  struct Snapshot {
+    std::vector<DepSnap> deps;
+    std::vector<StmtStatsSnap> stats;
+    std::vector<NestSnap> nests;
+  };
+
+  using Map = cache::ShardedMap<SeedKey, Snapshot>;
+
+  [[nodiscard]] static std::uint64_t route(std::uint64_t fp, Kind k) noexcept;
+  [[nodiscard]] std::shared_ptr<const Snapshot> lookup(std::uint64_t fp,
+                                                       Kind k) const;
+  void publish(std::uint64_t fp, Kind k, Snapshot snap);
+
+  std::unique_ptr<Map> owned_;  ///< standalone mode only
+  Map* map_;
 };
 
 }  // namespace a64fxcc::analysis

@@ -8,34 +8,21 @@ namespace a64fxcc::compilers {
 
 namespace {
 
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
+using cache::Hasher;
+using cache::mix64;
 
-std::uint64_t fnv(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
+/// Deterministic byte estimate of one outcome — a pure function of the
+/// value's content (eviction decisions depend on it, so it must never
+/// read allocator capacities or addresses).  The kernel clone dominates;
+/// its printed form is a stable proxy for the node-tree size.
+std::size_t approx_bytes(const CompileOutcome& o) {
+  std::size_t b = sizeof(CompileOutcome);
+  b += o.diagnostic.size() + o.log.size();
+  for (const auto& d : o.decisions)
+    b += sizeof(d) + d.pass.size() + d.detail.size();
+  if (o.kernel.has_value()) b += 256 + 4 * ir::to_string(*o.kernel).size();
+  return b;
 }
-
-struct Hasher {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  void add(std::uint64_t v) { h = mix(h ^ v); }
-  void add(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    add(bits);
-  }
-  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
-  void add(int v) { add(static_cast<std::uint64_t>(static_cast<unsigned>(v))); }
-  void add(const std::string& s) { add(fnv(s)); }
-};
 
 }  // namespace
 
@@ -89,10 +76,16 @@ std::uint64_t fingerprint(const ir::Kernel& k) {
   return h.h;
 }
 
-std::size_t CompileCache::KeyHash::operator()(const Key& k) const noexcept {
-  return static_cast<std::size_t>(
-      mix(k.spec ^ mix(k.kernel ^ static_cast<std::uint64_t>(k.quirks))));
+std::uint64_t CompileCache::route(const Key& k) noexcept {
+  return mix64(k.spec ^ mix64(k.kernel ^ static_cast<std::uint64_t>(k.quirks)));
 }
+
+CompileCache::CompileCache()
+    : owned_(std::make_unique<Map>("compile")), map_(owned_.get()) {}
+
+CompileCache::CompileCache(cache::Service& svc)
+    : map_(&svc.get_or_create<Key, CompileOutcome>("compile", /*weight=*/4)),
+      seeds_(svc) {}
 
 CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
                                                   const ir::Kernel& source,
@@ -109,14 +102,10 @@ CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
   // annotation-blind hash); the cache keys on the printed-IR one.
   const Key key{fingerprint(spec), compilers::fingerprint(source),
                 ctx.apply_quirks};
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = map_.find(key); it != map_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return {it->second, true};
-    }
-  }
-  // Compile outside the lock: other workers keep making progress, and a
+  const std::uint64_t fp = route(key);
+  if (auto found = map_->find(fp, key); found != nullptr)
+    return {std::move(found), true, 0};
+  // Compile outside any lock: other workers keep making progress, and a
   // rare duplicate compile of the same pure function is harmless.
   // Compiles funnel through this cache's seed store (unless the caller
   // brought one) so structurally identical kernels — the five specs of a
@@ -126,25 +115,14 @@ CompileCache::Result CompileCache::get_or_compile(const CompilerSpec& spec,
     cctx.analysis_seeds = &seeds_;
   auto outcome =
       std::make_shared<const CompileOutcome>(compile(spec, source, cctx));
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = map_.try_emplace(key, std::move(outcome));
-  return {it->second, false};
-}
-
-std::size_t CompileCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  const std::size_t bytes = approx_bytes(*outcome);
+  auto published = map_->publish(fp, key, std::move(outcome), bytes);
+  return {std::move(published.value), false, published.evicted};
 }
 
 void CompileCache::clear() {
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    map_.clear();
-  }
+  map_->drop_values();
   seeds_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace a64fxcc::compilers

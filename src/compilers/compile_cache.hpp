@@ -1,5 +1,5 @@
 #pragma once
-// Memoization of compile() outcomes.
+// Memoization of compile() outcomes, backed by the unified cache tier.
 //
 // compile() is a pure function of (spec, kernel, apply_quirks), so its
 // result can be shared freely: the cache hands out shared_ptr<const
@@ -12,17 +12,23 @@
 // (the SSL2 library share of HPL-class benchmarks) a one-time cost per
 // table instead of a per-cell one.
 //
+// Storage is a cache::ShardedMap named "compile" (plus the seed store's
+// "analysis_seeds"): hits are mutex-free, entries respect the tier
+// budget with deterministic fingerprint-ordered eviction, and
+// Service::bump_epoch invalidates without a stop-the-world clear.  An
+// evicted entry merely re-runs the pure compile() — outcomes, tables
+// and provenance stay byte-identical.
+//
 // Thread-safe: get_or_compile may be called concurrently from engine
 // workers.  Two workers racing on the same missing key both compile (the
 // function is pure, the results identical) and the first insertion wins;
 // both count as misses.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
+#include "analysis/seed.hpp"
+#include "cache/service.hpp"
 #include "compilers/compiler_model.hpp"
 
 namespace a64fxcc::compilers {
@@ -33,21 +39,23 @@ namespace a64fxcc::compilers {
 /// bound parameter values, language/parallel metadata.
 [[nodiscard]] std::uint64_t fingerprint(const ir::Kernel& k);
 
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t total = hits + misses;
-    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
-                     : 0.0;
-  }
-};
+using CacheStats = cache::Stats;
 
 class CompileCache {
  public:
+  /// Standalone: a private unbounded map (tests, ad-hoc tools).
+  CompileCache();
+  /// Tier-backed: registered on `svc` as "compile" (weight 4 — compiled
+  /// kernels dominate the tier's bytes) with its seed store as
+  /// "analysis_seeds".  Shares warm entries with every other CompileCache
+  /// attached to the same Service.
+  explicit CompileCache(cache::Service& svc);
+
   struct Result {
     std::shared_ptr<const CompileOutcome> outcome;
     bool hit = false;
+    /// Values the budget sweep dropped while publishing this outcome.
+    std::uint64_t evicted = 0;
   };
 
   /// The memoized outcome for (spec, source, apply_quirks), compiling on
@@ -63,11 +71,10 @@ class CompileCache {
                                       const ir::Kernel& source,
                                       const CompileContext& ctx);
 
-  [[nodiscard]] CacheStats stats() const noexcept {
-    return {hits_.load(std::memory_order_relaxed),
-            misses_.load(std::memory_order_relaxed)};
-  }
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] CacheStats stats() const noexcept { return map_->stats(); }
+  [[nodiscard]] std::size_t size() const { return map_->size(); }
+  /// Drop every cached outcome and analysis seed (epoch-safe; counters
+  /// and warm-sharing identity survive).
   void clear();
 
  private:
@@ -77,17 +84,15 @@ class CompileCache {
     bool quirks = true;
     friend bool operator==(const Key&, const Key&) = default;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept;
-  };
+  using Map = cache::ShardedMap<Key, CompileOutcome>;
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const CompileOutcome>, KeyHash> map_;
+  [[nodiscard]] static std::uint64_t route(const Key& k) noexcept;
+
+  std::unique_ptr<Map> owned_;  ///< standalone mode only
+  Map* map_;
   /// Shared across this cache's compiles so the five specs of one
   /// benchmark pay each initial analysis once (see CompileContext).
   analysis::SeedStore seeds_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace a64fxcc::compilers

@@ -13,9 +13,11 @@
 // the A64FX machine model using the paper's measurement methodology, and
 // computes the aggregate claims of Section 3 (summarize / overall_summary).
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/service.hpp"
 #include "core/journal.hpp"
 #include "exec/engine.hpp"
 #include "exec/events.hpp"
@@ -91,6 +93,17 @@ struct StudyOptions {
   /// Abort the batch on the first *engine* error (infrastructure
   /// failures, not classified cell failures — those never throw).
   bool fail_fast = false;
+  /// Shared cache tier (non-owning; must outlive the Study).  Null lets
+  /// the Study own a private cache::Service — pass one to share warm
+  /// compile/plan/estimate/analysis-seed entries across several studies
+  /// (the study-as-a-service setup), and to bump_epoch/inspect them
+  /// from outside.
+  cache::Service* cache_service = nullptr;
+  /// Byte budget for the cache tier (`--cache-budget`); 0 = unbounded.
+  /// Split across the registered caches by weight; eviction is
+  /// deterministic (fingerprint-ordered, see cache/sharded_map.hpp), so
+  /// any budget produces tables byte-identical to an unbounded run.
+  std::size_t cache_budget_bytes = 0;
 };
 
 /// Aggregate claims over one table (Sec. 3 reports these per suite).
@@ -125,8 +138,19 @@ class Study {
   }
   [[nodiscard]] const StudyOptions& options() const noexcept { return opt_; }
 
+  /// The cache tier this study's harness registered on — the caller's
+  /// (options().cache_service) or the study-owned one.  Inspect stats,
+  /// set_budget, or bump_epoch here.
+  [[nodiscard]] cache::Service& cache_service() const noexcept {
+    return opt_.cache_service != nullptr ? *opt_.cache_service
+                                         : *owned_service_;
+  }
+
  private:
   StudyOptions opt_;
+  /// Tier of last resort when the caller brought none (declared before
+  /// harness_: the harness registers its caches during construction).
+  std::unique_ptr<cache::Service> owned_service_;
   runtime::Harness harness_;
 };
 

@@ -2,39 +2,16 @@
 
 #include <string>
 
+#include "cache/fingerprint.hpp"
+
 namespace a64fxcc::ir {
 
 namespace {
 
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t fnv(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-struct Hasher {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  void add(std::uint64_t v) { h = mix(h ^ v); }
-  void add(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
-  void add(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    add(bits);
-  }
-  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
-  void add(int v) { add(static_cast<std::uint64_t>(static_cast<unsigned>(v))); }
-  void add(const std::string& s) { add(fnv(s)); }
-};
+// The shared Hasher's default seed and mixing match this file's
+// historical private copy bit for bit: structural fingerprints (and the
+// analysis seeds and journal entries keyed by them) are unchanged.
+using cache::Hasher;
 
 // Distinct tags keep adjacent constructs from aliasing (e.g. a loop with
 // an empty body vs a statement following it).

@@ -79,9 +79,26 @@ void MetricsSink::on_event(const exec::Event& e) {
       counters_[(e.detail.empty() ? "analysis" : e.detail) +
                 "_cache_invalidations"] += e.count;
       break;
+    case exec::EventKind::CacheEvict:
+      counters_[(e.detail.empty() ? "tier" : e.detail) + "_cache_evictions"] +=
+          e.count;
+      break;
     case exec::EventKind::CellPhase:
       histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
       break;
+  }
+}
+
+void MetricsSink::fold_cache_stats(const cache::Service& svc) {
+  const auto all = svc.stats();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : all) {
+    const std::string base = "cache_" + c.name + "_";
+    counters_[base + "hits"] = c.stats.hits;
+    counters_[base + "misses"] = c.stats.misses;
+    counters_[base + "evictions"] = c.stats.evictions;
+    counters_[base + "entries"] = c.stats.entries;
+    counters_[base + "bytes"] = c.stats.bytes;
   }
 }
 

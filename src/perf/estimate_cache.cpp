@@ -4,70 +4,69 @@ namespace a64fxcc::perf {
 
 namespace {
 
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
+using cache::mix64;
+
+/// Deterministic byte estimates — pure functions of value content only
+/// (the eviction order depends on them; never read capacities).
+
+std::size_t approx_bytes(const KernelPlan& p) {
+  std::size_t b = sizeof(KernelPlan);
+  for (const StmtPlan& s : p.stmts) {
+    b += sizeof(StmtPlan) + s.loop_var.size() + s.trip.size() * sizeof(double);
+    for (const AccessPlan& a : s.accesses)
+      b += sizeof(AccessPlan) + a.footprint.size() * sizeof(double) +
+           a.varies.size() + a.depth_stride_bytes.size() * sizeof(double);
+  }
+  return b;
+}
+
+std::size_t approx_bytes(const PerfResult& r) {
+  std::size_t b = sizeof(PerfResult) + r.bottleneck.size();
+  for (const auto& d : r.detail) b += sizeof(d);
+  return b;
 }
 
 }  // namespace
 
-std::size_t EstimateCache::KeyHash::operator()(const Key& k) const noexcept {
-  return static_cast<std::size_t>(mix64(k.plan ^ mix64(k.cfg)));
-}
+EstimateCache::EstimateCache()
+    : owned_plans_(std::make_unique<PlanMap>("plans")),
+      owned_evals_(std::make_unique<EvalMap>("estimates")),
+      plans_(owned_plans_.get()),
+      evals_(owned_evals_.get()) {}
+
+EstimateCache::EstimateCache(cache::Service& svc)
+    : plans_(&svc.get_or_create<std::uint64_t, KernelPlan>("plans",
+                                                           /*weight=*/2)),
+      evals_(&svc.get_or_create<Key, PerfResult>("estimates", /*weight=*/1)) {}
 
 EstimateCache::PlanResult EstimateCache::get_or_analyze(
     const ir::Kernel& k, const machine::Machine& m) {
   const std::uint64_t fp = plan_fingerprint(k, m);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = plans_.find(fp); it != plans_.end()) {
-      plan_hits_.fetch_add(1, std::memory_order_relaxed);
-      return {it->second, true};
-    }
-  }
-  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (auto found = plans_->find(fp, fp); found != nullptr)
+    return {std::move(found), true, 0};
   auto plan = std::make_shared<const KernelPlan>(analyze(k, m));
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = plans_.try_emplace(fp, std::move(plan));
-  (void)inserted;  // losing the race keeps the first-inserted plan
-  return {it->second, false};
+  const std::size_t bytes = approx_bytes(*plan);
+  // Losing the publish race keeps the first-inserted plan.
+  auto published = plans_->publish(fp, fp, std::move(plan), bytes);
+  return {std::move(published.value), false, published.evicted};
 }
 
 EstimateCache::EvalResult EstimateCache::get_or_evaluate(
     const KernelPlan& plan, const ExecConfig& cfg,
     const CodegenProfile& prof) {
   const Key key{plan.fingerprint, config_fingerprint(cfg, prof)};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = evals_.find(key); it != evals_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return {it->second, true};
-    }
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t fp = mix64(key.plan ^ mix64(key.cfg));
+  if (auto found = evals_->find(fp, key); found != nullptr)
+    return {std::move(found), true, 0};
   auto result = std::make_shared<const PerfResult>(evaluate(plan, cfg, prof));
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = evals_.try_emplace(key, std::move(result));
-  (void)inserted;
-  return {it->second, false};
-}
-
-std::size_t EstimateCache::plan_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return plans_.size();
-}
-
-std::size_t EstimateCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return evals_.size();
+  const std::size_t bytes = approx_bytes(*result);
+  auto published = evals_->publish(fp, key, std::move(result), bytes);
+  return {std::move(published.value), false, published.evicted};
 }
 
 void EstimateCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  plans_.clear();
-  evals_.clear();
+  plans_->drop_values();
+  evals_->drop_values();
 }
 
 }  // namespace a64fxcc::perf

@@ -16,39 +16,44 @@
 //     explore winner, the measure phase and the repeated library
 //     reference estimates each compute once per cell.
 //
+// Storage is two tier caches ("plans" and "estimates" on the
+// cache::Service, or private maps standalone): mutex-free hits,
+// budgeted with deterministic fingerprint-ordered eviction, epoch
+// invalidation.  Purity makes eviction invisible in results — a dropped
+// plan or estimate is recomputed bit-identically.
+//
 // Thread-safe: calls may race from engine workers.  A miss computes
-// outside the lock (the functions are pure, racing results identical)
+// outside any lock (the functions are pure, racing results identical)
 // and the first insertion wins; both racers count as misses.
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
+#include "cache/service.hpp"
 #include "perf/plan.hpp"
 
 namespace a64fxcc::perf {
 
-struct EstimateCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  [[nodiscard]] double hit_rate() const noexcept {
-    const std::uint64_t total = hits + misses;
-    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
-                     : 0.0;
-  }
-};
+using EstimateCacheStats = cache::Stats;
 
 class EstimateCache {
  public:
+  /// Standalone: private unbounded maps (tests, ad-hoc tools).
+  EstimateCache();
+  /// Tier-backed: registered on `svc` as "plans" (weight 2) and
+  /// "estimates" (weight 1); shares warm entries with every other
+  /// EstimateCache attached to the same Service.
+  explicit EstimateCache(cache::Service& svc);
+
   struct PlanResult {
     std::shared_ptr<const KernelPlan> plan;
     bool hit = false;
+    std::uint64_t evicted = 0;
   };
   struct EvalResult {
     std::shared_ptr<const PerfResult> result;
     bool hit = false;
+    std::uint64_t evicted = 0;
   };
 
   /// The memoized analyze(k, m), analyzing on first use.
@@ -64,17 +69,16 @@ class EstimateCache {
 
   /// Plan-memoization counters (analyze calls saved).
   [[nodiscard]] EstimateCacheStats plan_stats() const noexcept {
-    return {plan_hits_.load(std::memory_order_relaxed),
-            plan_misses_.load(std::memory_order_relaxed)};
+    return plans_->stats();
   }
   /// Evaluation-memoization counters (estimate calls saved).
   [[nodiscard]] EstimateCacheStats stats() const noexcept {
-    return {hits_.load(std::memory_order_relaxed),
-            misses_.load(std::memory_order_relaxed)};
+    return evals_->stats();
   }
 
-  [[nodiscard]] std::size_t plan_count() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t plan_count() const { return plans_->size(); }
+  [[nodiscard]] std::size_t size() const { return evals_->size(); }
+  /// Drop every cached plan and evaluation (epoch-safe).
   void clear();
 
  private:
@@ -83,17 +87,13 @@ class EstimateCache {
     std::uint64_t cfg = 0;
     friend bool operator==(const Key&, const Key&) = default;
   };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const noexcept;
-  };
+  using PlanMap = cache::ShardedMap<std::uint64_t, KernelPlan>;
+  using EvalMap = cache::ShardedMap<Key, PerfResult>;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const KernelPlan>> plans_;
-  std::unordered_map<Key, std::shared_ptr<const PerfResult>, KeyHash> evals_;
-  std::atomic<std::uint64_t> plan_hits_{0};
-  std::atomic<std::uint64_t> plan_misses_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  std::unique_ptr<PlanMap> owned_plans_;  ///< standalone mode only
+  std::unique_ptr<EvalMap> owned_evals_;
+  PlanMap* plans_;
+  EvalMap* evals_;
 };
 
 }  // namespace a64fxcc::perf

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "cache/fingerprint.hpp"
 #include "ir/printer.hpp"
 
 namespace a64fxcc::perf {
@@ -68,40 +69,14 @@ double traffic_lines(const AccessPlan& ap, const StmtPlan& sp, double capacity,
   return lines;
 }
 
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t fnv(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-struct Hasher {
-  std::uint64_t h = 0x9d0f1a2b3c4d5e6fULL;
-  void add(std::uint64_t v) { h = mix(h ^ v); }
-  void add(double v) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(v));
-    __builtin_memcpy(&bits, &v, sizeof(bits));
-    add(bits);
-  }
-  void add(bool v) { add(static_cast<std::uint64_t>(v)); }
-  void add(int v) { add(static_cast<std::uint64_t>(static_cast<unsigned>(v))); }
-  void add(const std::string& s) { add(fnv(s)); }
-};
-
 }  // namespace
 
 std::uint64_t plan_fingerprint(const Kernel& k, const Machine& m) {
-  Hasher h;
+  // The explicit seed keeps the perf-input fingerprint *domain* disjoint
+  // from the compiler-input one (cache::Hasher's default): the same
+  // kernel must never collide across the two key spaces.  Values are
+  // bit-identical to the pre-consolidation private Hasher.
+  cache::Hasher h(0x9d0f1a2b3c4d5e6fULL);
   // Kernel as a perf-model input: printed IR + bound parameter values +
   // metadata (the same identity CompileCache uses for compiler inputs).
   h.add(k.name());
@@ -153,7 +128,7 @@ std::uint64_t plan_fingerprint(const Kernel& k, const Machine& m) {
 
 std::uint64_t config_fingerprint(const ExecConfig& cfg,
                                  const CodegenProfile& prof) {
-  Hasher h;
+  cache::Hasher h(0x9d0f1a2b3c4d5e6fULL);  // same domain seed as plans
   h.add(cfg.ranks);
   h.add(cfg.threads);
   h.add(cfg.domains_used);

@@ -7,6 +7,7 @@
 #include <random>
 #include <thread>
 
+#include "cache/fingerprint.hpp"
 #include "obs/trace.hpp"
 #include "stats/stats.hpp"
 
@@ -14,29 +15,16 @@ namespace a64fxcc::runtime {
 
 namespace {
 
-std::uint64_t hash_mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t hash_str(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
 
 }  // namespace
 
 std::uint64_t cell_stream(const std::string& benchmark,
                           const std::string& compiler) {
-  return hash_str(benchmark) ^ hash_mix(hash_str(compiler));
+  // The shared tier primitives produce the same bits as the private
+  // hash_str/hash_mix pair this file used to carry: every historical
+  // noise stream (and the journal results derived from them) persists.
+  return cache::fnv1a(benchmark) ^ cache::mix64(cache::fnv1a(compiler));
 }
 
 Placement Harness::recommended_placement() const {
@@ -100,8 +88,9 @@ std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
   cctx.apply_quirks = apply_quirks_;
   cctx.memoize_analyses = memoize_analyses_;
   cctx.tracer = tracer;
-  auto [outcome, hit] = cache_.get_or_compile(spec, kernel, cctx);
+  auto [outcome, hit, evicted] = cache_.get_or_compile(spec, kernel, cctx);
   if (metrics != nullptr) {
+    metrics->cache_evictions += static_cast<int>(evicted);
     if (hit) {
       ++metrics->compile_cache_hits;
     } else {
@@ -119,8 +108,9 @@ std::shared_ptr<const compilers::CompileOutcome> Harness::compile_cached(
 
 std::shared_ptr<const perf::KernelPlan> Harness::plan_cached(
     const ir::Kernel& kernel, RunMetrics* metrics) const {
-  auto [plan, hit] = ecache_.get_or_analyze(kernel, machine_);
+  auto [plan, hit, evicted] = ecache_.get_or_analyze(kernel, machine_);
   if (metrics != nullptr) {
+    metrics->cache_evictions += static_cast<int>(evicted);
     if (hit)
       ++metrics->plan_cache_hits;
     else
@@ -132,8 +122,9 @@ std::shared_ptr<const perf::KernelPlan> Harness::plan_cached(
 std::shared_ptr<const perf::PerfResult> Harness::evaluate_cached(
     const perf::KernelPlan& plan, const perf::ExecConfig& cfg,
     const perf::CodegenProfile& prof, RunMetrics* metrics) const {
-  auto [result, hit] = ecache_.get_or_evaluate(plan, cfg, prof);
+  auto [result, hit, evicted] = ecache_.get_or_evaluate(plan, cfg, prof);
   if (metrics != nullptr) {
+    metrics->cache_evictions += static_cast<int>(evicted);
     if (hit)
       ++metrics->estimate_cache_hits;
     else
@@ -199,7 +190,7 @@ double noise_sample(std::uint64_t seed, std::uint64_t stream, double t,
   if (cv <= 0 || !std::isfinite(t)) return t;
   // Fresh engine per sample — the documented single-draw-stream contract
   // (see harness.hpp): a sample depends only on (seed, stream, t, cv).
-  std::mt19937_64 rng(hash_mix(seed ^ stream));
+  std::mt19937_64 rng(cache::mix64(seed ^ stream));
   std::normal_distribution<double> n(0.0, 1.0);
   // Lognormal multiplicative noise; sigma chosen so the sample CV ~ cv.
   const double sigma = std::sqrt(std::log1p(cv * cv));

@@ -121,6 +121,10 @@ struct RunMetrics {
   int analysis_cache_hits = 0;
   int analysis_cache_misses = 0;
   int analysis_cache_invalidations = 0;
+  /// Cached values the tier's budget sweeps dropped while this cell
+  /// published (0 with an unbounded budget).  Purity makes eviction
+  /// result-invisible; the count feeds CacheEvict events only.
+  int cache_evictions = 0;
   double compile_seconds = 0;  ///< compile + reference compile
   double explore_seconds = 0;  ///< placement exploration trials
   double measure_seconds = 0;  ///< 10-run performance phase
@@ -128,9 +132,22 @@ struct RunMetrics {
 
 class Harness {
  public:
+  /// With `cache_service`, every cache registers on the shared tier
+  /// (budget, epoch invalidation, stats in one place; warm entries
+  /// shared across harnesses on the same service).  Without, the caches
+  /// are private and unbounded, as before.  The service must outlive
+  /// the harness.
   explicit Harness(machine::Machine m, std::uint64_t seed = 42,
-                   bool apply_quirks = true)
-      : machine_(std::move(m)), seed_(seed), apply_quirks_(apply_quirks) {}
+                   bool apply_quirks = true,
+                   cache::Service* cache_service = nullptr)
+      : machine_(std::move(m)),
+        seed_(seed),
+        apply_quirks_(apply_quirks),
+        service_(cache_service),
+        cache_(cache_service != nullptr ? compilers::CompileCache(*cache_service)
+                                        : compilers::CompileCache()),
+        ecache_(cache_service != nullptr ? perf::EstimateCache(*cache_service)
+                                         : perf::EstimateCache()) {}
 
   /// Full methodology: exploration + 10 performance runs.  Reentrant:
   /// safe to call concurrently from engine workers (the only shared
@@ -215,6 +232,11 @@ class Harness {
     return memoize_analyses_;
   }
 
+  /// The shared cache tier this harness registered on (null standalone).
+  [[nodiscard]] cache::Service* cache_service() const noexcept {
+    return service_;
+  }
+
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   [[nodiscard]] const machine::Machine& machine() const noexcept {
@@ -260,6 +282,7 @@ class Harness {
   bool apply_quirks_ = true;
   bool memoize_estimates_ = true;
   bool memoize_analyses_ = true;
+  cache::Service* service_ = nullptr;  ///< shared tier (may be null)
   /// Memoized compile() outcomes; mutable because memoization does not
   /// change observable results (compile() is pure).
   mutable compilers::CompileCache cache_;

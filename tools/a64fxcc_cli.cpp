@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "cache/service.hpp"
 #include "codegen/codegen_c.hpp"
 #include "core/study.hpp"
 #include "ir/parser.hpp"
@@ -81,6 +82,21 @@ bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
   // Likewise for the in-pipeline analysis memoization (see DESIGN.md
   // "Analysis manager").
   if (has_flag(argc, argv, "--no-analysis-cache")) opt.memoize_analyses = false;
+  // Byte budget for the unified cache tier.  Eviction under any budget
+  // is deterministic (fingerprint-ordered), so tables are byte-identical
+  // whether the tier is tight or unbounded — the knob trades memory for
+  // recompute time only.
+  if (const char* v = arg_value(argc, argv, "--cache-budget=")) {
+    const auto bytes = cache::parse_byte_size(v);
+    if (!bytes) {
+      std::fprintf(stderr,
+                   "malformed --cache-budget '%s' (expected e.g. 64M, 2G, "
+                   "131072)\n",
+                   v);
+      return false;
+    }
+    opt.cache_budget_bytes = *bytes;
+  }
   if (const char* v = arg_value(argc, argv, "--inject-faults=")) {
     const auto plan = runtime::FaultPlan::parse(v);
     if (!plan) {
@@ -262,6 +278,9 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
     std::fputs(report::render_ansi(t).c_str(), stdout);
   if (has_flag(argc, argv, "--decisions"))
     std::fputs(report::render_decisions_csv(t).c_str(), stdout);
+  if (has_flag(argc, argv, "--cache-stats"))
+    std::fputs(study.cache_service().stats_text().c_str(), stderr);
+  if (obs.metrics) obs.metrics->fold_cache_stats(study.cache_service());
   flush_obs(obs);
   const auto s = core::summarize(t);
   std::printf("\nmedian best-compiler gain: %.3fx (mean %.3fx, peak %.3fx)\n",
@@ -286,6 +305,9 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     const auto t = study.run_suite(one);
     report_failures(t);
     std::fputs(report::render_ansi(t).c_str(), stdout);
+    if (has_flag(argc, argv, "--cache-stats"))
+      std::fputs(study.cache_service().stats_text().c_str(), stderr);
+    if (obs.metrics) obs.metrics->fold_cache_stats(study.cache_service());
     flush_obs(obs);
     return 0;
   }
@@ -429,6 +451,13 @@ void usage() {
       "                [--resume=PATH] [--journal=PATH]\n"
       "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
       "                [--no-estimate-cache] [--no-analysis-cache]\n"
+      "                [--cache-budget=N[K|M|G]] [--cache-stats]\n"
+      "                                   # --cache-budget caps the unified\n"
+      "                                   # cache tier (0/absent = unbounded);\n"
+      "                                   # eviction is deterministic, tables\n"
+      "                                   # identical at any budget\n"
+      "                                   # --cache-stats prints the per-cache\n"
+      "                                   # hit/miss/evict table to stderr\n"
       "                                   # disable perf-model / in-pipeline\n"
       "                                   # analysis memoization (A/B only;\n"
       "                                   # identical tables)\n"
@@ -444,6 +473,7 @@ void usage() {
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
       "                  [--no-estimate-cache] [--no-analysis-cache]\n"
+      "                  [--cache-budget=N[K|M|G]] [--cache-stats]\n"
       "                  [--log-level=L] [--trace=PATH] [--metrics=PATH]\n"
       "  explain <benchmark> [compiler] [--no-analysis-cache]\n"
       "                                   # pass-decision provenance diff:\n"
