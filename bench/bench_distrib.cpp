@@ -1,0 +1,165 @@
+// bench_distrib — throughput and crash-recovery overhead of the
+// multi-process study runtime (src/distrib/).
+//
+// Three measurements, emitted human-readable plus one JSON trajectory
+// line (stdout):
+//   1. procs sweep: a clean supervisor run at 1/2/4/8 worker processes
+//      — cells/sec each, all tables byte-identical to the in-process
+//      single-threaded run (exit 1 if not);
+//   2. crash recovery: the same study at 4 procs with
+//      --inject-faults=crash:0.1 — workers really die (_exit mid-cell)
+//      and are respawned; report respawns, released leases, and the
+//      re-lease overhead vs the clean 4-proc run; the merged table must
+//      still be byte-identical (exit 1 if not);
+//   3. resume: re-running the supervisor over the completed shard dir
+//      re-evaluates only known failures — report the speedup.
+//
+// Usage: bench_distrib [--scale=f] [--jobs=N]   (jobs = threads/worker)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench_common.hpp"
+#include "distrib/supervisor.hpp"
+#include "report/figure2.hpp"
+
+namespace {
+
+using namespace a64fxcc;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string shard_dir(const char* tag) {
+  return std::string("bench_distrib_shards_") + tag;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parse(argc, argv);
+  int jobs = 1;
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) jobs = std::atoi(argv[i] + 7);
+
+  const auto suite = kernels::microkernel_suite(args.scale);
+  const double cells =
+      static_cast<double>(suite.size()) *
+      static_cast<double>(compilers::paper_compilers().size());
+
+  std::printf(
+      "== Multi-process studies (micro suite, scale %g, %d threads/worker) "
+      "==\n",
+      args.scale, jobs);
+
+  // Reference: clean in-process single-threaded run.
+  core::StudyOptions base;
+  base.scale = args.scale;
+  auto t0 = std::chrono::steady_clock::now();
+  const auto clean = core::Study(base).run_suite(suite);
+  const double t_clean = seconds_since(t0);
+  const std::string clean_csv = report::render_csv(clean);
+  std::printf("  in-process (1 thread):  %6.3fs  %7.1f cells/s\n", t_clean,
+              cells / t_clean);
+
+  // 1. Procs sweep, clean.
+  bool identical = true;
+  double sweep_seconds[4] = {0, 0, 0, 0};
+  const int sweep_procs[4] = {1, 2, 4, 8};
+  for (int i = 0; i < 4; ++i) {
+    const int procs = sweep_procs[i];
+    distrib::SupervisorOptions sopt;
+    sopt.study = base;
+    sopt.study.jobs = jobs;
+    sopt.procs = procs;
+    sopt.shard_dir = shard_dir(("p" + std::to_string(procs)).c_str());
+    std::filesystem::remove_all(sopt.shard_dir);
+    const std::string dir = sopt.shard_dir;
+    distrib::Supervisor sup(std::move(sopt));
+    t0 = std::chrono::steady_clock::now();
+    const auto t = sup.run_suite(suite);
+    sweep_seconds[i] = seconds_since(t0);
+    const bool same = report::render_csv(t) == clean_csv;
+    identical = identical && same;
+    std::printf("  --procs=%d:             %6.3fs  %7.1f cells/s%s\n", procs,
+                sweep_seconds[i], cells / sweep_seconds[i],
+                same ? "" : "  MISMATCH vs clean table");
+    if (procs != 4) std::filesystem::remove_all(dir);  // keep p4 for resume
+  }
+
+  // 2. Crash recovery at 4 procs: 10% of cell attempts kill the worker.
+  distrib::SupervisorOptions copt;
+  copt.study = base;
+  copt.study.jobs = jobs;
+  copt.study.faults.crash = 0.1;
+  copt.procs = 4;
+  copt.shard_dir = shard_dir("crash");
+  std::filesystem::remove_all(copt.shard_dir);
+  const std::string crash_dir = copt.shard_dir;
+  distrib::Supervisor crash_sup(std::move(copt));
+  t0 = std::chrono::steady_clock::now();
+  const auto crashed = crash_sup.run_suite(suite);
+  const double t_crash = seconds_since(t0);
+  const bool crash_identical = report::render_csv(crashed) == clean_csv;
+  const auto& cs = crash_sup.stats();
+  const double relese_overhead = t_crash / sweep_seconds[2] - 1.0;
+  std::printf(
+      "  crash:0.1 at 4 procs:  %6.3fs  %7.1f cells/s  (%d respawns, %zu "
+      "leases re-leased, %+.1f%% vs clean 4-proc)%s\n",
+      t_crash, cells / t_crash, cs.worker_respawns, cs.cells_released,
+      100.0 * relese_overhead,
+      crash_identical ? "" : "  MISMATCH vs clean table");
+  std::filesystem::remove_all(crash_dir);
+
+  // 3. Resume over the completed 4-proc shard dir.
+  distrib::SupervisorOptions ropt;
+  ropt.study = base;
+  ropt.study.jobs = jobs;
+  ropt.procs = 2;
+  ropt.shard_dir = shard_dir("p4");
+  distrib::Supervisor resume_sup(std::move(ropt));
+  t0 = std::chrono::steady_clock::now();
+  const auto resumed = resume_sup.run_suite(suite);
+  const double t_resume = seconds_since(t0);
+  const bool resume_identical = report::render_csv(resumed) == clean_csv;
+  const double resume_speedup = sweep_seconds[2] / t_resume;
+  std::printf("  resume (4-proc dir):   %6.3fs  (%zu restored, %zu reopened, "
+              "%.1fx faster)%s\n",
+              t_resume, resume_sup.stats().resumed_cells,
+              resume_sup.stats().reopened_cells, resume_speedup,
+              resume_identical ? "" : "  MISMATCH vs clean table");
+  std::filesystem::remove_all(shard_dir("p4"));
+
+  std::printf("  all tables byte-identical to clean: %s\n",
+              (identical && crash_identical && resume_identical)
+                  ? "yes"
+                  : "NO — DISTRIB DETERMINISM BROKEN");
+
+  benchutil::claim("distrib.procs4_cells_per_sec", "scales with procs",
+                   cells / sweep_seconds[2], "/s");
+  benchutil::claim("distrib.crash_overhead", "bounded re-lease cost",
+                   relese_overhead, "");
+  benchutil::claim("distrib.resume_speedup", ">1x", resume_speedup);
+
+  std::printf(
+      "\n{\"bench\":\"distrib\",\"scale\":%g,\"jobs\":%d,\"cells\":%.0f,"
+      "\"inprocess_seconds\":%.4f,"
+      "\"procs1_cells_per_sec\":%.2f,\"procs2_cells_per_sec\":%.2f,"
+      "\"procs4_cells_per_sec\":%.2f,\"procs8_cells_per_sec\":%.2f,"
+      "\"crash_seconds\":%.4f,\"crash_respawns\":%d,"
+      "\"crash_cells_released\":%zu,\"crash_overhead\":%.4f,"
+      "\"resume_seconds\":%.4f,\"resume_speedup\":%.4f,"
+      "\"identical\":%s}\n",
+      args.scale, jobs, cells, t_clean, cells / sweep_seconds[0],
+      cells / sweep_seconds[1], cells / sweep_seconds[2],
+      cells / sweep_seconds[3], t_crash, cs.worker_respawns,
+      cs.cells_released, relese_overhead, t_resume, resume_speedup,
+      (identical && crash_identical && resume_identical) ? "true" : "false");
+
+  return (identical && crash_identical && resume_identical) ? 0 : 1;
+}

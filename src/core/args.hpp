@@ -1,0 +1,26 @@
+#pragma once
+// Strict command-line value parsing for the CLI front end.
+//
+// The historical std::atoi/std::atof flag parsing silently turned any
+// non-numeric value into 0 — `--jobs=all` became --jobs=0, `--retries=x`
+// became no retries, `--deadline=5s` became no deadline — which is the
+// worst possible failure mode for an hours-long study: the run proceeds
+// with a policy the user did not ask for.  These helpers parse the
+// whole string or reject it, so the CLI can refuse malformed flags with
+// a diagnostic and a consistent non-zero exit code instead.
+
+#include <optional>
+#include <string>
+
+namespace a64fxcc::core::args {
+
+/// Parse a whole string as a base-10 integer.  Rejects empty strings,
+/// trailing garbage ("4x"), and out-of-int-range values.  Leading
+/// whitespace and a sign are accepted (strtol rules).
+[[nodiscard]] std::optional<int> parse_int(const std::string& s);
+
+/// Parse a whole string as a finite double.  Rejects empty strings,
+/// trailing garbage ("0.5s"), inf/nan, and out-of-range values.
+[[nodiscard]] std::optional<double> parse_double(const std::string& s);
+
+}  // namespace a64fxcc::core::args

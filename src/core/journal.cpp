@@ -181,24 +181,46 @@ std::optional<JournalEntry> Journal::decode(const std::string& line) {
   return e;
 }
 
-std::size_t Journal::load(const std::string& path) {
+std::size_t Journal::load(const std::string& path, std::size_t* deduped) {
   std::ifstream f(path);
   if (!f) return 0;
-  std::size_t n = 0;
+  std::size_t fresh = 0;
   std::string line;
   while (std::getline(f, line)) {
     if (auto e = decode(line)) {
       const std::lock_guard<std::mutex> lock(mu_);
-      map_[e->key] = std::move(e->run);
-      ++n;
+      const bool existed = map_.count(e->key) > 0;
+      map_[e->key] = std::move(e->run);  // last complete line wins
+      if (existed) {
+        if (deduped != nullptr) ++*deduped;
+      } else {
+        ++fresh;
+      }
     }
   }
-  return n;
+  return fresh;
 }
 
 bool Journal::open(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (out_ != nullptr) std::fclose(out_);
+  // Terminate a torn tail (crashed writer) before appending: without
+  // the newline the first fresh record would glue onto the torn prefix
+  // and both lines would be lost to decode().
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb"); probe != nullptr) {
+    bool torn = false;
+    if (std::fseek(probe, -1, SEEK_END) == 0) {
+      const int last = std::fgetc(probe);
+      torn = last != EOF && last != '\n';
+    }
+    std::fclose(probe);
+    if (torn) {
+      if (std::FILE* fix = std::fopen(path.c_str(), "a"); fix != nullptr) {
+        std::fputc('\n', fix);
+        std::fclose(fix);
+      }
+    }
+  }
   out_ = std::fopen(path.c_str(), "a");
   return out_ != nullptr;
 }

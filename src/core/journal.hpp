@@ -63,13 +63,21 @@ class Journal {
   [[nodiscard]] static std::optional<JournalEntry> decode(
       const std::string& line);
 
-  /// Load every valid line of `path` into the in-memory index (later
-  /// entries for the same key win).  Returns the number of entries
-  /// loaded; a missing file loads 0 (fresh start, not an error).
-  std::size_t load(const std::string& path);
+  /// Load every valid line of `path` into the in-memory index.
+  /// Duplicate keys — within the file or against entries already
+  /// loaded from earlier files (shard merges) — dedupe
+  /// deterministically: the last complete line wins, in file order and
+  /// load-call order.  Returns the number of *distinct* keys this call
+  /// added; a missing file loads 0 (fresh start, not an error).  When
+  /// `deduped` is non-null it is incremented by the number of valid
+  /// lines that overwrote an existing key.
+  std::size_t load(const std::string& path, std::size_t* deduped = nullptr);
 
   /// Open `path` for appending; subsequent record() calls persist.
-  /// Returns false if the file cannot be opened.
+  /// A torn trailing line left by a crashed writer is newline-terminated
+  /// first, so the next record starts on a fresh line instead of gluing
+  /// onto the tail (and being lost to both).  Returns false if the file
+  /// cannot be opened.
   bool open(const std::string& path);
   void close();
 

@@ -2,33 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
+#include "core/cell.hpp"
 #include "stats/stats.hpp"
 
 namespace a64fxcc::core {
-
-namespace {
-
-/// Longest real sleep one retry may cost; the *chosen* backoff is
-/// recorded in the JobRetried event uncapped, but the actual wait is
-/// bounded so fault-heavy tests stay fast.
-constexpr double kMaxBackoffSleep = 0.05;
-
-/// Deterministic backoff before retry `attempt + 1`: exponential in the
-/// attempt with a jitter factor in [0.5, 1.5) drawn from the cell's RNG
-/// stream — a pure function of cell identity, never of wall-clock or
-/// scheduling.
-double backoff_for(double base, const std::string& benchmark,
-                   const std::string& compiler, int attempt) {
-  const std::uint64_t h = runtime::cell_stream(benchmark, compiler) ^
-                          (0xBAC0FF00ULL + static_cast<std::uint64_t>(attempt));
-  const double jitter = 0.5 + runtime::hash_u01(h);
-  const int shift = std::min(attempt, 20);
-  return base * static_cast<double>(1ULL << shift) * jitter;
-}
-
-}  // namespace
 
 Study::Study(StudyOptions opt)
     : opt_(std::move(opt)),
@@ -112,40 +90,9 @@ report::Table Study::run_suite(
           }
         }
 
-        runtime::RunMetrics metrics;
-        runtime::MeasuredRun m;
-        int attempt = 0;
-        for (;; ++attempt) {
-          runtime::RunContext ctx;
-          ctx.injected =
-              opt_.faults.decide(opt_.seed, bench.name(), spec.name, attempt);
-          ctx.deadline_seconds = opt_.deadline_seconds;
-          ctx.attempt = attempt;
-          ctx.tracer = opt_.tracer;
-          try {
-            m = harness_.run(spec, bench, ctx, &metrics);
-          } catch (const runtime::CellError& e) {
-            m = {};
-            m.benchmark = bench.name();
-            m.compiler = spec.name;
-            m.status = e.status();
-            m.diagnostic = e.what();
-          } catch (const std::exception& e) {
-            m = {};
-            m.benchmark = bench.name();
-            m.compiler = spec.name;
-            m.status = runtime::CellStatus::Crashed;
-            m.diagnostic = e.what();
-          } catch (...) {
-            m = {};
-            m.benchmark = bench.name();
-            m.compiler = spec.name;
-            m.status = runtime::CellStatus::Crashed;
-            m.diagnostic = "non-standard exception escaped the harness";
-          }
-          if (m.valid() || attempt >= opt_.max_retries) break;
-          const double backoff = backoff_for(opt_.retry_backoff_seconds,
-                                             bench.name(), spec.name, attempt);
+        const RetryFn on_retry = [&](int attempt,
+                                     const runtime::MeasuredRun& failed,
+                                     double backoff) {
           if (sink != nullptr) {
             sink->on_event({.kind = exec::EventKind::JobRetried,
                             .benchmark = bench.name(),
@@ -154,17 +101,16 @@ report::Table Study::run_suite(
                             .col = c,
                             .worker = worker,
                             .attempt = attempt,
-                            .status = m.status,
-                            .detail = m.diagnostic,
+                            .status = failed.status,
+                            .detail = failed.diagnostic,
                             .backoff_seconds = backoff});
           }
-          if (backoff > 0) {
-            const auto backoff_span =
-                obs::scoped(opt_.tracer, "backoff", bench.name(), spec.name);
-            std::this_thread::sleep_for(std::chrono::duration<double>(
-                std::min(backoff, kMaxBackoffSleep)));
-          }
-        }
+        };
+        CellResult res =
+            evaluate_cell(harness_, opt_, bench, spec, 0, on_retry);
+        const runtime::RunMetrics& metrics = res.metrics;
+        const runtime::MeasuredRun& m = res.run;
+        const int attempt = res.attempt;
         t.rows[r].cells[c] = m;
         if (opt_.journal != nullptr) opt_.journal->record({key, m});
         if (sink != nullptr) {

@@ -1,0 +1,356 @@
+#include "distrib/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "core/cell.hpp"
+#include "exec/engine.hpp"
+#include "exec/events.hpp"
+#include "exec/process.hpp"
+
+namespace a64fxcc::distrib {
+
+namespace {
+
+/// Injected-crash diagnostic marker (runtime/harness.cpp's message for
+/// FaultKind::Crash classified in-process) — the inline drain skips
+/// these generations the same way a worker death + re-lease would.
+constexpr const char* kInjectedCrashTag = "injected crash fault";
+
+/// Study options as seen inside a worker process: observability and
+/// resume plumbing belong to the parent; the worker's output channel
+/// is its shard journal, nothing else.
+core::StudyOptions worker_options(const core::StudyOptions& base) {
+  core::StudyOptions o = base;
+  o.sink = nullptr;
+  o.tracer = nullptr;
+  o.journal = nullptr;
+  o.cache_service = nullptr;
+  return o;
+}
+
+std::string shard_name(int spawn_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%04d.jsonl", spawn_index);
+  return buf;
+}
+
+void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }
+
+/// Entry point of one forked worker: lease -> evaluate -> record ->
+/// done, until the queue drains.  Exit codes: 0 = drained; 112/113 =
+/// could not open the queue/shard (infrastructure, supervisor will not
+/// see progress from this pid and re-leases its cells).
+int worker_main(const std::string& lease_path,
+                const std::vector<std::uint64_t>& keys,
+                const std::string& shard_path,
+                const std::vector<kernels::Benchmark>& suite,
+                const core::StudyOptions& wopt, double lease_deadline,
+                int threads, std::size_t batch) {
+  LeaseQueue queue(lease_path, keys);
+  if (!queue.open()) return 112;
+  core::Journal shard;
+  if (!shard.open(shard_path)) return 113;
+  core::Study study(wopt);
+  const runtime::Harness& h = study.harness();
+  const std::size_t cols = wopt.compilers.size();
+  const int self = exec::current_pid();
+  exec::Engine engine(threads);
+  while (true) {
+    const auto claims = queue.acquire(self, lease_deadline, batch);
+    if (claims.empty()) {
+      // acquire() just scanned, so drained() is current: leave cleanly
+      // (exit 0) when every cell is done; otherwise someone else holds
+      // the remaining leases — wait for them to finish or expire.
+      if (queue.drained()) return 0;
+      nap();
+      continue;
+    }
+    (void)engine.try_run(
+        claims.size(),
+        [&](std::size_t i, int) {
+          const Claim& cl = claims[i];
+          const auto& bench = suite[cl.index / cols];
+          const auto& spec = wopt.compilers[cl.index % cols];
+          const core::CrashFn on_crash = [&shard_path](int) {
+            // Injected process death: leave a torn line in the shard —
+            // what a real crash mid-append does — then die without
+            // unwinding, flushing stdio, or completing the lease.
+            std::FILE* f = std::fopen(shard_path.c_str(), "a");
+            if (f != nullptr) {
+              std::fputs("{\"v\":2,\"key\":\"00", f);
+              std::fflush(f);
+            }
+            exec::hard_exit(139);
+          };
+          const core::CellResult res =
+              core::evaluate_cell(h, wopt, bench, spec, cl.gen, {}, on_crash);
+          shard.record({cl.key, res.run});
+          queue.complete(cl.key, self);
+        },
+        exec::ErrorPolicy::CollectAll);
+    // A job that threw (shard IO, ...) left its cell leased; the lease
+    // expires and is re-granted — no special handling here.
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions opt) : opt_(std::move(opt)) {
+  if (opt_.procs < 1) opt_.procs = 1;
+  if (opt_.lease_deadline_seconds <= 0) opt_.lease_deadline_seconds = 30;
+}
+
+report::Table Supervisor::run_suite(
+    const std::vector<kernels::Benchmark>& suite) {
+  stats_ = {};
+  const core::StudyOptions& sopt = opt_.study;
+  const std::size_t cols = sopt.compilers.size();
+
+  std::filesystem::create_directories(opt_.shard_dir);
+  const std::string lease_path = opt_.shard_dir + "/leases.jsonl";
+
+  // Row-major cell universe, same keys the resume journal uses.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(suite.size() * cols);
+  for (const auto& bench : suite)
+    for (const auto& spec : sopt.compilers)
+      keys.push_back(core::Journal::cell_key(sopt.seed, spec, bench.kernel,
+                                             sopt.apply_quirks));
+
+  LeaseQueue queue(lease_path, keys);
+  if (!queue.open())
+    throw std::runtime_error("distrib: cannot open work queue at " +
+                             lease_path);
+  queue.poll();
+
+  const auto emit_worker = [&](exec::EventKind kind, int spawn_index, int pid,
+                               std::string detail) {
+    if (sopt.sink == nullptr) return;
+    sopt.sink->on_event({.kind = kind,
+                         .worker = spawn_index,
+                         .count = static_cast<std::uint64_t>(pid),
+                         .detail = std::move(detail)});
+  };
+  const auto emit_released = [&](std::size_t cells, int owner) {
+    if (sopt.sink == nullptr) return;
+    sopt.sink->on_event({.kind = exec::EventKind::CellReleased,
+                         .count = cells,
+                         .detail = "pid " + std::to_string(owner)});
+  };
+
+  // Resume: cells done in a previous run keep their shard outcome when
+  // it is valid; done-but-failed (or done-but-missing — a lost shard
+  // file) cells reopen, mirroring the single-process journal's
+  // "failed cells re-evaluate" semantics.
+  if (queue.done_count() > 0) {
+    core::Journal prior;
+    Reducer::load_shards(opt_.shard_dir, prior);
+    for (const std::uint64_t key : keys) {
+      if (!queue.done(key)) continue;
+      const runtime::MeasuredRun* run = prior.find(key);
+      if (run != nullptr && run->valid()) {
+        ++stats_.resumed_cells;
+      } else {
+        queue.reopen(key);
+        ++stats_.reopened_cells;
+      }
+    }
+  }
+  // Any lease on the books right now is orphaned (we have no workers
+  // yet): an interrupted previous run, possibly from a previous boot
+  // whose monotonic deadlines are meaningless — release uniformly.
+  for (const auto& l : queue.active_leases()) {
+    if (queue.release(l.key, l.owner)) {
+      ++stats_.cells_released;
+      emit_released(1, l.owner);
+    }
+  }
+
+  const core::StudyOptions wopt = worker_options(sopt);
+  const int threads = sopt.jobs > 0 ? sopt.jobs : 1;
+  const std::size_t batch =
+      opt_.lease_batch > 0 ? opt_.lease_batch : static_cast<std::size_t>(threads);
+
+  struct LiveWorker {
+    int spawn_index = 0;
+    int pid = 0;
+  };
+  std::vector<LiveWorker> live;
+  int spawn_seq = 0;
+  const auto spawn_worker = [&]() -> bool {
+    const int idx = spawn_seq++;
+    const std::string shard_path = opt_.shard_dir + "/" + shard_name(idx);
+    const int pid = exec::spawn_process([&, shard_path] {
+      return worker_main(lease_path, keys, shard_path, suite, wopt,
+                         opt_.lease_deadline_seconds, threads, batch);
+    });
+    if (pid < 0) return false;
+    live.push_back({idx, pid});
+    ++stats_.workers_spawned;
+    emit_worker(exec::EventKind::WorkerSpawned, idx, pid, "");
+    return true;
+  };
+
+  int respawn_budget =
+      opt_.max_respawns >= 0 ? opt_.max_respawns : 4 + 3 * opt_.procs;
+  for (int i = 0; i < opt_.procs; ++i) {
+    if (!spawn_worker()) stats_.degraded = true;  // fork failed / no fork
+  }
+
+  const auto inline_drain = [&]() {
+    // Degraded endgame: every worker is gone and the budget is spent —
+    // the parent drains what remains, skipping generations whose
+    // deterministic fault decision is an injected crash (a worker
+    // would have died and been re-leased at gen+1; we converge to the
+    // same surviving generation without dying).
+    core::Study study(wopt);
+    const runtime::Harness& h = study.harness();
+    core::Journal shard;
+    // 'zz' sorts after every 'shard-NNNN' worker shard: in a merge the
+    // inline outcomes win, though duplicates are byte-identical anyway.
+    if (!shard.open(opt_.shard_dir + "/shard-zz-inline.jsonl")) return;
+    const int self = exec::current_pid();
+    int stuck_rounds = 0;
+    while (true) {
+      const auto claims = queue.acquire(self, 1e9, 8);
+      if (claims.empty()) {
+        if (queue.drained()) break;
+        // Unexpired leases of dead owners: force-release and retry.
+        bool released = false;
+        for (const auto& l : queue.active_leases()) {
+          if (l.owner != self && queue.release(l.key, l.owner)) {
+            released = true;
+            ++stats_.cells_released;
+          }
+        }
+        if (!released && ++stuck_rounds > 3) break;  // cannot progress
+        continue;
+      }
+      stuck_rounds = 0;
+      for (const Claim& cl : claims) {
+        const auto& bench = suite[cl.index / cols];
+        const auto& spec = wopt.compilers[cl.index % cols];
+        core::CellResult res;
+        for (int gen = cl.gen;; ++gen) {
+          res = core::evaluate_cell(h, wopt, bench, spec, gen);
+          const bool injected_crash =
+              res.run.status == runtime::CellStatus::Crashed &&
+              res.run.diagnostic.find(kInjectedCrashTag) != std::string::npos;
+          if (!injected_crash || gen - cl.gen >= 32) break;
+        }
+        shard.record({cl.key, res.run});
+        queue.complete(cl.key, self);
+        ++stats_.inline_cells;
+      }
+    }
+    if (stats_.inline_cells > 0) stats_.degraded = true;
+  };
+
+  while (true) {
+    queue.poll();
+    if (queue.drained()) break;
+    // Reap the dead: release their leases, respawn while budget lasts.
+    for (auto it = live.begin(); it != live.end();) {
+      const auto ex = exec::try_reap(it->pid);
+      if (!ex) {
+        ++it;
+        continue;
+      }
+      emit_worker(exec::EventKind::WorkerExited, it->spawn_index, it->pid,
+                  ex->describe());
+      const std::size_t released = queue.release_owner(it->pid);
+      if (released > 0) {
+        stats_.cells_released += released;
+        emit_released(released, it->pid);
+      }
+      const bool crashed = !ex->clean();
+      it = live.erase(it);
+      if (!crashed) continue;  // drained from its point of view
+      queue.poll();
+      if (queue.drained()) continue;
+      if (respawn_budget > 0) {
+        --respawn_budget;
+        // Deterministic respawn pacing — the same backoff schedule an
+        // in-process retry would take, keyed by the respawn ordinal.
+        const double b = core::retry_backoff(sopt.retry_backoff_seconds,
+                                             "distrib", "respawn",
+                                             stats_.worker_respawns);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(std::min(b, 0.05)));
+        if (spawn_worker()) {
+          ++stats_.worker_respawns;
+          emit_worker(exec::EventKind::WorkerRespawned,
+                      live.back().spawn_index, live.back().pid, "");
+        } else {
+          stats_.degraded = true;
+        }
+      } else {
+        stats_.degraded = true;
+      }
+    }
+    // Hung workers: a live pid holding an expired lease gets SIGKILL
+    // (reaped above next round, which releases all its cells);
+    // expired leases of unmanaged pids are released directly.
+    for (const auto& l : queue.expired_leases(LeaseQueue::now())) {
+      bool managed = false;
+      for (const auto& w : live) managed = managed || w.pid == l.owner;
+      if (managed) {
+        exec::kill_process(l.owner);
+      } else if (queue.release(l.key, l.owner)) {
+        ++stats_.cells_released;
+        emit_released(1, l.owner);
+      }
+    }
+    if (live.empty()) {
+      queue.poll();
+      if (queue.drained()) break;
+      inline_drain();
+      break;
+    }
+    nap();
+  }
+
+  // Final reap: workers notice the drain and exit 0 on their own; a
+  // straggler still double-evaluating a re-leased cell gets one lease
+  // deadline of grace, then SIGKILL (its duplicate would have been
+  // byte-identical anyway).
+  const double reap_deadline =
+      LeaseQueue::now() + opt_.lease_deadline_seconds + 1.0;
+  while (!live.empty()) {
+    for (auto it = live.begin(); it != live.end();) {
+      if (const auto ex = exec::try_reap(it->pid)) {
+        emit_worker(exec::EventKind::WorkerExited, it->spawn_index, it->pid,
+                    ex->describe());
+        it = live.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (live.empty()) break;
+    if (LeaseQueue::now() > reap_deadline) {
+      for (const auto& w : live) exec::kill_process(w.pid);
+      for (const auto& w : live) {
+        if (const auto ex = exec::reap(w.pid)) {
+          emit_worker(exec::EventKind::WorkerExited, w.spawn_index, w.pid,
+                      ex->describe());
+        }
+      }
+      live.clear();
+      break;
+    }
+    nap();
+  }
+
+  return Reducer::merge(opt_.shard_dir, suite, sopt, &stats_.reduce);
+}
+
+report::Table Supervisor::run_all() {
+  return run_suite(kernels::all_benchmarks(opt_.study.scale));
+}
+
+}  // namespace a64fxcc::distrib

@@ -1,0 +1,99 @@
+#pragma once
+// Crash-isolated multi-process study runtime.
+//
+// The Supervisor forks N worker processes.  Each worker leases
+// (benchmark x compiler) cells from the durable work queue
+// (`<shard-dir>/leases.jsonl`), evaluates them through the exact same
+// core::evaluate_cell policy path the in-process engine uses, appends
+// outcomes to its own shard journal (`shard-<k>.jsonl`, the standard v2
+// JSONL format), and marks them done.  The supervisor reaps dead
+// workers (waitpid), SIGKILLs hung ones (lease-deadline expiry),
+// releases their leases for re-lease, and respawns replacements with
+// the deterministic backoff schedule — degrading to an inline drain in
+// the parent when respawns keep dying.  A Reducer pass then merges the
+// shards into the canonical table.
+//
+// Determinism contract: every cell's measurement is a pure function of
+// (seed, benchmark, compiler) — the lease generation feeds only the
+// fault/backoff schedule, mirroring in-process retry attempts — so the
+// merged table of a crash-recovered N-process run is byte-identical to
+// a clean single-process one (asserted in tests/test_distrib.cpp with
+// a real kill -9).
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "distrib/reducer.hpp"
+#include "distrib/work_queue.hpp"
+#include "kernels/benchmark.hpp"
+#include "report/figure2.hpp"
+
+namespace a64fxcc::distrib {
+
+struct SupervisorOptions {
+  /// Study configuration.  The sink/tracer (if any) observe only the
+  /// parent: workers run silent and report through their shard
+  /// journals.  `jobs` becomes the per-worker engine thread count
+  /// (<= 0 resolves to 1 — with multiple processes the default is one
+  /// thread each, not hardware_concurrency per worker).
+  /// `journal`/`cache_service` must be null: shards are the journal of
+  /// a multi-process run, and caches cannot be shared across fork.
+  core::StudyOptions study;
+  /// Worker processes to fork (>= 1).
+  int procs = 2;
+  /// Directory for leases.jsonl + the per-worker shard journals.
+  /// Created if missing; an existing directory resumes (done cells
+  /// with a valid shard outcome are not re-evaluated).
+  std::string shard_dir = "a64fxcc-shards";
+  /// Lease validity.  A worker that holds a lease past its deadline is
+  /// presumed hung: the supervisor SIGKILLs it and re-leases its
+  /// cells.  Must comfortably exceed the slowest single-cell wall time.
+  double lease_deadline_seconds = 30;
+  /// Replacement workers budget after crashes; < 0 = 4 + 3 * procs.
+  /// Exhausting it degrades the study: the parent drains the remaining
+  /// cells inline instead of forking again.
+  int max_respawns = -1;
+  /// Cells leased per acquire transaction; 0 = the worker's thread
+  /// count.  Larger batches amortize flock round-trips, smaller ones
+  /// lose less work per crash.
+  std::size_t lease_batch = 0;
+};
+
+struct SupervisorStats {
+  int workers_spawned = 0;  ///< initial forks + respawns
+  int worker_respawns = 0;
+  std::size_t cells_released = 0;  ///< leases returned after death/expiry
+  std::size_t inline_cells = 0;    ///< drained by the degraded parent
+  std::size_t resumed_cells = 0;   ///< done before this run started
+  std::size_t reopened_cells = 0;  ///< done-but-failed/missing, reopened
+  bool degraded = false;           ///< respawn budget ran out
+  ReduceStats reduce;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions opt);
+
+  /// Run one suite across the worker fleet and merge the shards.
+  /// Throws std::runtime_error when the work queue cannot be opened
+  /// (unwritable shard dir, or a platform without fork).
+  [[nodiscard]] report::Table run_suite(
+      const std::vector<kernels::Benchmark>& suite);
+
+  /// All 108 benchmarks (Figure 2) at the configured scale.
+  [[nodiscard]] report::Table run_all();
+
+  [[nodiscard]] const SupervisorStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const SupervisorOptions& options() const noexcept {
+    return opt_;
+  }
+
+ private:
+  SupervisorOptions opt_;
+  SupervisorStats stats_;
+};
+
+}  // namespace a64fxcc::distrib

@@ -1,0 +1,370 @@
+#include "distrib/work_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace a64fxcc::distrib {
+
+namespace {
+
+const char* op_name(LeaseRecord::Op op) {
+  switch (op) {
+    case LeaseRecord::Op::Lease: return "lease";
+    case LeaseRecord::Op::Done: return "done";
+    case LeaseRecord::Op::Release: return "release";
+    case LeaseRecord::Op::Reopen: return "reopen";
+  }
+  return "?";
+}
+
+std::optional<LeaseRecord::Op> parse_op(const std::string& s) {
+  if (s == "lease") return LeaseRecord::Op::Lease;
+  if (s == "done") return LeaseRecord::Op::Done;
+  if (s == "release") return LeaseRecord::Op::Release;
+  if (s == "reopen") return LeaseRecord::Op::Reopen;
+  return std::nullopt;
+}
+
+// Minimal field extraction over our own writer's output (same approach
+// as the journal's decode: keys are unique, values carry no escapes).
+std::optional<std::string> get_string(const std::string& line,
+                                      const std::string& field) {
+  const std::string pat = "\"" + field + "\":\"";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + pat.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+std::optional<double> get_number(const std::string& line,
+                                 const std::string& field) {
+  const std::string pat = "\"" + field + "\":";
+  const auto pos = line.find(pat);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + pat.size();
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+LeaseQueue::LeaseQueue(std::string path, std::vector<std::uint64_t> keys)
+    : path_(std::move(path)), keys_(std::move(keys)) {
+  state_.reserve(keys_.size());
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    CellState st;
+    st.index = i;
+    state_.emplace(keys_[i], st);
+  }
+}
+
+std::string LeaseQueue::encode(const LeaseRecord& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"v\":1,\"op\":\"%s\",\"key\":\"%016llx\",\"owner\":%d,"
+                "\"gen\":%d,\"deadline\":%.9f}",
+                op_name(rec.op), static_cast<unsigned long long>(rec.key),
+                rec.owner, rec.gen, rec.deadline);
+  return buf;
+}
+
+std::optional<LeaseRecord> LeaseQueue::decode(const std::string& line) {
+  if (line.empty() || line.front() != '{' || line.back() != '}')
+    return std::nullopt;
+  const auto v = get_number(line, "v");
+  if (!v || *v != 1) return std::nullopt;
+  const auto op_s = get_string(line, "op");
+  const auto key_s = get_string(line, "key");
+  if (!op_s || !key_s) return std::nullopt;
+  const auto op = parse_op(*op_s);
+  if (!op) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long key = std::strtoull(key_s->c_str(), &end, 16);
+  if (end == key_s->c_str() || *end != '\0') return std::nullopt;
+  LeaseRecord rec;
+  rec.op = *op;
+  rec.key = key;
+  rec.owner = static_cast<int>(get_number(line, "owner").value_or(0));
+  rec.gen = static_cast<int>(get_number(line, "gen").value_or(0));
+  rec.deadline = get_number(line, "deadline").value_or(0);
+  return rec;
+}
+
+double LeaseQueue::now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void LeaseQueue::apply(const LeaseRecord& rec) {
+  const auto it = state_.find(rec.key);
+  if (it == state_.end()) return;  // stale config: unknown cell
+  CellState& st = it->second;
+  switch (rec.op) {
+    case LeaseRecord::Op::Lease:
+      st.leased = true;
+      st.owner = rec.owner;
+      st.deadline = rec.deadline;
+      // max() makes re-applying our own just-appended record (it is
+      // scanned again on the next transaction) a no-op.
+      st.gen = std::max(st.gen, rec.gen + 1);
+      break;
+    case LeaseRecord::Op::Done:
+      if (!st.done) {
+        st.done = true;
+        ++done_;
+      }
+      st.leased = false;
+      break;
+    case LeaseRecord::Op::Release:
+      // Owner-matched: a release the supervisor wrote for a dead worker
+      // cannot clobber a newer lease granted in between.
+      if (st.leased && st.owner == rec.owner) st.leased = false;
+      break;
+    case LeaseRecord::Op::Reopen:
+      if (st.done) {
+        st.done = false;
+        --done_;
+      }
+      st.leased = false;
+      break;
+  }
+}
+
+#ifndef _WIN32
+
+LeaseQueue::~LeaseQueue() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool LeaseQueue::open() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) return true;
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  scan();
+  return true;
+}
+
+bool LeaseQueue::lock_file() { return ::flock(fd_, LOCK_EX) == 0; }
+
+void LeaseQueue::unlock_file() { ::flock(fd_, LOCK_UN); }
+
+void LeaseQueue::scan() {
+  if (fd_ < 0) return;
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) return;
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  while (scan_offset_ < size) {
+    char buf[4096];
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(sizeof buf, size - scan_offset_));
+    const ssize_t got =
+        ::pread(fd_, buf, want, static_cast<off_t>(scan_offset_));
+    if (got <= 0) return;
+    // Consume complete lines only; a trailing fragment (torn write or a
+    // line longer than the chunk) stays pending for the next round.
+    std::size_t line_start = 0;
+    std::size_t consumed = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(got); ++i) {
+      if (buf[i] != '\n') continue;
+      const std::string line(buf + line_start, i - line_start);
+      if (const auto rec = decode(line)) apply(*rec);
+      line_start = i + 1;
+      consumed = line_start;
+    }
+    // No newline in the chunk: a torn tail at EOF (or a foreign
+    // oversized line — impossible for our fixed-width records).  Leave
+    // it pending; the next writer newline-terminates it.
+    if (consumed == 0) return;
+    scan_offset_ += consumed;
+  }
+}
+
+bool LeaseQueue::append(const std::string& line) {
+  if (fd_ < 0) return false;
+  struct stat st {};
+  std::string out;
+  // Newline-terminate a torn tail first (a writer killed mid-append),
+  // so our record starts on a fresh line instead of gluing onto the
+  // fragment and losing both.
+  if (::fstat(fd_, &st) == 0 && st.st_size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, st.st_size - 1) == 1 && last != '\n')
+      out.push_back('\n');
+  }
+  out += line;
+  out.push_back('\n');
+  // One write: with O_APPEND the whole record lands contiguously.
+  return ::write(fd_, out.data(), out.size()) ==
+         static_cast<ssize_t>(out.size());
+}
+
+std::vector<Claim> LeaseQueue::acquire(int owner, double deadline_seconds,
+                                       std::size_t max_cells) {
+  std::vector<Claim> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || max_cells == 0 || !lock_file()) return out;
+  scan();
+  const double t = now();
+  for (const std::uint64_t key : keys_) {
+    if (out.size() >= max_cells) break;
+    CellState& st = state_.at(key);
+    if (st.done || (st.leased && st.deadline > t)) continue;
+    LeaseRecord rec;
+    rec.op = LeaseRecord::Op::Lease;
+    rec.key = key;
+    rec.owner = owner;
+    rec.gen = st.gen;
+    rec.deadline = t + deadline_seconds;
+    if (!append(encode(rec))) break;
+    apply(rec);
+    out.push_back({st.index, key, rec.gen});
+  }
+  unlock_file();
+  return out;
+}
+
+bool LeaseQueue::complete(std::uint64_t key, int owner) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || state_.find(key) == state_.end() || !lock_file())
+    return false;
+  scan();
+  LeaseRecord rec;
+  rec.op = LeaseRecord::Op::Done;
+  rec.key = key;
+  rec.owner = owner;
+  const bool ok = append(encode(rec));
+  if (ok) apply(rec);
+  unlock_file();
+  return ok;
+}
+
+std::size_t LeaseQueue::release_owner(int owner) {
+  std::size_t released = 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || !lock_file()) return 0;
+  scan();
+  for (const std::uint64_t key : keys_) {
+    const CellState& st = state_.at(key);
+    if (st.done || !st.leased || st.owner != owner) continue;
+    LeaseRecord rec;
+    rec.op = LeaseRecord::Op::Release;
+    rec.key = key;
+    rec.owner = owner;
+    if (!append(encode(rec))) break;
+    apply(rec);
+    ++released;
+  }
+  unlock_file();
+  return released;
+}
+
+bool LeaseQueue::release(std::uint64_t key, int owner) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || !lock_file()) return false;
+  scan();
+  const auto it = state_.find(key);
+  bool ok = false;
+  if (it != state_.end() && it->second.leased && !it->second.done &&
+      it->second.owner == owner) {
+    LeaseRecord rec;
+    rec.op = LeaseRecord::Op::Release;
+    rec.key = key;
+    rec.owner = owner;
+    ok = append(encode(rec));
+    if (ok) apply(rec);
+  }
+  unlock_file();
+  return ok;
+}
+
+bool LeaseQueue::reopen(std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || state_.find(key) == state_.end() || !lock_file())
+    return false;
+  scan();
+  LeaseRecord rec;
+  rec.op = LeaseRecord::Op::Reopen;
+  rec.key = key;
+  const bool ok = append(encode(rec));
+  if (ok) apply(rec);
+  unlock_file();
+  return ok;
+}
+
+void LeaseQueue::poll() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  scan();
+}
+
+#else  // _WIN32: POSIX-only (flock + pread); the CLI gates --procs.
+
+LeaseQueue::~LeaseQueue() = default;
+bool LeaseQueue::open() { return false; }
+bool LeaseQueue::lock_file() { return false; }
+void LeaseQueue::unlock_file() {}
+void LeaseQueue::scan() {}
+bool LeaseQueue::append(const std::string&) { return false; }
+std::vector<Claim> LeaseQueue::acquire(int, double, std::size_t) { return {}; }
+bool LeaseQueue::complete(std::uint64_t, int) { return false; }
+std::size_t LeaseQueue::release_owner(int) { return 0; }
+bool LeaseQueue::release(std::uint64_t, int) { return false; }
+bool LeaseQueue::reopen(std::uint64_t) { return false; }
+void LeaseQueue::poll() {}
+
+#endif
+
+bool LeaseQueue::drained() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return done_ >= keys_.size();
+}
+
+std::size_t LeaseQueue::done_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+bool LeaseQueue::done(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = state_.find(key);
+  return it != state_.end() && it->second.done;
+}
+
+std::vector<LeaseInfo> LeaseQueue::active_leases() const {
+  std::vector<LeaseInfo> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const std::uint64_t key : keys_) {
+    const CellState& st = state_.at(key);
+    if (st.done || !st.leased) continue;
+    out.push_back({key, st.owner, st.gen - 1, st.deadline});
+  }
+  return out;
+}
+
+std::vector<LeaseInfo> LeaseQueue::expired_leases(double at) const {
+  std::vector<LeaseInfo> out;
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const std::uint64_t key : keys_) {
+    const CellState& st = state_.at(key);
+    if (st.done || !st.leased || st.deadline > at) continue;
+    out.push_back({key, st.owner, st.gen - 1, st.deadline});
+  }
+  return out;
+}
+
+}  // namespace a64fxcc::distrib

@@ -1,0 +1,162 @@
+#pragma once
+// Durable on-disk work queue for multi-process studies: one JSONL
+// operation log (`leases.jsonl`) shared by the supervisor and every
+// worker process, replayed into an in-memory cell table.  Cells are
+// identified by the same Journal::cell_key fingerprints the resume
+// journal uses, so the queue survives crashes for the same reason the
+// journal does: appends are whole lines, readers skip torn tails, and a
+// restart replays the log instead of trusting volatile state.
+//
+// Protocol (all records tagged "v":1):
+//   lease   — `owner` (worker pid) claims the cell until the absolute
+//             steady-clock `deadline`; `gen` is the generation granted
+//             (0 = first lease).  Generations seed the deterministic
+//             fault/backoff schedule of re-leased cells, mirroring
+//             in-process retry attempts.
+//   done    — `owner` finished the cell terminally (its MeasuredRun is
+//             in that worker's shard journal).
+//   release — the supervisor returned `owner`'s unexpired leases to the
+//             pool after reaping its death; matched against the current
+//             lease owner so a stale release can never clobber a newer
+//             lease.
+//   reopen  — the supervisor undid a `done` (resume found the recorded
+//             outcome failed or missing), so the cell re-evaluates.
+//
+// Mutating operations hold an exclusive flock() on the log for a
+// read-decide-append transaction; flock dies with the process, so a
+// kill -9 mid-transaction can never wedge the queue.  Readers tolerate
+// a torn trailing line (a writer killed mid-append) and writers
+// newline-terminate such a tail before appending, exactly like the
+// result journal.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace a64fxcc::distrib {
+
+/// One queue operation, as serialized to one leases.jsonl line.
+struct LeaseRecord {
+  enum class Op : std::uint8_t { Lease, Done, Release, Reopen };
+  Op op = Op::Lease;
+  std::uint64_t key = 0;
+  int owner = 0;        ///< worker pid (Lease/Done/Release)
+  int gen = 0;          ///< generation granted (Lease only)
+  double deadline = 0;  ///< absolute steady-clock seconds (Lease only)
+};
+
+/// One granted lease, as returned to a worker.
+struct Claim {
+  std::size_t index = 0;  ///< row-major cell index in the key order
+  std::uint64_t key = 0;
+  int gen = 0;  ///< generation of this lease; feeds evaluate_cell's
+                ///< base_attempt so re-leased cells take the next
+                ///< deterministic fault/backoff decision
+};
+
+/// A currently recorded lease (diagnostics + supervisor reaping).
+struct LeaseInfo {
+  std::uint64_t key = 0;
+  int owner = 0;
+  int gen = 0;
+  double deadline = 0;
+};
+
+class LeaseQueue {
+ public:
+  /// `keys` fixes the cell universe and its order (acquire scans it
+  /// front to back).  Records in the log for unknown keys — stale runs
+  /// with a different configuration — are ignored.
+  LeaseQueue(std::string path, std::vector<std::uint64_t> keys);
+  ~LeaseQueue();
+  LeaseQueue(const LeaseQueue&) = delete;
+  LeaseQueue& operator=(const LeaseQueue&) = delete;
+
+  /// Open (creating if needed) the shared log.  False on failure or on
+  /// platforms without flock (the CLI gates --procs behind POSIX).
+  [[nodiscard]] bool open();
+
+  /// One JSONL line (no trailing newline) / its inverse.  decode()
+  /// returns nullopt for blank, torn, foreign, or newer-versioned
+  /// lines.
+  [[nodiscard]] static std::string encode(const LeaseRecord& rec);
+  [[nodiscard]] static std::optional<LeaseRecord> decode(
+      const std::string& line);
+
+  /// Machine-wide monotonic clock (seconds) the lease deadlines live
+  /// on.  Shared across processes — CLOCK_MONOTONIC is per-boot, not
+  /// per-process — which is what lets the supervisor judge a worker's
+  /// deadline without any cross-process time agreement.
+  [[nodiscard]] static double now();
+
+  /// Claim up to `max_cells` cells for `owner`: the first cells that
+  /// are neither done nor under an unexpired lease, in key order.  One
+  /// flock transaction; the returned generations are committed to the
+  /// log before this returns.  Empty when nothing is claimable (all
+  /// done, or everything pending is validly leased elsewhere).
+  [[nodiscard]] std::vector<Claim> acquire(int owner, double deadline_seconds,
+                                           std::size_t max_cells = 1);
+
+  /// Record terminal completion of a leased cell.  False if the key is
+  /// unknown.
+  bool complete(std::uint64_t key, int owner);
+
+  /// Release every lease currently held by `owner` (reaped worker).
+  /// Returns the number of cells returned to the pool.
+  std::size_t release_owner(int owner);
+
+  /// Release one lease if `owner` still holds it.
+  bool release(std::uint64_t key, int owner);
+
+  /// Undo a `done` so the cell re-evaluates (resume found its recorded
+  /// outcome failed or missing).
+  bool reopen(std::uint64_t key);
+
+  /// Re-read any log growth from other processes (lock-free: readers
+  /// only consume complete lines, so a concurrent half-written append
+  /// simply stays pending until the next poll).
+  void poll();
+
+  /// Queue state as of the last scan (acquire/complete/... scan before
+  /// acting; call poll() first when only observing).
+  [[nodiscard]] bool drained() const;
+  [[nodiscard]] std::size_t done_count() const;
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool done(std::uint64_t key) const;
+
+  /// All current leases on not-done cells / the subset whose deadline
+  /// passed `at`.
+  [[nodiscard]] std::vector<LeaseInfo> active_leases() const;
+  [[nodiscard]] std::vector<LeaseInfo> expired_leases(double at) const;
+
+ private:
+  struct CellState {
+    std::size_t index = 0;
+    bool done = false;
+    bool leased = false;
+    int owner = 0;
+    int gen = 0;  ///< leases granted so far == next generation
+    double deadline = 0;
+  };
+
+  // All private helpers assume mu_ is held.
+  void scan();
+  bool append(const std::string& line);
+  void apply(const LeaseRecord& rec);
+  bool lock_file();
+  void unlock_file();
+
+  mutable std::mutex mu_;  ///< thread-safety within one process;
+                           ///< flock() serializes across processes
+  std::string path_;
+  std::vector<std::uint64_t> keys_;
+  std::unordered_map<std::uint64_t, CellState> state_;
+  int fd_ = -1;
+  std::uint64_t scan_offset_ = 0;
+  std::size_t done_ = 0;
+};
+
+}  // namespace a64fxcc::distrib

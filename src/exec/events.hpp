@@ -39,6 +39,15 @@ enum class EventKind : std::uint8_t {
   CellPhase,    ///< one phase of the cell finished (detail = phase name,
                 ///< wall_seconds = duration); diagnostics-only, emitted
                 ///< before the cell's terminal event
+  // -- multi-process lifecycle (src/distrib/ supervisor) --------------
+  WorkerSpawned,    ///< supervisor forked a worker process (worker =
+                    ///< spawn index, count = pid)
+  WorkerExited,     ///< a worker was reaped (worker = spawn index,
+                    ///< count = pid, detail = "exit N"/"signal N")
+  WorkerRespawned,  ///< a replacement worker was forked after a crash
+                    ///< (worker = new spawn index, count = new pid)
+  CellReleased,     ///< leases of a dead/expired owner were released for
+                    ///< re-lease (count = cells released, detail = owner)
 };
 
 [[nodiscard]] inline const char* to_string(EventKind k) {
@@ -52,6 +61,10 @@ enum class EventKind : std::uint8_t {
     case EventKind::CacheInvalidate: return "cache-invalidate";
     case EventKind::CacheEvict: return "cache-evict";
     case EventKind::CellPhase: return "cell-phase";
+    case EventKind::WorkerSpawned: return "worker-spawned";
+    case EventKind::WorkerExited: return "worker-exited";
+    case EventKind::WorkerRespawned: return "worker-respawned";
+    case EventKind::CellReleased: return "cell-released";
   }
   return "?";
 }
@@ -189,6 +202,19 @@ class StreamSink final : public EventSink {
                           "  [w%d] %-18s x %-10s phase %-8s %.6fs\n", e.worker,
                           e.benchmark.c_str(), e.compiler.c_str(),
                           e.detail.c_str(), e.wall_seconds);
+        break;
+      case EventKind::WorkerSpawned:
+      case EventKind::WorkerExited:
+      case EventKind::WorkerRespawned:
+      case EventKind::CellReleased:
+        // Worker death and re-leasing are normal events in a
+        // crash-isolated study, but worth a line at Progress: the user
+        // should see that a shard died and the study kept going.
+        if (level_ < LogLevel::Progress) return;
+        n = std::snprintf(buf, sizeof buf, "  [w%d] %s pid %llu %s\n",
+                          e.worker, to_string(e.kind),
+                          static_cast<unsigned long long>(e.count),
+                          e.detail.c_str());
         break;
       case EventKind::CacheHit:
       case EventKind::CacheMiss:

@@ -86,6 +86,20 @@ void MetricsSink::on_event(const exec::Event& e) {
     case exec::EventKind::CellPhase:
       histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
       break;
+    // Multi-process lifecycle: spawn/exit counts plus the two headline
+    // crash-isolation counters, worker_respawns and cells_released.
+    case exec::EventKind::WorkerSpawned:
+      counters_["workers_spawned"] += 1;
+      break;
+    case exec::EventKind::WorkerExited:
+      counters_["workers_exited"] += 1;
+      break;
+    case exec::EventKind::WorkerRespawned:
+      counters_["worker_respawns"] += 1;
+      break;
+    case exec::EventKind::CellReleased:
+      counters_["cells_released"] += e.count;
+      break;
   }
 }
 

@@ -56,6 +56,7 @@ TEST(Taxonomy, FaultKindToString) {
   EXPECT_STREQ(to_string(FaultKind::Compile), "compile");
   EXPECT_STREQ(to_string(FaultKind::Runtime), "runtime");
   EXPECT_STREQ(to_string(FaultKind::Hang), "hang");
+  EXPECT_STREQ(to_string(FaultKind::Crash), "crash");
 }
 
 TEST(Taxonomy, CellErrorCarriesStatus) {
@@ -95,6 +96,18 @@ TEST(FaultPlan, ParseRejectsMalformedSpecs) {
   // Rates must sum to at most 1 (they partition one uniform draw).
   EXPECT_FALSE(
       runtime::FaultPlan::parse("compile:0.6,runtime:0.6").has_value());
+  EXPECT_FALSE(
+      runtime::FaultPlan::parse("crash:0.6,runtime:0.6").has_value());
+}
+
+TEST(FaultPlan, CrashRateParsesAndRoundTrips) {
+  const auto p = runtime::FaultPlan::parse("crash:0.25");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(p->crash, 0.25);
+  EXPECT_TRUE(p->enabled());
+  const auto rt = runtime::FaultPlan::parse(p->spec());
+  ASSERT_TRUE(rt.has_value());
+  EXPECT_DOUBLE_EQ(rt->crash, 0.25);
 }
 
 TEST(FaultPlan, DecideIsDeterministicAndAttemptDependent) {
@@ -268,6 +281,34 @@ TEST(Injection, RetryEventsAreEmitted) {
   }
 }
 
+TEST(Injection, InProcessCrashFaultsClassifyAndRetryLikeAnyFault) {
+  // Without a crash hook (no worker process to kill), an injected crash
+  // fault classifies as Crashed and retries through the normal policy
+  // loop; recovered cells carry clean-run values bit-for-bit.
+  core::StudyOptions flaky;
+  flaky.faults.crash = 0.3;
+  const auto once = run_microkernels(flaky);
+  std::size_t crashed = 0;
+  for (const auto& row : once.rows)
+    for (const auto& cell : row.cells)
+      if (cell.status == runtime::CellStatus::Crashed) {
+        ++crashed;
+        EXPECT_NE(cell.diagnostic.find("injected crash fault"),
+                  std::string::npos);
+      }
+  EXPECT_GT(crashed, 0u);
+  auto patient = flaky;
+  patient.max_retries = 4;
+  patient.retry_backoff_seconds = 0;
+  const auto retried = run_microkernels(patient);
+  const auto clean = run_microkernels({});
+  for (std::size_t r = 0; r < retried.rows.size(); ++r)
+    for (std::size_t c = 0; c < retried.rows[r].cells.size(); ++c)
+      if (retried.rows[r].cells[c].valid())
+        EXPECT_EQ(retried.rows[r].cells[c].best_seconds,
+                  clean.rows[r].cells[c].best_seconds);
+}
+
 TEST(Injection, StudyDeadlineClassifiesHangsAsTimeout) {
   core::StudyOptions opt;
   opt.faults.hang = 1.0;
@@ -365,6 +406,42 @@ TEST(Journal, MissingFileLoadsZeroEntries) {
   core::Journal j;
   EXPECT_EQ(j.load(testing::TempDir() + "a64fxcc_no_such_journal.jsonl"), 0u);
   EXPECT_EQ(j.size(), 0u);
+}
+
+TEST(Journal, LoadDedupesDuplicateKeysLastCompleteLineWins) {
+  const std::string path = testing::TempDir() + "a64fxcc_journal_dup.jsonl";
+  std::remove(path.c_str());
+  core::JournalEntry first;
+  first.key = 21;
+  first.run.benchmark = "atax";
+  first.run.compiler = "GNU";
+  first.run.status = runtime::CellStatus::RuntimeError;
+  first.run.diagnostic = "first";
+  core::JournalEntry second = first;
+  second.run.diagnostic = "second";
+  {
+    std::ofstream f(path);
+    f << core::Journal::encode(first) << "\n";
+    f << core::Journal::encode(second) << "\n";
+  }
+  // One distinct key: the later line deterministically overwrote the
+  // earlier one, and the overwrite is reported via the out-param.
+  core::Journal j;
+  std::size_t deduped = 0;
+  EXPECT_EQ(j.load(path, &deduped), 1u);
+  EXPECT_EQ(deduped, 1u);
+  EXPECT_EQ(j.size(), 1u);
+  ASSERT_NE(j.find(21), nullptr);
+  EXPECT_EQ(j.find(21)->diagnostic, "second");
+  // Duplicates across load() calls count too (the shard-merge path):
+  // the second load adds no distinct keys and overwrites twice more.
+  core::Journal merged;
+  std::size_t dd = 0;
+  EXPECT_EQ(merged.load(path, &dd), 1u);
+  EXPECT_EQ(merged.load(path, &dd), 0u);
+  EXPECT_EQ(dd, 3u);
+  EXPECT_EQ(merged.find(21)->diagnostic, "second");
+  std::remove(path.c_str());
 }
 
 TEST(Journal, CellKeySeesSeedSpecKernelAndQuirks) {

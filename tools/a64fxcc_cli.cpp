@@ -20,7 +20,9 @@
 
 #include "cache/service.hpp"
 #include "codegen/codegen_c.hpp"
+#include "core/args.hpp"
 #include "core/study.hpp"
+#include "distrib/supervisor.hpp"
 #include "ir/parser.hpp"
 #include "ir/validate.hpp"
 #include "ir/printer.hpp"
@@ -32,21 +34,6 @@
 namespace {
 
 using namespace a64fxcc;
-
-double arg_scale(int argc, char** argv, double def = 0.25) {
-  for (int i = 0; i < argc; ++i)
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) return std::atof(argv[i] + 8);
-  return def;
-}
-
-// Worker threads for the execution engine: default 0 = all hardware
-// threads; --jobs=1 selects the legacy serial path (bit-identical
-// results either way; see DESIGN.md "Execution engine").
-int arg_jobs(int argc, char** argv) {
-  for (int i = 0; i < argc; ++i)
-    if (std::strncmp(argv[i], "--jobs=", 7) == 0) return std::atoi(argv[i] + 7);
-  return 0;
-}
 
 bool has_flag(int argc, char** argv, const char* f) {
   for (int i = 0; i < argc; ++i)
@@ -61,16 +48,102 @@ const char* arg_value(int argc, char** argv, const char* prefix) {
   return nullptr;
 }
 
+// Strict numeric flags: a present-but-malformed value is a usage error
+// (diagnostic + exit 1), never the silent 0 that atoi/atof used to
+// produce.  Absent flags leave *out untouched.
+bool int_flag(int argc, char** argv, const char* prefix, int* out) {
+  const char* v = arg_value(argc, argv, prefix);
+  if (v == nullptr) return true;
+  const auto n = core::args::parse_int(v);
+  if (!n) {
+    std::fprintf(stderr, "malformed %s'%s' (expected an integer)\n", prefix, v);
+    return false;
+  }
+  *out = *n;
+  return true;
+}
+
+bool double_flag(int argc, char** argv, const char* prefix, double* out) {
+  const char* v = arg_value(argc, argv, prefix);
+  if (v == nullptr) return true;
+  const auto n = core::args::parse_double(v);
+  if (!n) {
+    std::fprintf(stderr, "malformed %s'%s' (expected a number)\n", prefix, v);
+    return false;
+  }
+  *out = *n;
+  return true;
+}
+
+/// --scale with strict parsing; false after a diagnostic on a
+/// malformed or non-positive value.
+bool arg_scale(int argc, char** argv, double* out) {
+  if (!double_flag(argc, argv, "--scale=", out)) return false;
+  if (*out <= 0) {
+    std::fprintf(stderr, "--scale must be > 0\n");
+    return false;
+  }
+  return true;
+}
+
+/// Worker threads for the execution engine: absent = all hardware
+/// threads; --jobs=1 selects the legacy serial path (bit-identical
+/// results either way; see DESIGN.md "Execution engine").  An explicit
+/// --jobs=0 (historically a silent alias for "all threads") or a
+/// negative count is rejected.
+bool arg_jobs(int argc, char** argv, int* out) {
+  if (!int_flag(argc, argv, "--jobs=", out)) return false;
+  if (arg_value(argc, argv, "--jobs=") != nullptr && *out <= 0) {
+    std::fprintf(stderr, "--jobs must be >= 1 (omit for all threads)\n");
+    return false;
+  }
+  return true;
+}
+
+/// Multi-process flags shared by `table` and `run`.  procs == 0 after a
+/// successful parse means --procs was absent (in-process path).
+struct DistribFlags {
+  int procs = 0;
+  std::string shard_dir = "a64fxcc-shards";
+  double lease_deadline = 30;
+};
+
+bool parse_distrib_flags(int argc, char** argv, DistribFlags* out) {
+  if (!int_flag(argc, argv, "--procs=", &out->procs)) return false;
+  if (arg_value(argc, argv, "--procs=") != nullptr && out->procs <= 0) {
+    std::fprintf(stderr, "--procs must be >= 1\n");
+    return false;
+  }
+  if (out->procs <= 0) return true;
+  if (const char* v = arg_value(argc, argv, "--shard-dir="))
+    out->shard_dir = v;
+  if (!double_flag(argc, argv, "--lease-deadline=", &out->lease_deadline))
+    return false;
+  if (out->lease_deadline <= 0) {
+    std::fprintf(stderr, "--lease-deadline must be > 0\n");
+    return false;
+  }
+  if (arg_value(argc, argv, "--journal=") != nullptr ||
+      arg_value(argc, argv, "--resume=") != nullptr) {
+    std::fprintf(stderr,
+                 "--journal/--resume cannot combine with --procs: the shard "
+                 "journals under --shard-dir are the journal of a "
+                 "multi-process run (re-running with the same --shard-dir "
+                 "resumes)\n");
+    return false;
+  }
+  return true;
+}
+
 /// Fill the fault-tolerance knobs shared by `table` and `run`.  Returns
 /// false (after printing a diagnostic) on malformed flag values.  On
 /// success *journal is the storage opt.journal points to, when any of
 /// --resume/--journal asked for one.
 bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
                         core::Journal& journal) {
-  if (const char* v = arg_value(argc, argv, "--retries="))
-    opt.max_retries = std::atoi(v);
-  if (const char* v = arg_value(argc, argv, "--deadline="))
-    opt.deadline_seconds = std::atof(v);
+  if (!int_flag(argc, argv, "--retries=", &opt.max_retries) ||
+      !double_flag(argc, argv, "--deadline=", &opt.deadline_seconds))
+    return false;
   if (opt.max_retries < 0 || opt.deadline_seconds < 0) {
     std::fprintf(stderr, "--retries/--deadline must be non-negative\n");
     return false;
@@ -252,7 +325,8 @@ int cmd_list(const std::string& suite) {
 }
 
 int cmd_table(const std::string& suite, int argc, char** argv) {
-  const double scale = arg_scale(argc, argv);
+  double scale = 0.25;
+  if (!arg_scale(argc, argv, &scale)) return 1;
   auto benches = suite_by_name(suite, scale);
   if (benches.empty()) {
     std::fprintf(stderr, "unknown suite '%s'\n", suite.c_str());
@@ -260,13 +334,32 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
   }
   core::StudyOptions opt;
   opt.scale = scale;
-  opt.jobs = arg_jobs(argc, argv);
+  if (!arg_jobs(argc, argv, &opt.jobs)) return 1;
+  DistribFlags df;
+  if (!parse_distrib_flags(argc, argv, &df)) return 1;
   ObsSetup obs;
   if (!apply_obs_flags(argc, argv, opt, obs)) return 1;
   core::Journal journal;
   if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
-  const core::Study study(std::move(opt));
-  const auto t = study.run_suite(benches);
+  report::Table t;
+  std::optional<core::Study> study;  // in-process path only
+  if (df.procs > 0) {
+    distrib::SupervisorOptions sopt;
+    sopt.study = std::move(opt);
+    sopt.procs = df.procs;
+    sopt.shard_dir = df.shard_dir;
+    sopt.lease_deadline_seconds = df.lease_deadline;
+    distrib::Supervisor sup(std::move(sopt));
+    try {
+      t = sup.run_suite(benches);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  } else {
+    study.emplace(std::move(opt));
+    t = study->run_suite(benches);
+  }
   report_failures(t);
   if (has_flag(argc, argv, "--csv"))
     std::fputs(report::render_csv(t).c_str(), stdout);
@@ -278,9 +371,11 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
     std::fputs(report::render_ansi(t).c_str(), stdout);
   if (has_flag(argc, argv, "--decisions"))
     std::fputs(report::render_decisions_csv(t).c_str(), stdout);
-  if (has_flag(argc, argv, "--cache-stats"))
-    std::fputs(study.cache_service().stats_text().c_str(), stderr);
-  if (obs.metrics) obs.metrics->fold_cache_stats(study.cache_service());
+  if (study) {
+    if (has_flag(argc, argv, "--cache-stats"))
+      std::fputs(study->cache_service().stats_text().c_str(), stderr);
+    if (obs.metrics) obs.metrics->fold_cache_stats(study->cache_service());
+  }
   flush_obs(obs);
   const auto s = core::summarize(t);
   std::printf("\nmedian best-compiler gain: %.3fx (mean %.3fx, peak %.3fx)\n",
@@ -289,25 +384,47 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
 }
 
 int cmd_run(const std::string& name, int argc, char** argv) {
-  const double scale = arg_scale(argc, argv);
+  double scale = 0.25;
+  if (!arg_scale(argc, argv, &scale)) return 1;
   for (auto& b : kernels::all_benchmarks(scale)) {
     if (b.name() != name) continue;
     core::StudyOptions opt;
     opt.scale = scale;
-    opt.jobs = arg_jobs(argc, argv);
+    if (!arg_jobs(argc, argv, &opt.jobs)) return 1;
+    DistribFlags df;
+    if (!parse_distrib_flags(argc, argv, &df)) return 1;
     ObsSetup obs;
     if (!apply_obs_flags(argc, argv, opt, obs)) return 1;
     core::Journal journal;
     if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
-    const core::Study study(std::move(opt));
     std::vector<kernels::Benchmark> one;
     one.push_back(std::move(b));
-    const auto t = study.run_suite(one);
+    report::Table t;
+    std::optional<core::Study> study;
+    if (df.procs > 0) {
+      distrib::SupervisorOptions sopt;
+      sopt.study = std::move(opt);
+      sopt.procs = df.procs;
+      sopt.shard_dir = df.shard_dir;
+      sopt.lease_deadline_seconds = df.lease_deadline;
+      distrib::Supervisor sup(std::move(sopt));
+      try {
+        t = sup.run_suite(one);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else {
+      study.emplace(std::move(opt));
+      t = study->run_suite(one);
+    }
     report_failures(t);
     std::fputs(report::render_ansi(t).c_str(), stdout);
-    if (has_flag(argc, argv, "--cache-stats"))
-      std::fputs(study.cache_service().stats_text().c_str(), stderr);
-    if (obs.metrics) obs.metrics->fold_cache_stats(study.cache_service());
+    if (study) {
+      if (has_flag(argc, argv, "--cache-stats"))
+        std::fputs(study->cache_service().stats_text().c_str(), stderr);
+      if (obs.metrics) obs.metrics->fold_cache_stats(study->cache_service());
+    }
     flush_obs(obs);
     return 0;
   }
@@ -445,11 +562,12 @@ void usage() {
       "  list [suite]                  suites: micro polybench top500 ecp fiber\n"
       "                                        spec-cpu spec-omp all\n"
       "  table <suite> [--scale=f] [--jobs=N] [--csv|--json|--md] [--decisions]\n"
+      "                [--procs=N] [--shard-dir=DIR] [--lease-deadline=SECONDS]\n"
       "                [--log-level=quiet|progress|debug] [--progress]\n"
       "                [--trace=PATH] [--metrics=PATH]\n"
       "                [--retries=N] [--deadline=SECONDS] [--fail-fast]\n"
       "                [--resume=PATH] [--journal=PATH]\n"
-      "                [--inject-faults=compile:P,runtime:P,hang:P]\n"
+      "                [--inject-faults=compile:P,runtime:P,hang:P,crash:P]\n"
       "                [--no-estimate-cache] [--no-analysis-cache]\n"
       "                [--cache-budget=N[K|M|G]] [--cache-stats]\n"
       "                                   # --cache-budget caps the unified\n"
@@ -461,9 +579,20 @@ void usage() {
       "                                   # disable perf-model / in-pipeline\n"
       "                                   # analysis memoization (A/B only;\n"
       "                                   # identical tables)\n"
-      "                                   # --jobs=0 (default) = all hardware\n"
+      "                                   # --jobs absent = all hardware\n"
       "                                   # threads, --jobs=1 = serial; output\n"
       "                                   # is bit-identical for any N\n"
+      "                                   # --procs=N forks N crash-isolated\n"
+      "                                   # worker processes leasing cells from\n"
+      "                                   # a durable queue under --shard-dir\n"
+      "                                   # (default a64fxcc-shards); a worker\n"
+      "                                   # holding a lease past\n"
+      "                                   # --lease-deadline (default 30s) is\n"
+      "                                   # presumed hung and its cells\n"
+      "                                   # re-leased.  Tables are byte-\n"
+      "                                   # identical for any N, even across\n"
+      "                                   # kill -9; re-running with the same\n"
+      "                                   # --shard-dir resumes\n"
       "                                   # --resume restores completed cells\n"
       "                                   # from a journal and appends new ones\n"
       "                                   # --trace = Chrome trace_event JSON,\n"
@@ -471,6 +600,7 @@ void usage() {
       "                                   # both diagnostics-only (identical\n"
       "                                   # tables on or off)\n"
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
+      "                  [--procs=N] [--shard-dir=DIR] [--lease-deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
       "                  [--no-estimate-cache] [--no-analysis-cache]\n"
       "                  [--cache-budget=N[K|M|G]] [--cache-stats]\n"
