@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "exec/jsonio.hpp"
+
 namespace a64fxcc::core {
 
 namespace {
@@ -25,61 +27,13 @@ std::uint64_t hash_str(const std::string& s) {
   return h;
 }
 
-void append_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
-
-/// Append one "key":value pair; strings escaped, doubles at full
-/// precision (%.17g round-trips every finite IEEE double; failed cells
-/// keep their infinities out of the file entirely).
-void field_str(std::string& out, const char* key, const std::string& v) {
-  out += "\"";
-  out += key;
-  out += "\":\"";
-  append_escaped(out, v);
-  out += "\"";
-}
-
-void field_num(std::string& out, const char* key, double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "\"%s\":%.17g", key, v);
-  out += buf;
-}
-
-/// Extract the raw string value of "key":"..." (escape-aware); nullopt
-/// when absent.
-std::optional<std::string> get_str(const std::string& line, const char* key) {
-  const std::string needle = std::string("\"") + key + "\":\"";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  std::string out;
-  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
-    const char c = line[i];
-    if (c == '\\') {
-      if (i + 1 >= line.size()) return std::nullopt;  // torn line
-      out.push_back(line[++i]);
-    } else if (c == '"') {
-      return out;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return std::nullopt;  // unterminated: torn line
-}
-
-std::optional<double> get_num(const std::string& line, const char* key) {
-  const std::string needle = std::string("\"") + key + "\":";
-  const std::size_t at = line.find(needle);
-  if (at == std::string::npos) return std::nullopt;
-  const char* start = line.c_str() + at + needle.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return std::nullopt;
-  return v;
-}
+// The line codec lives in exec/jsonio.hpp, shared with the lease queue
+// and the telemetry shards: one escaping convention across every
+// durable log.
+using exec::jsonio::field_num;
+using exec::jsonio::field_str;
+using exec::jsonio::get_num;
+using exec::jsonio::get_str;
 
 }  // namespace
 

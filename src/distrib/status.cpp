@@ -1,0 +1,193 @@
+#include "distrib/status.hpp"
+
+#include <cstdio>
+
+#include "exec/jsonio.hpp"
+
+namespace a64fxcc::distrib {
+
+namespace {
+
+using exec::jsonio::field_num;
+using exec::jsonio::field_str;
+using exec::jsonio::get_num;
+using exec::jsonio::get_str;
+
+/// Cursor past a balanced {...} starting at `at` (doc[at] == '{').
+std::size_t skip_object(const std::string& doc, std::size_t at) {
+  int depth = 0;
+  bool in_str = false;
+  for (std::size_t i = at; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_str) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    else if (c == '{') ++depth;
+    else if (c == '}' && --depth == 0) return i + 1;
+  }
+  return doc.size();
+}
+
+}  // namespace
+
+std::string encode_status(const StudyStatus& st) {
+  std::string out = "{";
+  field_num(out, "v", kStatusFormatVersion);
+  out += ",";
+  field_str(out, "phase", st.phase);
+  out += ",";
+  field_num(out, "elapsed_seconds", st.elapsed_seconds);
+  out += ",";
+  field_num(out, "cells_total", static_cast<double>(st.cells_total));
+  out += ",";
+  field_num(out, "cells_done", static_cast<double>(st.cells_done));
+  out += ",";
+  field_num(out, "cells_leased", static_cast<double>(st.cells_leased));
+  out += ",";
+  field_num(out, "cells_resumed", static_cast<double>(st.cells_resumed));
+  out += ",";
+  field_num(out, "cells_released", static_cast<double>(st.cells_released));
+  out += ",";
+  field_num(out, "workers_spawned", st.workers_spawned);
+  out += ",";
+  field_num(out, "worker_respawns", st.worker_respawns);
+  out += ",";
+  field_num(out, "max_generation", st.max_generation);
+  out += ",";
+  field_num(out, "degraded", st.degraded ? 1 : 0);
+  out += ",";
+  field_num(out, "eta_seconds", st.eta_seconds);
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < st.workers.size(); ++i) {
+    const WorkerStatus& w = st.workers[i];
+    if (i > 0) out += ",";
+    out += "{";
+    field_num(out, "spawn_index", w.spawn_index);
+    out += ",";
+    field_num(out, "pid", w.pid);
+    out += ",";
+    field_str(out, "state", w.state);
+    out += ",";
+    field_str(out, "detail", w.detail);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::optional<StudyStatus> decode_status(const std::string& doc) {
+  if (const auto v = get_num(doc, "v"); !v || *v > kStatusFormatVersion)
+    return std::nullopt;
+  const auto phase = get_str(doc, "phase");
+  const auto total = get_num(doc, "cells_total");
+  const auto done = get_num(doc, "cells_done");
+  if (!phase || !total || !done) return std::nullopt;
+  StudyStatus st;
+  st.phase = *phase;
+  st.cells_total = static_cast<std::size_t>(*total);
+  st.cells_done = static_cast<std::size_t>(*done);
+  st.elapsed_seconds = get_num(doc, "elapsed_seconds").value_or(0);
+  st.cells_leased =
+      static_cast<std::size_t>(get_num(doc, "cells_leased").value_or(0));
+  st.cells_resumed =
+      static_cast<std::size_t>(get_num(doc, "cells_resumed").value_or(0));
+  st.cells_released =
+      static_cast<std::size_t>(get_num(doc, "cells_released").value_or(0));
+  st.workers_spawned =
+      static_cast<int>(get_num(doc, "workers_spawned").value_or(0));
+  st.worker_respawns =
+      static_cast<int>(get_num(doc, "worker_respawns").value_or(0));
+  st.max_generation =
+      static_cast<int>(get_num(doc, "max_generation").value_or(0));
+  st.degraded = get_num(doc, "degraded").value_or(0) != 0;
+  st.eta_seconds = get_num(doc, "eta_seconds").value_or(-1);
+  // The workers array is last; scalar extraction above is first-match
+  // and every per-worker key differs from the top-level ones.
+  std::size_t i = doc.find("\"workers\":[");
+  if (i == std::string::npos) return st;
+  i += sizeof("\"workers\":[") - 1;
+  while (i < doc.size() && doc[i] != ']') {
+    if (doc[i] != '{') {
+      ++i;
+      continue;
+    }
+    const std::size_t end = skip_object(doc, i);
+    const std::string entry = doc.substr(i, end - i);
+    WorkerStatus w;
+    w.spawn_index = static_cast<int>(get_num(entry, "spawn_index").value_or(0));
+    w.pid = static_cast<int>(get_num(entry, "pid").value_or(0));
+    w.state = get_str(entry, "state").value_or("?");
+    w.detail = get_str(entry, "detail").value_or("");
+    st.workers.push_back(std::move(w));
+    i = end;
+  }
+  return st;
+}
+
+bool write_status(const StudyStatus& st, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = encode_status(st);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<StudyStatus> load_status(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string doc;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  return decode_status(doc);
+}
+
+std::string render_status(const StudyStatus& st) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "study %s%s — %.1fs elapsed\n",
+                st.phase.c_str(), st.degraded ? " (degraded)" : "",
+                st.elapsed_seconds);
+  out += buf;
+  const double pct =
+      st.cells_total > 0
+          ? 100.0 * static_cast<double>(st.cells_done) /
+                static_cast<double>(st.cells_total)
+          : 0.0;
+  std::snprintf(buf, sizeof buf,
+                "  cells   %zu/%zu done (%.1f%%), %zu leased, %zu "
+                "remaining\n",
+                st.cells_done, st.cells_total, pct, st.cells_leased,
+                st.cells_remaining());
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "          %zu resumed, %zu released, max generation %d\n",
+                st.cells_resumed, st.cells_released, st.max_generation);
+  out += buf;
+  if (st.eta_seconds >= 0) {
+    std::snprintf(buf, sizeof buf, "  eta     %.1fs\n", st.eta_seconds);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  workers %d spawned, %d respawned\n",
+                st.workers_spawned, st.worker_respawns);
+  out += buf;
+  for (const auto& w : st.workers) {
+    std::snprintf(buf, sizeof buf, "    [w%d] pid %d %s%s%s\n",
+                  w.spawn_index, w.pid, w.state.c_str(),
+                  w.detail.empty() ? "" : ": ",
+                  w.detail.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace a64fxcc::distrib

@@ -8,9 +8,12 @@
 #include <thread>
 
 #include "core/cell.hpp"
+#include "distrib/status.hpp"
 #include "exec/engine.hpp"
 #include "exec/events.hpp"
 #include "exec/process.hpp"
+#include "obs/shard.hpp"
+#include "obs/trace.hpp"
 
 namespace a64fxcc::distrib {
 
@@ -41,6 +44,44 @@ std::string shard_name(int spawn_index) {
 
 void nap() { std::this_thread::sleep_for(std::chrono::milliseconds(2)); }
 
+/// One completed cell's telemetry record (see obs/shard.hpp): the
+/// deterministic per-cell facts a merged registry is rebuilt from.
+obs::CellTelemetry cell_telemetry(std::uint64_t key, int gen, int pid,
+                                  const std::string& benchmark,
+                                  const std::string& compiler,
+                                  const core::CellResult& res,
+                                  double wall_seconds,
+                                  std::vector<double> backoffs) {
+  const runtime::RunMetrics& m = res.metrics;
+  obs::CellTelemetry t;
+  t.key = key;
+  t.benchmark = benchmark;
+  t.compiler = compiler;
+  t.status = runtime::to_string(res.run.status);
+  t.gen = gen;
+  t.attempt = res.attempt;
+  t.pid = pid;
+  t.compile_cache_hits = static_cast<std::uint64_t>(m.compile_cache_hits);
+  t.compile_cache_misses = static_cast<std::uint64_t>(m.compile_cache_misses);
+  t.plan_cache_hits = static_cast<std::uint64_t>(m.plan_cache_hits);
+  t.plan_cache_misses = static_cast<std::uint64_t>(m.plan_cache_misses);
+  t.estimate_cache_hits = static_cast<std::uint64_t>(m.estimate_cache_hits);
+  t.estimate_cache_misses =
+      static_cast<std::uint64_t>(m.estimate_cache_misses);
+  t.analysis_cache_hits = static_cast<std::uint64_t>(m.analysis_cache_hits);
+  t.analysis_cache_misses =
+      static_cast<std::uint64_t>(m.analysis_cache_misses);
+  t.analysis_cache_invalidations =
+      static_cast<std::uint64_t>(m.analysis_cache_invalidations);
+  t.cache_evictions = static_cast<std::uint64_t>(m.cache_evictions);
+  t.compile_seconds = m.compile_seconds;
+  t.explore_seconds = m.explore_seconds;
+  t.measure_seconds = m.measure_seconds;
+  t.wall_seconds = wall_seconds;
+  t.backoffs = std::move(backoffs);
+  return t;
+}
+
 /// Entry point of one forked worker: lease -> evaluate -> record ->
 /// done, until the queue drains.  Exit codes: 0 = drained; 112/113 =
 /// could not open the queue/shard (infrastructure, supervisor will not
@@ -50,15 +91,37 @@ int worker_main(const std::string& lease_path,
                 const std::string& shard_path,
                 const std::vector<kernels::Benchmark>& suite,
                 const core::StudyOptions& wopt, double lease_deadline,
-                int threads, std::size_t batch) {
+                int threads, std::size_t batch, bool telemetry,
+                std::chrono::steady_clock::time_point epoch,
+                const std::string& trace_path,
+                const std::string& metrics_path) {
   LeaseQueue queue(lease_path, keys);
   if (!queue.open()) return 112;
   core::Journal shard;
   if (!shard.open(shard_path)) return 113;
-  core::Study study(wopt);
-  const runtime::Harness& h = study.harness();
-  const std::size_t cols = wopt.compilers.size();
   const int self = exec::current_pid();
+  // Telemetry shards are best-effort: a worker that cannot open one
+  // still evaluates cells (results are the contract, telemetry is
+  // diagnostics).  Spans stream to disk the moment they close, so a
+  // SIGKILL loses only the span in flight; cell records append before
+  // the lease completes, making them at-least-once — the aggregator
+  // dedupes by cell key.
+  core::StudyOptions topt = wopt;
+  obs::Tracer wtracer(epoch);
+  obs::ShardWriter trace_out;
+  obs::ShardWriter metrics_out;
+  if (telemetry) {
+    if (trace_out.open(trace_path)) {
+      wtracer.set_record_hook([&trace_out, self](const obs::Tracer::Record& r) {
+        trace_out.append(obs::encode_span(r, self));
+      });
+      topt.tracer = &wtracer;
+    }
+    (void)metrics_out.open(metrics_path);
+  }
+  core::Study study(topt);
+  const runtime::Harness& h = study.harness();
+  const std::size_t cols = topt.compilers.size();
   exec::Engine engine(threads);
   while (true) {
     const auto claims = queue.acquire(self, lease_deadline, batch);
@@ -75,7 +138,7 @@ int worker_main(const std::string& lease_path,
         [&](std::size_t i, int) {
           const Claim& cl = claims[i];
           const auto& bench = suite[cl.index / cols];
-          const auto& spec = wopt.compilers[cl.index % cols];
+          const auto& spec = topt.compilers[cl.index % cols];
           const core::CrashFn on_crash = [&shard_path](int) {
             // Injected process death: leave a torn line in the shard —
             // what a real crash mid-append does — then die without
@@ -87,9 +150,28 @@ int worker_main(const std::string& lease_path,
             }
             exec::hard_exit(139);
           };
-          const core::CellResult res =
-              core::evaluate_cell(h, wopt, bench, spec, cl.gen, {}, on_crash);
+          std::vector<double> backoffs;
+          core::RetryFn on_retry;
+          if (metrics_out.is_open())
+            on_retry = [&backoffs](int, const runtime::MeasuredRun&,
+                                   double b) { backoffs.push_back(b); };
+          const auto cell_t0 = std::chrono::steady_clock::now();
+          core::CellResult res;
+          {
+            const auto sp =
+                obs::scoped(topt.tracer, "cell", bench.name(), spec.name);
+            res = core::evaluate_cell(h, topt, bench, spec, cl.gen, on_retry,
+                                      on_crash);
+          }
           shard.record({cl.key, res.run});
+          if (metrics_out.is_open()) {
+            metrics_out.append(obs::encode_cell(cell_telemetry(
+                cl.key, cl.gen, self, bench.name(), spec.name, res,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - cell_t0)
+                    .count(),
+                std::move(backoffs))));
+          }
           queue.complete(cl.key, self);
         },
         exec::ErrorPolicy::CollectAll);
@@ -128,6 +210,53 @@ report::Table Supervisor::run_suite(
                              lease_path);
   queue.poll();
 
+  // Lifecycle spans record on the parent tracer (inert when none);
+  // workers inherit its epoch so every process shares one time axis
+  // (steady_clock is machine-wide per boot, so the epoch survives
+  // fork).  Without a tracer the epoch is captured here for the same
+  // reason.
+  obs::Tracer* const tracer = sopt.tracer;
+  const std::chrono::steady_clock::time_point epoch =
+      tracer != nullptr ? tracer->epoch() : std::chrono::steady_clock::now();
+
+  // Live status: throttled atomic-rename publications of status.json
+  // (see distrib/status.hpp).  done0/run_t0 anchor the ETA rate so
+  // resumed cells don't inflate it.
+  const std::string status_path = opt_.shard_dir + "/status.json";
+  const double run_t0 = LeaseQueue::now();
+  std::vector<WorkerStatus> roster;
+  std::size_t done0 = 0;
+  int max_gen = 0;
+  double last_status = -1e30;
+  const auto publish_status = [&](const char* phase, bool force) {
+    if (opt_.status_interval_seconds <= 0) return;
+    const double now = LeaseQueue::now();
+    if (!force && now - last_status < opt_.status_interval_seconds) return;
+    last_status = now;
+    StudyStatus st;
+    st.phase = phase;
+    st.elapsed_seconds = now - run_t0;
+    st.cells_total = keys.size();
+    st.cells_done = queue.done_count();
+    const auto leases = queue.active_leases();
+    st.cells_leased = leases.size();
+    for (const auto& l : leases) max_gen = std::max(max_gen, l.gen);
+    st.cells_resumed = stats_.resumed_cells;
+    st.cells_released = stats_.cells_released;
+    st.workers_spawned = stats_.workers_spawned;
+    st.worker_respawns = stats_.worker_respawns;
+    st.max_generation = max_gen;
+    st.degraded = stats_.degraded;
+    const double rate =
+        st.elapsed_seconds > 0.05 && st.cells_done > done0
+            ? static_cast<double>(st.cells_done - done0) / st.elapsed_seconds
+            : 0;
+    st.eta_seconds =
+        rate > 0 ? static_cast<double>(st.cells_remaining()) / rate : -1;
+    st.workers = roster;
+    (void)write_status(st, status_path);
+  };
+
   const auto emit_worker = [&](exec::EventKind kind, int spawn_index, int pid,
                                std::string detail) {
     if (sopt.sink == nullptr) return;
@@ -147,29 +276,34 @@ report::Table Supervisor::run_suite(
   // it is valid; done-but-failed (or done-but-missing — a lost shard
   // file) cells reopen, mirroring the single-process journal's
   // "failed cells re-evaluate" semantics.
-  if (queue.done_count() > 0) {
-    core::Journal prior;
-    Reducer::load_shards(opt_.shard_dir, prior);
-    for (const std::uint64_t key : keys) {
-      if (!queue.done(key)) continue;
-      const runtime::MeasuredRun* run = prior.find(key);
-      if (run != nullptr && run->valid()) {
-        ++stats_.resumed_cells;
-      } else {
-        queue.reopen(key);
-        ++stats_.reopened_cells;
+  {
+    const auto resume_sp = obs::scoped(tracer, "sup:resume");
+    if (queue.done_count() > 0) {
+      core::Journal prior;
+      Reducer::load_shards(opt_.shard_dir, prior);
+      for (const std::uint64_t key : keys) {
+        if (!queue.done(key)) continue;
+        const runtime::MeasuredRun* run = prior.find(key);
+        if (run != nullptr && run->valid()) {
+          ++stats_.resumed_cells;
+        } else {
+          queue.reopen(key);
+          ++stats_.reopened_cells;
+        }
+      }
+    }
+    // Any lease on the books right now is orphaned (we have no workers
+    // yet): an interrupted previous run, possibly from a previous boot
+    // whose monotonic deadlines are meaningless — release uniformly.
+    for (const auto& l : queue.active_leases()) {
+      if (queue.release(l.key, l.owner)) {
+        ++stats_.cells_released;
+        emit_released(1, l.owner);
       }
     }
   }
-  // Any lease on the books right now is orphaned (we have no workers
-  // yet): an interrupted previous run, possibly from a previous boot
-  // whose monotonic deadlines are meaningless — release uniformly.
-  for (const auto& l : queue.active_leases()) {
-    if (queue.release(l.key, l.owner)) {
-      ++stats_.cells_released;
-      emit_released(1, l.owner);
-    }
-  }
+  done0 = queue.done_count();
+  publish_status("resume", true);
 
   const core::StudyOptions wopt = worker_options(sopt);
   const int threads = sopt.jobs > 0 ? sopt.jobs : 1;
@@ -183,14 +317,23 @@ report::Table Supervisor::run_suite(
   std::vector<LiveWorker> live;
   int spawn_seq = 0;
   const auto spawn_worker = [&]() -> bool {
+    const auto spawn_sp = obs::scoped(tracer, "sup:spawn");
     const int idx = spawn_seq++;
     const std::string shard_path = opt_.shard_dir + "/" + shard_name(idx);
-    const int pid = exec::spawn_process([&, shard_path] {
-      return worker_main(lease_path, keys, shard_path, suite, wopt,
-                         opt_.lease_deadline_seconds, threads, batch);
-    });
+    const std::string trace_path =
+        opt_.shard_dir + "/" + obs::trace_shard_name(idx);
+    const std::string metrics_path =
+        opt_.shard_dir + "/" + obs::metrics_shard_name(idx);
+    const bool telem = opt_.telemetry;
+    const int pid =
+        exec::spawn_process([&, shard_path, trace_path, metrics_path, telem] {
+          return worker_main(lease_path, keys, shard_path, suite, wopt,
+                             opt_.lease_deadline_seconds, threads, batch,
+                             telem, epoch, trace_path, metrics_path);
+        });
     if (pid < 0) return false;
     live.push_back({idx, pid});
+    roster.push_back({idx, pid, "alive", ""});
     ++stats_.workers_spawned;
     emit_worker(exec::EventKind::WorkerSpawned, idx, pid, "");
     return true;
@@ -208,13 +351,22 @@ report::Table Supervisor::run_suite(
     // deterministic fault decision is an injected crash (a worker
     // would have died and been re-leased at gen+1; we converge to the
     // same surviving generation without dying).
-    core::Study study(wopt);
+    const auto drain_sp = obs::scoped(tracer, "sup:inline-drain");
+    // The parent's tracer observes the inline cells (they land on the
+    // supervisor's trace row); the cell records go to a 'zz' metrics
+    // shard so they sort after — and thus supersede — every worker's.
+    core::StudyOptions iopt = wopt;
+    iopt.tracer = tracer;
+    core::Study study(iopt);
     const runtime::Harness& h = study.harness();
     core::Journal shard;
     // 'zz' sorts after every 'shard-NNNN' worker shard: in a merge the
     // inline outcomes win, though duplicates are byte-identical anyway.
     if (!shard.open(opt_.shard_dir + "/shard-zz-inline.jsonl")) return;
     const int self = exec::current_pid();
+    obs::ShardWriter metrics_out;
+    if (opt_.telemetry)
+      (void)metrics_out.open(opt_.shard_dir + "/metrics-shard-zz-inline.jsonl");
     int stuck_rounds = 0;
     while (true) {
       const auto claims = queue.acquire(self, 1e9, 8);
@@ -234,26 +386,53 @@ report::Table Supervisor::run_suite(
       stuck_rounds = 0;
       for (const Claim& cl : claims) {
         const auto& bench = suite[cl.index / cols];
-        const auto& spec = wopt.compilers[cl.index % cols];
+        const auto& spec = iopt.compilers[cl.index % cols];
         core::CellResult res;
-        for (int gen = cl.gen;; ++gen) {
-          res = core::evaluate_cell(h, wopt, bench, spec, gen);
-          const bool injected_crash =
-              res.run.status == runtime::CellStatus::Crashed &&
-              res.run.diagnostic.find(kInjectedCrashTag) != std::string::npos;
-          if (!injected_crash || gen - cl.gen >= 32) break;
+        std::vector<double> backoffs;
+        core::RetryFn on_retry;
+        if (metrics_out.is_open())
+          on_retry = [&backoffs](int, const runtime::MeasuredRun&,
+                                 double b) { backoffs.push_back(b); };
+        const auto cell_t0 = std::chrono::steady_clock::now();
+        int gen = cl.gen;
+        {
+          const auto sp =
+              obs::scoped(tracer, "cell", bench.name(), spec.name);
+          for (;; ++gen) {
+            backoffs.clear();  // only the surviving generation counts
+            res = core::evaluate_cell(h, iopt, bench, spec, gen, on_retry);
+            const bool injected_crash =
+                res.run.status == runtime::CellStatus::Crashed &&
+                res.run.diagnostic.find(kInjectedCrashTag) !=
+                    std::string::npos;
+            if (!injected_crash || gen - cl.gen >= 32) break;
+          }
         }
         shard.record({cl.key, res.run});
+        if (metrics_out.is_open()) {
+          metrics_out.append(obs::encode_cell(cell_telemetry(
+              cl.key, gen, self, bench.name(), spec.name, res,
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - cell_t0)
+                  .count(),
+              std::move(backoffs))));
+        }
         queue.complete(cl.key, self);
         ++stats_.inline_cells;
       }
+      publish_status("inline-drain", false);
     }
     if (stats_.inline_cells > 0) stats_.degraded = true;
   };
 
+  // Idle waiting shows up in the trace as one sup:lease-wait span per
+  // contiguous idle stretch (not one per 2ms poll), opened lazily and
+  // closed by the next supervisor action.
+  obs::Span wait_span;
   while (true) {
     queue.poll();
     if (queue.drained()) break;
+    bool acted = false;
     // Reap the dead: release their leases, respawn while budget lasts.
     for (auto it = live.begin(); it != live.end();) {
       const auto ex = exec::try_reap(it->pid);
@@ -261,8 +440,17 @@ report::Table Supervisor::run_suite(
         ++it;
         continue;
       }
+      wait_span.end();
+      acted = true;
+      const auto reap_sp = obs::scoped(tracer, "sup:reap");
       emit_worker(exec::EventKind::WorkerExited, it->spawn_index, it->pid,
                   ex->describe());
+      for (auto& w : roster) {
+        if (w.pid == it->pid && w.state == "alive") {
+          w.state = "exited";
+          w.detail = ex->describe();
+        }
+      }
       const std::size_t released = queue.release_owner(it->pid);
       if (released > 0) {
         stats_.cells_released += released;
@@ -280,8 +468,11 @@ report::Table Supervisor::run_suite(
         const double b = core::retry_backoff(sopt.retry_backoff_seconds,
                                              "distrib", "respawn",
                                              stats_.worker_respawns);
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(std::min(b, 0.05)));
+        {
+          const auto backoff_sp = obs::scoped(tracer, "sup:respawn-backoff");
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(std::min(b, 0.05)));
+        }
         if (spawn_worker()) {
           ++stats_.worker_respawns;
           emit_worker(exec::EventKind::WorkerRespawned,
@@ -296,7 +487,15 @@ report::Table Supervisor::run_suite(
     // Hung workers: a live pid holding an expired lease gets SIGKILL
     // (reaped above next round, which releases all its cells);
     // expired leases of unmanaged pids are released directly.
-    for (const auto& l : queue.expired_leases(LeaseQueue::now())) {
+    const auto expired = queue.expired_leases(LeaseQueue::now());
+    if (!expired.empty()) {
+      wait_span.end();
+      acted = true;
+    }
+    const auto relse_sp = expired.empty()
+                              ? obs::Span()
+                              : obs::scoped(tracer, "sup:re-lease");
+    for (const auto& l : expired) {
       bool managed = false;
       for (const auto& w : live) managed = managed || w.pid == l.owner;
       if (managed) {
@@ -309,16 +508,29 @@ report::Table Supervisor::run_suite(
     if (live.empty()) {
       queue.poll();
       if (queue.drained()) break;
+      wait_span.end();
       inline_drain();
       break;
     }
+    publish_status("running", false);
+    if (!acted && tracer != nullptr && !wait_span)
+      wait_span = obs::scoped(tracer, "sup:lease-wait");
     nap();
   }
+  wait_span.end();
 
   // Final reap: workers notice the drain and exit 0 on their own; a
   // straggler still double-evaluating a re-leased cell gets one lease
   // deadline of grace, then SIGKILL (its duplicate would have been
   // byte-identical anyway).
+  const auto roster_exited = [&](int pid, const std::string& detail) {
+    for (auto& w : roster) {
+      if (w.pid == pid && w.state == "alive") {
+        w.state = "exited";
+        w.detail = detail;
+      }
+    }
+  };
   const double reap_deadline =
       LeaseQueue::now() + opt_.lease_deadline_seconds + 1.0;
   while (!live.empty()) {
@@ -326,6 +538,7 @@ report::Table Supervisor::run_suite(
       if (const auto ex = exec::try_reap(it->pid)) {
         emit_worker(exec::EventKind::WorkerExited, it->spawn_index, it->pid,
                     ex->describe());
+        roster_exited(it->pid, ex->describe());
         it = live.erase(it);
       } else {
         ++it;
@@ -338,19 +551,35 @@ report::Table Supervisor::run_suite(
         if (const auto ex = exec::reap(w.pid)) {
           emit_worker(exec::EventKind::WorkerExited, w.spawn_index, w.pid,
                       ex->describe());
+          roster_exited(w.pid, ex->describe());
         }
       }
       live.clear();
       break;
     }
+    publish_status("draining", false);
     nap();
   }
 
-  return Reducer::merge(opt_.shard_dir, suite, sopt, &stats_.reduce);
+  publish_status("reducing", true);
+  report::Table table = [&] {
+    const auto reduce_sp = obs::scoped(tracer, "sup:reduce");
+    return Reducer::merge(opt_.shard_dir, suite, sopt, &stats_.reduce);
+  }();
+  publish_status("done", true);
+  return table;
 }
 
 report::Table Supervisor::run_all() {
   return run_suite(kernels::all_benchmarks(opt_.study.scale));
+}
+
+bool Supervisor::load_telemetry(obs::Aggregator& agg) const {
+  const bool ok = agg.load_dir(opt_.shard_dir);
+  if (opt_.study.tracer != nullptr)
+    agg.add_process(exec::current_pid(), "supervisor",
+                    opt_.study.tracer->records());
+  return ok;
 }
 
 }  // namespace a64fxcc::distrib

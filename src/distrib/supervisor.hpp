@@ -27,6 +27,7 @@
 #include "distrib/reducer.hpp"
 #include "distrib/work_queue.hpp"
 #include "kernels/benchmark.hpp"
+#include "obs/aggregate.hpp"
 #include "report/figure2.hpp"
 
 namespace a64fxcc::distrib {
@@ -58,6 +59,16 @@ struct SupervisorOptions {
   /// count.  Larger batches amortize flock round-trips, smaller ones
   /// lose less work per crash.
   std::size_t lease_batch = 0;
+  /// Worker telemetry: each worker streams `trace-shard-<k>.jsonl`
+  /// (one line per completed span, on the parent tracer's time axis)
+  /// and `metrics-shard-<k>.jsonl` (one line per completed cell) next
+  /// to its result shard, for cross-process aggregation via
+  /// `load_telemetry`.  Independently, the supervisor's own lifecycle
+  /// spans (sup:*) record on `study.tracer` whenever one is set.
+  bool telemetry = false;
+  /// Seconds between `<shard-dir>/status.json` publications (atomic
+  /// rename; see distrib/status.hpp).  <= 0 disables the status file.
+  double status_interval_seconds = 0.5;
 };
 
 struct SupervisorStats {
@@ -83,6 +94,12 @@ class Supervisor {
 
   /// All 108 benchmarks (Figure 2) at the configured scale.
   [[nodiscard]] report::Table run_all();
+
+  /// Fold the finished run's telemetry into `agg`: every worker
+  /// trace/metrics shard in the shard dir, plus the supervisor's own
+  /// lifecycle spans as the "supervisor" process row (when a tracer
+  /// was configured).  False when the shard dir cannot be read.
+  bool load_telemetry(obs::Aggregator& agg) const;
 
   [[nodiscard]] const SupervisorStats& stats() const noexcept {
     return stats_;

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "exec/jsonio.hpp"
+
 #ifndef _WIN32
 #include <fcntl.h>
 #include <sys/file.h>
@@ -35,30 +37,11 @@ std::optional<LeaseRecord::Op> parse_op(const std::string& s) {
   return std::nullopt;
 }
 
-// Minimal field extraction over our own writer's output (same approach
-// as the journal's decode: keys are unique, values carry no escapes).
-std::optional<std::string> get_string(const std::string& line,
-                                      const std::string& field) {
-  const std::string pat = "\"" + field + "\":\"";
-  const auto pos = line.find(pat);
-  if (pos == std::string::npos) return std::nullopt;
-  const auto start = pos + pat.size();
-  const auto end = line.find('"', start);
-  if (end == std::string::npos) return std::nullopt;
-  return line.substr(start, end - start);
-}
-
-std::optional<double> get_number(const std::string& line,
-                                 const std::string& field) {
-  const std::string pat = "\"" + field + "\":";
-  const auto pos = line.find(pat);
-  if (pos == std::string::npos) return std::nullopt;
-  const char* start = line.c_str() + pos + pat.size();
-  char* end = nullptr;
-  const double v = std::strtod(start, &end);
-  if (end == start) return std::nullopt;
-  return v;
-}
+// Field extraction comes from the shared line codec (exec/jsonio.hpp);
+// lease values carry no escapes but the escape-aware reader is a strict
+// superset of the old local one.
+const auto& get_string = exec::jsonio::get_str;
+const auto& get_number = exec::jsonio::get_num;
 
 }  // namespace
 

@@ -2,27 +2,13 @@
 
 #include <cstdio>
 
+#include "exec/jsonio.hpp"
+
 namespace a64fxcc::obs {
 
 namespace {
 
-const char* status_counter(runtime::CellStatus st) {
-  switch (st) {
-    case runtime::CellStatus::Ok: return "cells_ok";
-    case runtime::CellStatus::CompileError: return "cells_compile_error";
-    case runtime::CellStatus::RuntimeError: return "cells_runtime_error";
-    case runtime::CellStatus::Timeout: return "cells_timeout";
-    case runtime::CellStatus::Crashed: return "cells_crashed";
-  }
-  return "cells_unknown";
-}
-
-void append_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-}
+using exec::jsonio::append_escaped;
 
 void append_hist(std::string& out, const Histogram& h) {
   char buf[96];
@@ -45,89 +31,27 @@ void append_hist(std::string& out, const Histogram& h) {
 
 }  // namespace
 
-void MetricsSink::on_event(const exec::Event& e) {
-  if (inner_ != nullptr) inner_->on_event(e);
-  const std::lock_guard<std::mutex> lock(mu_);
-  switch (e.kind) {
-    case exec::EventKind::JobStarted:
-      counters_["jobs_started"] += 1;
-      break;
-    case exec::EventKind::JobFinished:
-      counters_["cells_ok"] += 1;
-      histograms_["cell_wall_seconds"].add(e.wall_seconds);
-      break;
-    case exec::EventKind::JobFailed:
-      counters_[status_counter(e.status)] += 1;
-      histograms_["cell_wall_seconds"].add(e.wall_seconds);
-      break;
-    case exec::EventKind::JobRetried:
-      counters_["retries"] += 1;
-      histograms_["backoff_seconds"].add(e.backoff_seconds);
-      break;
-    // Cache events carry the cache kind in `detail` ("compile"/"plan"/
-    // "estimate"); an empty detail means a pre-split emitter and keeps
-    // the historical compile_cache_* names.
-    case exec::EventKind::CacheHit:
-      counters_[(e.detail.empty() ? "compile" : e.detail) + "_cache_hits"] +=
-          e.count;
-      break;
-    case exec::EventKind::CacheMiss:
-      counters_[(e.detail.empty() ? "compile" : e.detail) + "_cache_misses"] +=
-          e.count;
-      break;
-    case exec::EventKind::CacheInvalidate:
-      counters_[(e.detail.empty() ? "analysis" : e.detail) +
-                "_cache_invalidations"] += e.count;
-      break;
-    case exec::EventKind::CacheEvict:
-      counters_[(e.detail.empty() ? "tier" : e.detail) + "_cache_evictions"] +=
-          e.count;
-      break;
-    case exec::EventKind::CellPhase:
-      histograms_["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
-      break;
-    // Multi-process lifecycle: spawn/exit counts plus the two headline
-    // crash-isolation counters, worker_respawns and cells_released.
-    case exec::EventKind::WorkerSpawned:
-      counters_["workers_spawned"] += 1;
-      break;
-    case exec::EventKind::WorkerExited:
-      counters_["workers_exited"] += 1;
-      break;
-    case exec::EventKind::WorkerRespawned:
-      counters_["worker_respawns"] += 1;
-      break;
-    case exec::EventKind::CellReleased:
-      counters_["cells_released"] += e.count;
-      break;
+const char* status_counter_name(runtime::CellStatus st) {
+  switch (st) {
+    case runtime::CellStatus::Ok: return "cells_ok";
+    case runtime::CellStatus::CompileError: return "cells_compile_error";
+    case runtime::CellStatus::RuntimeError: return "cells_runtime_error";
+    case runtime::CellStatus::Timeout: return "cells_timeout";
+    case runtime::CellStatus::Crashed: return "cells_crashed";
   }
+  return "cells_unknown";
 }
 
-void MetricsSink::fold_cache_stats(const cache::Service& svc) {
-  const auto all = svc.stats();
-  const std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& c : all) {
-    const std::string base = "cache_" + c.name + "_";
-    counters_[base + "hits"] = c.stats.hits;
-    counters_[base + "misses"] = c.stats.misses;
-    counters_[base + "evictions"] = c.stats.evictions;
-    counters_[base + "entries"] = c.stats.entries;
-    counters_[base + "bytes"] = c.stats.bytes;
-  }
+void Registry::merge(const Registry& o) {
+  for (const auto& [name, v] : o.counters) counters[name] += v;
+  for (const auto& [name, h] : o.histograms) histograms[name].merge(h);
 }
 
-std::uint64_t MetricsSink::counter(const std::string& name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
-}
-
-std::string MetricsSink::to_json() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+std::string Registry::to_json() const {
   std::string out = "{\"version\":1,\"counters\":{";
   char buf[64];
   bool first = true;
-  for (const auto& [name, v] : counters_) {
+  for (const auto& [name, v] : counters) {
     if (!first) out += ",";
     first = false;
     out += "\"";
@@ -137,13 +61,9 @@ std::string MetricsSink::to_json() const {
     out += buf;
   }
   out += "},\"gauges\":{";
-  const auto get = [&](const char* name) -> std::uint64_t {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
-  };
-  const auto rate_of = [&](const char* hits_name, const char* misses_name) {
-    const std::uint64_t hits = get(hits_name);
-    const std::uint64_t misses = get(misses_name);
+  const auto rate_of = [this](const char* hits_name, const char* misses_name) {
+    const std::uint64_t hits = counter(hits_name);
+    const std::uint64_t misses = counter(misses_name);
     return hits + misses > 0
                ? static_cast<double>(hits) / static_cast<double>(hits + misses)
                : 0.0;
@@ -162,7 +82,7 @@ std::string MetricsSink::to_json() const {
   out += buf;
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : histograms) {
     if (!first) out += ",";
     first = false;
     out += "\"";
@@ -174,10 +94,106 @@ std::string MetricsSink::to_json() const {
   return out;
 }
 
+void MetricsSink::on_event(const exec::Event& e) {
+  if (inner_ != nullptr) inner_->on_event(e);
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& counters = reg_.counters;
+  auto& histograms = reg_.histograms;
+  switch (e.kind) {
+    case exec::EventKind::JobStarted:
+      counters["jobs_started"] += 1;
+      break;
+    case exec::EventKind::JobFinished:
+      counters["cells_ok"] += 1;
+      histograms["cell_wall_seconds"].add(e.wall_seconds);
+      break;
+    case exec::EventKind::JobFailed:
+      counters[status_counter_name(e.status)] += 1;
+      histograms["cell_wall_seconds"].add(e.wall_seconds);
+      break;
+    case exec::EventKind::JobRetried:
+      counters["retries"] += 1;
+      histograms["backoff_seconds"].add(e.backoff_seconds);
+      break;
+    // Cache events carry the cache kind in `detail` ("compile"/"plan"/
+    // "estimate"); an empty detail means a pre-split emitter and keeps
+    // the historical compile_cache_* names.
+    case exec::EventKind::CacheHit:
+      counters[(e.detail.empty() ? "compile" : e.detail) + "_cache_hits"] +=
+          e.count;
+      break;
+    case exec::EventKind::CacheMiss:
+      counters[(e.detail.empty() ? "compile" : e.detail) + "_cache_misses"] +=
+          e.count;
+      break;
+    case exec::EventKind::CacheInvalidate:
+      counters[(e.detail.empty() ? "analysis" : e.detail) +
+               "_cache_invalidations"] += e.count;
+      break;
+    case exec::EventKind::CacheEvict:
+      counters[(e.detail.empty() ? "tier" : e.detail) + "_cache_evictions"] +=
+          e.count;
+      break;
+    case exec::EventKind::CellPhase:
+      histograms["phase_" + e.detail + "_seconds"].add(e.wall_seconds);
+      break;
+    // Multi-process lifecycle: spawn/exit counts plus the two headline
+    // crash-isolation counters, worker_respawns and cells_released.
+    case exec::EventKind::WorkerSpawned:
+      counters["workers_spawned"] += 1;
+      break;
+    case exec::EventKind::WorkerExited:
+      counters["workers_exited"] += 1;
+      break;
+    case exec::EventKind::WorkerRespawned:
+      counters["worker_respawns"] += 1;
+      break;
+    case exec::EventKind::CellReleased:
+      counters["cells_released"] += e.count;
+      break;
+  }
+}
+
+void MetricsSink::fold_cache_stats(const cache::Service& svc) {
+  const auto all = svc.stats();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : all) {
+    const std::string base = "cache_" + c.name + "_";
+    reg_.counters[base + "hits"] = c.stats.hits;
+    reg_.counters[base + "misses"] = c.stats.misses;
+    reg_.counters[base + "evictions"] = c.stats.evictions;
+    reg_.counters[base + "entries"] = c.stats.entries;
+    reg_.counters[base + "bytes"] = c.stats.bytes;
+  }
+}
+
+std::uint64_t MetricsSink::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reg_.counter(name);
+}
+
+Registry MetricsSink::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reg_;
+}
+
+std::string MetricsSink::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reg_.to_json();
+}
+
 bool write_metrics(const MetricsSink& m, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string json = m.to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+bool write_registry(const Registry& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = r.to_json();
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }

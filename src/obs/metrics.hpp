@@ -1,13 +1,19 @@
 #pragma once
 // Metrics registry over the exec event stream.
 //
-// MetricsSink is an EventSink that folds every engine event into
-// counters (cells by terminal status, cache hits/misses, retries) and
-// histograms (per-phase wall-clock from CellPhase events, terminal cell
-// wall time, chosen retry backoffs), and exports the registry as one
-// JSON document (`--metrics=out.json`).  It chains an optional inner
-// sink, so `--log-level=progress --metrics=m.json` composes: the stream
-// renderer and the registry see the same events.
+// Registry is the passive data half: named counters and fixed-bucket
+// histograms, mergeable (counter sums, bucket-wise histogram merge) so
+// per-process registries of a multi-process study can be combined into
+// one document, and exportable as JSON with the hit-rate gauges
+// recomputed from the merged counters.
+//
+// MetricsSink is an EventSink that folds every engine event into a
+// Registry (cells by terminal status, cache hits/misses, retries;
+// per-phase wall-clock, terminal cell wall time, chosen retry backoffs)
+// and exports it as one JSON document (`--metrics=out.json`).  It
+// chains an optional inner sink, so `--log-level=progress
+// --metrics=m.json` composes: the stream renderer and the registry see
+// the same events.
 //
 // Like tracing, metrics are diagnostics-only: they observe wall-clock
 // and event counts but never feed results, so tables stay byte-identical
@@ -56,6 +62,52 @@ struct Histogram {
     }
     overflow += 1;
   }
+
+  /// Fold another histogram in.  Buckets align by construction (the
+  /// bounds are fixed), so the merge is exact: merging shards produces
+  /// the histogram a single process observing all samples would have
+  /// built.  Merging an empty histogram is the identity.
+  void merge(const Histogram& o) noexcept {
+    for (int i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    overflow += o.overflow;
+    count += o.count;
+    sum += o.sum;
+    if (o.count > 0) {
+      if (o.min < min) min = o.min;
+      if (o.max > max) max = o.max;
+    }
+  }
+};
+
+/// The event-folded counter name for a terminal cell status
+/// ("cells_ok", "cells_compile_error", ...).  Shared by the sink and
+/// the cross-process aggregator so merged registries key identically.
+[[nodiscard]] const char* status_counter_name(runtime::CellStatus st);
+
+/// Passive counters + histograms, the mergeable data behind
+/// MetricsSink and the unit the cross-process Aggregator combines.
+struct Registry {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Histogram> histograms;
+
+  /// Current value of one counter (0 when never touched).
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  /// Fold another registry in: counters sum, histograms merge
+  /// bucket-wise.  Merging an empty registry is the identity.
+  void merge(const Registry& o);
+
+  /// The whole registry as one JSON object: {"version":1,
+  /// "counters":{...},"gauges":{"compile_cache_hit_rate":..,
+  /// "estimate_cache_hit_rate":..,"plan_cache_hit_rate":..,
+  /// "analysis_cache_hit_rate":..},
+  /// "histograms":{name:{count,sum,min,max,buckets:[{le,count}..]}}}.
+  /// Gauges are recomputed from the (possibly merged) counters, never
+  /// stored — a merged registry's hit rates are the fleet-wide rates.
+  [[nodiscard]] std::string to_json() const;
 };
 
 class MetricsSink final : public exec::EventSink {
@@ -82,20 +134,24 @@ class MetricsSink final : public exec::EventSink {
   /// JSON carries the tier state alongside the event-folded counters.
   void fold_cache_stats(const cache::Service& svc);
 
-  /// The whole registry as one JSON object: {"version":1,
-  /// "counters":{...},"gauges":{"compile_cache_hit_rate":..,
-  /// "estimate_cache_hit_rate":..,"plan_cache_hit_rate":..},
-  /// "histograms":{name:{count,sum,min,max,buckets:[{le,count}..]}}}.
+  /// A copy of the registry as folded so far (for cross-process
+  /// aggregation: the supervisor's own event stream merges with the
+  /// worker telemetry shards).
+  [[nodiscard]] Registry snapshot() const;
+
+  /// `snapshot()` rendered as JSON (see Registry::to_json).
   [[nodiscard]] std::string to_json() const;
 
  private:
   mutable std::mutex mu_;
   exec::EventSink* inner_;
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Histogram> histograms_;
+  Registry reg_;
 };
 
 /// Write `m.to_json()` to `path`.  Returns false on I/O failure.
 bool write_metrics(const MetricsSink& m, const std::string& path);
+
+/// Write `r.to_json()` to `path` (the merged-registry flavor).
+bool write_registry(const Registry& r, const std::string& path);
 
 }  // namespace a64fxcc::obs

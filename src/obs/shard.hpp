@@ -1,0 +1,122 @@
+#pragma once
+// Per-process telemetry shards for multi-process studies.
+//
+// Under `--procs=N` each worker writes two append-only JSONL files next
+// to its result shard:
+//
+//   trace-shard-<k>.jsonl    one line per completed span (streamed by a
+//                            Tracer record hook the moment each span
+//                            closes, so a SIGKILLed worker leaves every
+//                            finished span on disk)
+//   metrics-shard-<k>.jsonl  one line per *completed* cell with the
+//                            cell's deterministic telemetry (status,
+//                            retries, per-cache hits/misses, phase
+//                            seconds), keyed by the same
+//                            Journal::cell_key fingerprint the result
+//                            shards use
+//
+// The cell records are the exactly-once layer: a cell whose owner died
+// mid-evaluation re-leases and re-evaluates elsewhere, producing a
+// second record for the same key — the Aggregator dedupes last-wins in
+// sorted filename order, the identical semantics the Reducer applies to
+// result shards.  Since every per-cell field is a pure function of
+// (seed, benchmark, compiler) on clean runs, merged counters equal the
+// single-process run's no matter how cells were partitioned or how many
+// times workers were killed.
+//
+// Both files tolerate torn tails in both directions: writers append one
+// complete line per record (fflush per line) and newline-terminate any
+// torn tail on open; readers skip lines that fail to decode.
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace a64fxcc::obs {
+
+inline constexpr int kTelemetryFormatVersion = 1;
+
+/// Shard filenames for spawn index k.  The "trace-"/"metrics-" prefixes
+/// keep them invisible to the Reducer's result-shard scan (prefix
+/// "shard-").
+[[nodiscard]] std::string trace_shard_name(int spawn_index);
+[[nodiscard]] std::string metrics_shard_name(int spawn_index);
+
+/// One completed cell's deterministic telemetry, recorded by the worker
+/// that evaluated it immediately before the lease completes.
+struct CellTelemetry {
+  std::uint64_t key = 0;  ///< Journal::cell_key fingerprint
+  std::string benchmark;
+  std::string compiler;
+  std::string status;  ///< runtime::to_string(CellStatus) label
+  int gen = 0;         ///< lease generation the evaluation started at
+  int attempt = 0;     ///< attempt that produced the outcome
+  int pid = 0;         ///< evaluating process
+  std::uint64_t compile_cache_hits = 0;
+  std::uint64_t compile_cache_misses = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t estimate_cache_hits = 0;
+  std::uint64_t estimate_cache_misses = 0;
+  std::uint64_t analysis_cache_hits = 0;
+  std::uint64_t analysis_cache_misses = 0;
+  std::uint64_t analysis_cache_invalidations = 0;
+  std::uint64_t cache_evictions = 0;
+  double compile_seconds = 0;
+  double explore_seconds = 0;
+  double measure_seconds = 0;
+  double wall_seconds = 0;
+  /// Backoff chosen before each retry, in attempt order (empty on
+  /// clean first-try cells; feeds the backoff_seconds histogram).
+  std::vector<double> backoffs;
+
+  /// Retries this evaluation took (attempt counts from gen).
+  [[nodiscard]] std::uint64_t retries() const noexcept {
+    return attempt > gen ? static_cast<std::uint64_t>(attempt - gen) : 0;
+  }
+};
+
+/// One span line read back from a trace shard: the record plus the pid
+/// that wrote it (stamped per line so a merged trace can map each
+/// process to its own row).
+struct SpanShardRecord {
+  Tracer::Record record;
+  int pid = 0;
+};
+
+[[nodiscard]] std::string encode_cell(const CellTelemetry& c);
+[[nodiscard]] std::optional<CellTelemetry> decode_cell(
+    const std::string& line);
+
+[[nodiscard]] std::string encode_span(const Tracer::Record& r, int pid);
+[[nodiscard]] std::optional<SpanShardRecord> decode_span(
+    const std::string& line);
+
+/// Append-only line writer with the durable-log discipline: one
+/// complete line + fflush per append (a crash mid-append loses at most
+/// the torn tail), and any torn tail left by a previous crashed writer
+/// is newline-terminated on open so fresh lines never glue onto it.
+/// Thread-safe appends (one worker engine may run several threads).
+class ShardWriter {
+ public:
+  ShardWriter() = default;
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+  ~ShardWriter() { close(); }
+
+  [[nodiscard]] bool open(const std::string& path);
+  [[nodiscard]] bool is_open() const noexcept { return out_ != nullptr; }
+  void append(const std::string& line);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace a64fxcc::obs

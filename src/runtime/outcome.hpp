@@ -57,12 +57,18 @@ enum class CellStatus : std::uint8_t {
   return "?";
 }
 
+/// Every status, in enum order.  Consumers that render one row/counter
+/// per status (merged metrics, `obs report`) iterate this instead of
+/// hand-listing the enum, so a new status cannot be silently dropped.
+inline constexpr CellStatus kAllStatuses[] = {
+    CellStatus::Ok,   CellStatus::CompileError, CellStatus::RuntimeError,
+    CellStatus::Timeout, CellStatus::Crashed,
+};
+
 /// Parse a long-form label back into a status (journal decode).
 [[nodiscard]] inline bool parse_status(const std::string& label,
                                        CellStatus* out) {
-  for (const CellStatus st :
-       {CellStatus::Ok, CellStatus::CompileError, CellStatus::RuntimeError,
-        CellStatus::Timeout, CellStatus::Crashed}) {
+  for (const CellStatus st : kAllStatuses) {
     if (label == to_string(st)) {
       *out = st;
       return true;

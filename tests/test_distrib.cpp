@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,10 +25,14 @@
 #include "core/journal.hpp"
 #include "core/study.hpp"
 #include "distrib/reducer.hpp"
+#include "distrib/status.hpp"
 #include "distrib/supervisor.hpp"
 #include "distrib/work_queue.hpp"
 #include "exec/events.hpp"
 #include "exec/process.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/figure2.hpp"
 
 namespace {
@@ -484,6 +491,290 @@ TEST(Reducer, ShardOutputMatchesSingleProcessJournal) {
   const auto merged = distrib::Reducer::merge(dir, suite, base, &stats);
   EXPECT_EQ(report::render_csv(direct), report::render_csv(merged));
   EXPECT_EQ(stats.missing, 0u);
+}
+
+// ---- telemetry: shards, aggregation, live status ---------------------------
+
+/// The single-process reference registry for the invariance assertions:
+/// what one process observing every cell folds into its MetricsSink.
+obs::Registry single_process_registry(
+    const core::StudyOptions& opt,
+    const std::vector<kernels::Benchmark>& s) {
+  obs::MetricsSink sink;
+  auto clean = opt;
+  clean.jobs = 1;
+  clean.faults = {};
+  clean.sink = &sink;
+  (void)core::Study(std::move(clean)).run_suite(s);
+  return sink.snapshot();
+}
+
+/// Replay one process's merged-trace records the way the Chrome viewer
+/// does (the test_obs invariant, per (pid, tid) row): B/E events sorted
+/// by sequence must nest stack-wise with monotone timestamps.
+void expect_viewer_invariants(const obs::ProcessSpans& p) {
+  struct Ev {
+    std::uint64_t seq;
+    double us;
+    bool begin;
+    const std::string* name;
+  };
+  std::map<int, std::vector<Ev>> by_tid;
+  for (const auto& r : p.records) {
+    by_tid[r.tid].push_back({r.begin_seq, r.begin_us, true, &r.name});
+    by_tid[r.tid].push_back({r.end_seq, r.end_us, false, &r.name});
+  }
+  for (auto& [tid, evs] : by_tid) {
+    std::sort(evs.begin(), evs.end(),
+              [](const Ev& a, const Ev& b) { return a.seq < b.seq; });
+    std::vector<const std::string*> stack;
+    double last_us = 0;
+    for (const auto& ev : evs) {
+      EXPECT_GE(ev.us, last_us)
+          << "non-monotone timestamp in " << p.name << " tid " << tid;
+      last_us = ev.us;
+      if (ev.begin) {
+        stack.push_back(ev.name);
+      } else {
+        ASSERT_FALSE(stack.empty())
+            << "E without B in " << p.name << " tid " << tid;
+        EXPECT_EQ(*stack.back(), *ev.name)
+            << "mis-nested span in " << p.name << " tid " << tid;
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty()) << "unclosed span in " << p.name;
+  }
+}
+
+TEST(Telemetry, MergedCountersMatchTheSingleProcessRunAcrossProcs) {
+  // Satellite of the PR 3 determinism contract: the deterministic
+  // counters of a shard-merged N-process run equal the single-process
+  // run's, no matter how the cells were partitioned.  This is also the
+  // regression test for the old bug where --metrics under --procs
+  // silently reported the near-empty parent registry.
+  const auto suite = small_suite();
+  const auto base = small_options();
+  const auto ref = single_process_registry(base, suite);
+  const std::string clean_csv =
+      report::render_csv(clean_single_process(base, suite));
+  const std::size_t cells = suite.size() * 5;
+  ASSERT_EQ(ref.counter("jobs_started"), cells);
+  // Partition-invariant counters: cell outcomes and the per-cell-
+  // deterministic caches.  The plan/estimate hit/miss *splits* depend
+  // on which cells shared a process, so only their sums are asserted.
+  const char* exact[] = {"jobs_started",       "cells_ok",
+                         "cells_compile_error", "cells_runtime_error",
+                         "cells_timeout",       "cells_crashed",
+                         "retries",             "compile_cache_hits",
+                         "compile_cache_misses", "analysis_cache_hits",
+                         "analysis_cache_misses"};
+  for (const int procs : {1, 2, 4}) {
+    obs::Tracer tracer;
+    distrib::SupervisorOptions sopt;
+    sopt.study = base;
+    sopt.study.tracer = &tracer;
+    sopt.telemetry = true;
+    sopt.procs = procs;
+    sopt.shard_dir = fresh_dir("telemetry_p" + std::to_string(procs));
+    distrib::Supervisor sup(std::move(sopt));
+    const auto t = sup.run_suite(suite);
+    EXPECT_EQ(report::render_csv(t), clean_csv) << "procs=" << procs;
+
+    obs::Aggregator agg;
+    ASSERT_TRUE(sup.load_telemetry(agg));
+    EXPECT_GE(agg.stats().metrics_shards, 1u) << "no metrics shards written";
+    EXPECT_GE(agg.stats().trace_shards, 1u) << "no trace shards written";
+    EXPECT_GT(agg.stats().spans, 0u);
+    EXPECT_EQ(agg.stats().cells, cells);
+    const auto merged = agg.merged_registry();
+    for (const char* name : exact)
+      EXPECT_EQ(merged.counter(name), ref.counter(name))
+          << name << " procs=" << procs;
+    EXPECT_EQ(
+        merged.counter("plan_cache_hits") + merged.counter("plan_cache_misses"),
+        ref.counter("plan_cache_hits") + ref.counter("plan_cache_misses"))
+        << "procs=" << procs;
+    EXPECT_EQ(merged.counter("estimate_cache_hits") +
+                  merged.counter("estimate_cache_misses"),
+              ref.counter("estimate_cache_hits") +
+                  ref.counter("estimate_cache_misses"))
+        << "procs=" << procs;
+    ASSERT_EQ(merged.histograms.count("cell_wall_seconds"), 1u);
+    EXPECT_EQ(merged.histograms.at("cell_wall_seconds").count, cells);
+  }
+}
+
+TEST(Telemetry, Kill9RunMergesTraceAndCountersAndPublishesStatus) {
+  // The acceptance criterion end to end: a kill -9-recovered 4-process
+  // run with telemetry yields (a) the byte-identical table, (b) one
+  // merged trace whose spans come from several worker pids plus the
+  // supervisor lifecycle row and satisfy the Chrome viewer invariants,
+  // and (c) merged deterministic counters equal to the single-process
+  // run's.
+  const auto suite = kernels::microkernel_suite(0.05);  // 110 cells
+  const auto base = small_options();
+  const std::string clean_csv =
+      report::render_csv(clean_single_process(base, suite));
+  const auto ref = single_process_registry(base, suite);
+  const std::string dir = fresh_dir("kill9_telemetry");
+  const std::string lease_path = dir + "/leases.jsonl";
+  const int self = exec::current_pid();
+
+  std::atomic<bool> killed{false};
+  std::atomic<bool> stop{false};
+  std::thread killer([&] {
+    while (!stop.load() && !killed.load()) {
+      std::ifstream f(lease_path);
+      std::string line;
+      while (std::getline(f, line)) {
+        const auto rec = distrib::LeaseQueue::decode(line);
+        if (!rec || rec->op != distrib::LeaseRecord::Op::Lease) continue;
+        if (rec->owner == self || rec->owner <= 0) continue;
+        if (exec::kill_process(rec->owner)) {
+          killed.store(true);
+          break;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  obs::Tracer tracer;
+  distrib::SupervisorOptions sopt;
+  sopt.study = base;
+  sopt.study.tracer = &tracer;
+  sopt.telemetry = true;
+  sopt.procs = 4;
+  sopt.shard_dir = dir;
+  sopt.lease_deadline_seconds = 20;
+  sopt.status_interval_seconds = 0.01;  // exercise frequent publication
+  distrib::Supervisor sup(std::move(sopt));
+  const auto t = sup.run_suite(suite);
+  stop.store(true);
+  killer.join();
+
+  ASSERT_TRUE(killed.load()) << "watcher never saw a live worker to kill";
+  EXPECT_EQ(report::render_csv(t), clean_csv);
+  EXPECT_GE(sup.stats().worker_respawns, 1);
+
+  obs::Aggregator agg;
+  ASSERT_TRUE(sup.load_telemetry(agg));
+  // Spans from several worker pids, plus the supervisor lifecycle row
+  // (spawned workers, reaps of the killed one, the final reduce).
+  std::size_t workers_with_spans = 0;
+  const obs::ProcessSpans* supervisor_row = nullptr;
+  for (const auto& p : agg.processes()) {
+    if (p.name == "supervisor")
+      supervisor_row = &p;
+    else if (!p.records.empty())
+      ++workers_with_spans;
+  }
+  EXPECT_GE(workers_with_spans, 2u);
+  ASSERT_NE(supervisor_row, nullptr);
+  ASSERT_FALSE(supervisor_row->records.empty());
+  bool saw_spawn = false, saw_reap = false, saw_reduce = false;
+  for (const auto& r : supervisor_row->records) {
+    if (r.name == "sup:spawn") saw_spawn = true;
+    if (r.name == "sup:reap") saw_reap = true;
+    if (r.name == "sup:reduce") saw_reduce = true;
+  }
+  EXPECT_TRUE(saw_spawn);
+  EXPECT_TRUE(saw_reap);
+  EXPECT_TRUE(saw_reduce);
+  // Every process row of the merged trace passes the viewer invariants
+  // — including shards of the SIGKILLed worker (its finished spans were
+  // streamed to disk before it died).
+  for (const auto& p : agg.processes()) expect_viewer_invariants(p);
+  const auto json = agg.merged_trace_json();
+  EXPECT_NE(json.find("supervisor (pid "), std::string::npos);
+  EXPECT_NE(json.find("worker-0000 (pid "), std::string::npos);
+
+  // Merged deterministic counters equal the single-process run's, even
+  // though some cells were evaluated twice (dedupe last-wins).
+  const auto merged = agg.merged_registry();
+  const std::size_t cells = suite.size() * 5;
+  EXPECT_EQ(merged.counter("jobs_started"), cells);
+  for (const char* name :
+       {"jobs_started", "cells_ok", "cells_compile_error",
+        "cells_runtime_error", "cells_timeout", "cells_crashed"})
+    EXPECT_EQ(merged.counter(name), ref.counter(name)) << name;
+  for (const char* cache : {"compile", "plan", "estimate", "analysis"}) {
+    const std::string hits = std::string(cache) + "_cache_hits";
+    const std::string misses = std::string(cache) + "_cache_misses";
+    EXPECT_EQ(merged.counter(hits) + merged.counter(misses),
+              ref.counter(hits) + ref.counter(misses))
+        << cache;
+  }
+  EXPECT_EQ(merged.histograms.at("cell_wall_seconds").count, cells);
+
+  // The status file survived the whole run and settled on "done".
+  const auto st = distrib::load_status(dir + "/status.json");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->phase, "done");
+  EXPECT_EQ(st->cells_total, cells);
+  EXPECT_EQ(st->cells_done, cells);
+  EXPECT_GE(st->workers_spawned, 4);
+  EXPECT_GE(st->cells_released, 1u);
+  for (const auto& w : st->workers) EXPECT_EQ(w.state, "exited");
+  EXPECT_NE(distrib::render_status(*st).find("study done"),
+            std::string::npos);
+}
+
+TEST(StudyStatus, CodecRoundTripsAndPublishesAtomically) {
+  distrib::StudyStatus st;
+  st.phase = "running";
+  st.elapsed_seconds = 12.5;
+  st.cells_total = 110;
+  st.cells_done = 42;
+  st.cells_leased = 8;
+  st.cells_resumed = 10;
+  st.cells_released = 3;
+  st.workers_spawned = 5;
+  st.worker_respawns = 1;
+  st.max_generation = 2;
+  st.degraded = true;
+  st.eta_seconds = 33.25;
+  st.workers.push_back({0, 1111, "alive", ""});
+  st.workers.push_back({1, 2222, "exited", "signal 9"});
+  const auto back = distrib::decode_status(distrib::encode_status(st));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->phase, "running");
+  EXPECT_NEAR(back->elapsed_seconds, 12.5, 1e-9);
+  EXPECT_EQ(back->cells_total, 110u);
+  EXPECT_EQ(back->cells_done, 42u);
+  EXPECT_EQ(back->cells_leased, 8u);
+  EXPECT_EQ(back->cells_resumed, 10u);
+  EXPECT_EQ(back->cells_released, 3u);
+  EXPECT_EQ(back->workers_spawned, 5);
+  EXPECT_EQ(back->worker_respawns, 1);
+  EXPECT_EQ(back->max_generation, 2);
+  EXPECT_TRUE(back->degraded);
+  EXPECT_NEAR(back->eta_seconds, 33.25, 1e-9);
+  EXPECT_EQ(back->cells_remaining(), 68u);
+  ASSERT_EQ(back->workers.size(), 2u);
+  EXPECT_EQ(back->workers[0].pid, 1111);
+  EXPECT_EQ(back->workers[0].state, "alive");
+  EXPECT_EQ(back->workers[1].detail, "signal 9");
+  EXPECT_FALSE(distrib::decode_status("").has_value());
+  EXPECT_FALSE(distrib::decode_status("{\"v\":9,\"phase\":\"done\"}")
+                   .has_value());  // future version
+
+  const std::string dir = fresh_dir("status_write");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/status.json";
+  ASSERT_TRUE(distrib::write_status(st, path));
+  // Atomic publication: the temp file never survives a write.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const auto loaded = distrib::load_status(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->phase, "running");
+  const auto text = distrib::render_status(*loaded);
+  EXPECT_NE(text.find("running"), std::string::npos);
+  EXPECT_NE(text.find("degraded"), std::string::npos);
+  EXPECT_NE(text.find("pid 2222"), std::string::npos);
+  EXPECT_NE(text.find("eta"), std::string::npos);
+  EXPECT_FALSE(distrib::load_status(dir + "/no-such.json").has_value());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -14,7 +15,10 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/shard.hpp"
 #include "obs/trace.hpp"
 #include "report/explain.hpp"
 
@@ -446,6 +450,391 @@ TEST(Provenance, ExplainRendersTheInterchangeDiff) {
   EXPECT_NE(block.find("FJtrad"), std::string::npos);
   EXPECT_NE(block.find("blocked"), std::string::npos);
   EXPECT_NE(block.find("fired"), std::string::npos);
+}
+
+// ---- histogram / registry merge -------------------------------------------
+
+TEST(Metrics, HistogramMergeEqualsSingleObserver) {
+  // Buckets align by construction, so merging shards must reproduce the
+  // histogram one process observing every sample would have built.
+  const double shard_a[] = {5e-7, 3e-6, 2e-3, 1e9};
+  const double shard_b[] = {1e-6, 4e-2, 7.0};
+  obs::Histogram a, b, all;
+  for (const double v : shard_a) {
+    a.add(v);
+    all.add(v);
+  }
+  for (const double v : shard_b) {
+    b.add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  for (int i = 0; i < obs::Histogram::kBuckets; ++i)
+    EXPECT_EQ(a.buckets[i], all.buckets[i]) << "bucket " << i;
+  EXPECT_EQ(a.overflow, all.overflow);
+  EXPECT_EQ(a.count, all.count);
+  EXPECT_DOUBLE_EQ(a.sum, all.sum);
+  EXPECT_DOUBLE_EQ(a.min, all.min);
+  EXPECT_DOUBLE_EQ(a.max, all.max);
+}
+
+TEST(Metrics, HistogramEmptyMergeIsIdentityBothWays) {
+  obs::Histogram h;
+  h.add(2e-6);
+  h.add(0.5);
+  const obs::Histogram before = h;
+  h.merge(obs::Histogram{});
+  EXPECT_EQ(h.count, before.count);
+  EXPECT_DOUBLE_EQ(h.sum, before.sum);
+  EXPECT_DOUBLE_EQ(h.min, before.min);
+  EXPECT_DOUBLE_EQ(h.max, before.max);
+  obs::Histogram empty;
+  empty.merge(before);
+  EXPECT_EQ(empty.count, before.count);
+  // min must come from the merged-in samples, not stay at +inf.
+  EXPECT_DOUBLE_EQ(empty.min, before.min);
+  EXPECT_DOUBLE_EQ(empty.max, before.max);
+  for (int i = 0; i < obs::Histogram::kBuckets; ++i)
+    EXPECT_EQ(empty.buckets[i], before.buckets[i]);
+}
+
+obs::ReportDoc write_and_load(const obs::Registry& reg,
+                              const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  std::remove(path.c_str());
+  EXPECT_TRUE(obs::write_registry(reg, path));
+  std::string err;
+  auto doc = obs::load_report_doc(path, &err);
+  EXPECT_TRUE(doc.has_value()) << err;
+  std::remove(path.c_str());
+  return doc.value_or(obs::ReportDoc{});
+}
+
+TEST(Metrics, RegistryMergeSumsCountersAndRecomputesGauges) {
+  obs::Registry a;
+  a.counters["jobs_started"] = 3;
+  a.counters["compile_cache_hits"] = 1;
+  a.counters["compile_cache_misses"] = 2;
+  a.histograms["cell_wall_seconds"].add(0.25);
+  obs::Registry b;
+  b.counters["jobs_started"] = 5;
+  b.counters["compile_cache_hits"] = 5;
+  b.counters["cells_ok"] = 8;
+  b.histograms["cell_wall_seconds"].add(0.75);
+  b.histograms["backoff_seconds"].add(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.counter("jobs_started"), 8u);
+  EXPECT_EQ(a.counter("compile_cache_hits"), 6u);
+  EXPECT_EQ(a.counter("compile_cache_misses"), 2u);
+  EXPECT_EQ(a.counter("cells_ok"), 8u);
+  EXPECT_EQ(a.histograms["cell_wall_seconds"].count, 2u);
+  EXPECT_DOUBLE_EQ(a.histograms["cell_wall_seconds"].sum, 1.0);
+  EXPECT_EQ(a.histograms["backoff_seconds"].count, 1u);
+  const auto json_before = a.to_json();
+  a.merge(obs::Registry{});  // empty merge is the identity
+  EXPECT_EQ(a.to_json(), json_before);
+  // Gauges are recomputed from the merged counters, never stored:
+  // 6 hits of 8 lookups fleet-wide.
+  const auto doc = write_and_load(a, "a64fxcc_reg_merge.json");
+  EXPECT_EQ(doc.kind, obs::ReportDoc::Kind::Metrics);
+  ASSERT_EQ(doc.gauges.count("compile_cache_hit_rate"), 1u);
+  EXPECT_NEAR(doc.gauges.at("compile_cache_hit_rate"), 0.75, 1e-9);
+  EXPECT_EQ(doc.counters.at("jobs_started"), 8u);
+  ASSERT_EQ(doc.histograms.count("cell_wall_seconds"), 1u);
+  EXPECT_EQ(doc.histograms.at("cell_wall_seconds").count, 2u);
+  EXPECT_NEAR(doc.histograms.at("cell_wall_seconds").sum, 1.0, 1e-9);
+}
+
+// ---- telemetry shard codecs -----------------------------------------------
+
+obs::CellTelemetry sample_cell() {
+  obs::CellTelemetry c;
+  c.key = 0xdeadbeefcafe1234ull;
+  c.benchmark = "2mm";
+  c.compiler = "FJtrad";
+  c.status = "ok";
+  c.gen = 1;
+  c.attempt = 3;
+  c.pid = 4242;
+  c.compile_cache_hits = 1;
+  c.compile_cache_misses = 2;
+  c.plan_cache_hits = 3;
+  c.plan_cache_misses = 4;
+  c.estimate_cache_hits = 5;
+  c.estimate_cache_misses = 6;
+  c.analysis_cache_hits = 7;
+  c.analysis_cache_misses = 8;
+  c.analysis_cache_invalidations = 9;
+  c.cache_evictions = 10;
+  c.compile_seconds = 0.25;
+  c.explore_seconds = 0.5;
+  c.measure_seconds = 0.125;
+  c.wall_seconds = 1.0;
+  c.backoffs = {0.0, 0.125};
+  return c;
+}
+
+TEST(Shard, CellRecordRoundTrips) {
+  const auto c = sample_cell();
+  const auto line = obs::encode_cell(c);
+  const auto d = obs::decode_cell(line);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->key, c.key);
+  EXPECT_EQ(d->benchmark, c.benchmark);
+  EXPECT_EQ(d->compiler, c.compiler);
+  EXPECT_EQ(d->status, c.status);
+  EXPECT_EQ(d->gen, c.gen);
+  EXPECT_EQ(d->attempt, c.attempt);
+  EXPECT_EQ(d->pid, c.pid);
+  EXPECT_EQ(d->compile_cache_hits, c.compile_cache_hits);
+  EXPECT_EQ(d->compile_cache_misses, c.compile_cache_misses);
+  EXPECT_EQ(d->plan_cache_hits, c.plan_cache_hits);
+  EXPECT_EQ(d->plan_cache_misses, c.plan_cache_misses);
+  EXPECT_EQ(d->estimate_cache_hits, c.estimate_cache_hits);
+  EXPECT_EQ(d->estimate_cache_misses, c.estimate_cache_misses);
+  EXPECT_EQ(d->analysis_cache_hits, c.analysis_cache_hits);
+  EXPECT_EQ(d->analysis_cache_misses, c.analysis_cache_misses);
+  EXPECT_EQ(d->analysis_cache_invalidations, c.analysis_cache_invalidations);
+  EXPECT_EQ(d->cache_evictions, c.cache_evictions);
+  EXPECT_DOUBLE_EQ(d->compile_seconds, c.compile_seconds);
+  EXPECT_DOUBLE_EQ(d->explore_seconds, c.explore_seconds);
+  EXPECT_DOUBLE_EQ(d->measure_seconds, c.measure_seconds);
+  EXPECT_DOUBLE_EQ(d->wall_seconds, c.wall_seconds);
+  ASSERT_EQ(d->backoffs.size(), 2u);
+  EXPECT_DOUBLE_EQ(d->backoffs[1], 0.125);
+  EXPECT_EQ(d->retries(), 2u);  // attempt 3 counted from gen 1
+}
+
+TEST(Shard, SpanRecordRoundTripsWithAndWithoutArgs) {
+  obs::Tracer::Record r;
+  r.name = "compile";
+  r.benchmark = "atax";
+  r.compiler = "GNU";
+  r.tid = 3;
+  r.begin_seq = 10;
+  r.end_seq = 11;
+  r.begin_us = 1.5;
+  r.end_us = 2.5;
+  const auto d = obs::decode_span(obs::encode_span(r, 77));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->pid, 77);
+  EXPECT_EQ(d->record.name, "compile");
+  EXPECT_EQ(d->record.benchmark, "atax");
+  EXPECT_EQ(d->record.compiler, "GNU");
+  EXPECT_EQ(d->record.tid, 3);
+  EXPECT_EQ(d->record.begin_seq, 10u);
+  EXPECT_EQ(d->record.end_seq, 11u);
+  EXPECT_DOUBLE_EQ(d->record.begin_us, 1.5);
+  EXPECT_DOUBLE_EQ(d->record.end_us, 2.5);
+  r.benchmark.clear();
+  r.compiler.clear();
+  const auto bare = obs::decode_span(obs::encode_span(r, 77));
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_TRUE(bare->record.benchmark.empty());
+  EXPECT_TRUE(bare->record.compiler.empty());
+}
+
+TEST(Shard, DecodersRejectTornAlienAndFutureLines) {
+  const auto cell = obs::encode_cell(sample_cell());
+  obs::Tracer::Record r;
+  r.name = "cell";
+  r.tid = 2;
+  r.begin_seq = 1;
+  r.end_seq = 2;
+  r.begin_us = 10;
+  r.end_us = 20;
+  const auto span = obs::encode_span(r, 99);
+  // Wrong kind for the decoder at hand.
+  EXPECT_FALSE(obs::decode_cell(span).has_value());
+  EXPECT_FALSE(obs::decode_span(cell).has_value());
+  // Torn tails and noise.
+  EXPECT_FALSE(obs::decode_cell(cell.substr(0, cell.size() / 2)).has_value());
+  EXPECT_FALSE(obs::decode_span(span.substr(0, span.size() / 2)).has_value());
+  EXPECT_FALSE(obs::decode_cell("").has_value());
+  EXPECT_FALSE(obs::decode_span("not json").has_value());
+  // A future format version is skipped, never misread.
+  std::string future = cell;
+  const auto at = future.find("\"v\":1");
+  ASSERT_NE(at, std::string::npos);
+  future.replace(at, 5, "\"v\":9");
+  EXPECT_FALSE(obs::decode_cell(future).has_value());
+}
+
+TEST(Shard, WriterNewlineTerminatesTornTail) {
+  const std::string path = testing::TempDir() + "a64fxcc_shard_torn.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << R"({"v":1,"kind":"cell","key":"00)";  // writer died mid-line
+  }
+  obs::ShardWriter w;
+  ASSERT_TRUE(w.open(path));
+  w.append(obs::encode_cell(sample_cell()));
+  w.close();
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);  // the fresh line never glued onto the tail
+  EXPECT_FALSE(obs::decode_cell(lines[0]).has_value());
+  EXPECT_TRUE(obs::decode_cell(lines[1]).has_value());
+  std::remove(path.c_str());
+}
+
+// ---- cross-process aggregation --------------------------------------------
+
+std::string fresh_shard_dir(const std::string& name) {
+  const auto dir =
+      std::filesystem::path(testing::TempDir()) / ("a64fxcc_obs_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+void write_lines(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream f(path, std::ios::binary);
+  for (const auto& l : lines) f << l << '\n';
+}
+
+TEST(Aggregate, DedupesCellsLastWinsInSortedFilenameOrder) {
+  const auto dir = fresh_shard_dir("dedupe");
+  auto first = sample_cell();
+  first.gen = 0;
+  auto second = first;  // same key: the cell re-leased after a kill
+  second.gen = 1;
+  second.pid = 5555;
+  auto other = sample_cell();
+  other.key = 0x1111;
+  write_lines(dir + "/" + obs::metrics_shard_name(0),
+              {obs::encode_cell(first), "{\"torn", obs::encode_cell(other)});
+  write_lines(dir + "/" + obs::metrics_shard_name(1),
+              {obs::encode_cell(second)});
+  obs::Aggregator agg;
+  ASSERT_TRUE(agg.load_dir(dir));
+  EXPECT_EQ(agg.stats().metrics_shards, 2u);
+  EXPECT_EQ(agg.stats().cells, 2u);
+  EXPECT_EQ(agg.stats().duplicate_cells, 1u);
+  EXPECT_EQ(agg.stats().skipped_lines, 1u);
+  const auto cells = agg.cells();
+  ASSERT_EQ(cells.size(), 2u);  // cell-key order: 0x1111 first
+  EXPECT_EQ(cells[0].key, 0x1111u);
+  EXPECT_EQ(cells[1].key, first.key);
+  EXPECT_EQ(cells[1].gen, 1);  // the later shard's record won
+  EXPECT_EQ(cells[1].pid, 5555);
+  obs::Aggregator missing;
+  EXPECT_FALSE(missing.load_dir(dir + "/no-such-subdir"));
+}
+
+TEST(Aggregate, MergedRegistryFoldsDedupedCells) {
+  const auto dir = fresh_shard_dir("fold");
+  const auto a = sample_cell();  // ok, attempt 3 from gen 1 -> 2 retries
+  auto b = sample_cell();
+  b.key = 0x2222;
+  b.status = "compiler error";
+  b.gen = 0;
+  b.attempt = 0;
+  b.backoffs.clear();
+  write_lines(dir + "/" + obs::metrics_shard_name(0),
+              {obs::encode_cell(a), obs::encode_cell(b)});
+  obs::Aggregator agg;
+  ASSERT_TRUE(agg.load_dir(dir));
+  auto reg = agg.merged_registry();
+  EXPECT_EQ(reg.counter("jobs_started"), 2u);
+  EXPECT_EQ(reg.counter("cells_ok"), 1u);
+  EXPECT_EQ(reg.counter("cells_compile_error"), 1u);
+  EXPECT_EQ(reg.counter("retries"), 2u);
+  EXPECT_EQ(reg.counter("compile_cache_hits"), 2u);
+  EXPECT_EQ(reg.counter("analysis_cache_misses"), 16u);
+  EXPECT_EQ(reg.counter("cells_crashed"), 0u);  // zero counters pruned
+  EXPECT_EQ(reg.counters.count("cells_crashed"), 0u);
+  EXPECT_EQ(reg.histograms["cell_wall_seconds"].count, 2u);
+  EXPECT_EQ(reg.histograms["backoff_seconds"].count, 2u);  // a's backoffs
+  EXPECT_EQ(reg.histograms["phase_compile_seconds"].count, 2u);
+  // An explicitly added registry (the supervisor's own sink) merges in.
+  obs::Registry extra;
+  extra.counters["workers_spawned"] = 3;
+  agg.add_registry(extra);
+  EXPECT_EQ(agg.merged_registry().counter("workers_spawned"), 3u);
+}
+
+TEST(Aggregate, MergedTraceNamesEveryProcessRow) {
+  const auto dir = fresh_shard_dir("trace");
+  obs::Tracer::Record outer;
+  outer.name = "cell";
+  outer.benchmark = "2mm";
+  outer.compiler = "GNU";
+  outer.tid = 1;
+  outer.begin_seq = 1;
+  outer.end_seq = 4;
+  outer.begin_us = 0;
+  outer.end_us = 30;
+  auto inner = outer;
+  inner.name = "compile";
+  inner.begin_seq = 2;
+  inner.end_seq = 3;
+  inner.begin_us = 5;
+  inner.end_us = 20;
+  write_lines(dir + "/" + obs::trace_shard_name(0),
+              {obs::encode_span(outer, 100), obs::encode_span(inner, 100)});
+  obs::Aggregator agg;
+  ASSERT_TRUE(agg.load_dir(dir));
+  obs::Tracer::Record sup = outer;
+  sup.name = "sup:reduce";
+  sup.benchmark.clear();
+  sup.compiler.clear();
+  agg.add_process(99, "supervisor", {sup});
+  ASSERT_EQ(agg.processes().size(), 2u);
+  EXPECT_EQ(agg.stats().spans, 3u);
+  const auto json = agg.merged_trace_json();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("worker-0000 (pid 100)"), std::string::npos);
+  EXPECT_NE(json.find("supervisor (pid 99)"), std::string::npos);
+  const auto occurrences = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t at = json.find(needle); at != std::string::npos;
+         at = json.find(needle, at + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(occurrences("\"ph\":\"B\""), 3u);
+  EXPECT_EQ(occurrences("\"ph\":\"E\""), 3u);
+  // Round-trips through the report loader as a trace document.
+  const std::string path = dir + "/merged.json";
+  ASSERT_TRUE(obs::write_merged_trace(agg, path));
+  std::string err;
+  const auto doc = obs::load_report_doc(path, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->kind, obs::ReportDoc::Kind::Trace);
+  EXPECT_FALSE(doc->phases.empty());
+}
+
+// ---- obs report -----------------------------------------------------------
+
+TEST(ObsReport, SummarizesMetricsAndDiffGatesOnThreshold) {
+  obs::Registry base_reg;
+  base_reg.counters["cells_ok"] = 10;
+  base_reg.counters["retries"] = 1;
+  base_reg.histograms["cell_wall_seconds"].add(1.0);
+  obs::Registry cur_reg;
+  cur_reg.counters["cells_ok"] = 10;
+  cur_reg.counters["retries"] = 4;
+  cur_reg.histograms["cell_wall_seconds"].add(1.5);
+  const auto base = write_and_load(base_reg, "a64fxcc_report_base.json");
+  const auto cur = write_and_load(cur_reg, "a64fxcc_report_cur.json");
+  const auto summary = obs::summarize_report(base);
+  EXPECT_NE(summary.find("cells_ok"), std::string::npos);
+  EXPECT_NE(summary.find("cell_wall_seconds"), std::string::npos);
+  // 1.5s vs 1.0s: +50% fails a 25% gate, passes a 100% one, and a
+  // negative threshold disables gating entirely.
+  const auto gated = obs::diff_reports(base, cur, 0.25);
+  EXPECT_TRUE(gated.regressed);
+  EXPECT_NE(gated.text.find("retries"), std::string::npos);  // +3 delta
+  EXPECT_FALSE(obs::diff_reports(base, cur, 1.0).regressed);
+  EXPECT_FALSE(obs::diff_reports(base, cur, -1).regressed);
+  EXPECT_FALSE(obs::diff_reports(cur, base, 0.25).regressed);  // got faster
+  std::string err;
+  EXPECT_FALSE(obs::load_report_doc("/no/such/file.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
 }
 
 TEST(Provenance, DecisionsCsvHasOneLinePerCell) {

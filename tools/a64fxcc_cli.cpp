@@ -22,11 +22,14 @@
 #include "codegen/codegen_c.hpp"
 #include "core/args.hpp"
 #include "core/study.hpp"
+#include "distrib/status.hpp"
 #include "distrib/supervisor.hpp"
 #include "ir/parser.hpp"
 #include "ir/validate.hpp"
 #include "ir/printer.hpp"
+#include "obs/aggregate.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "report/explain.hpp"
 #include "report/roofline.hpp"
@@ -258,6 +261,48 @@ bool flush_obs(ObsSetup& obs) {
   return ok;
 }
 
+/// Merged-artifact flush for the multi-process path.  The parent's own
+/// tracer/sink see almost nothing under --procs (workers run in their
+/// own processes), so `--trace`/`--metrics` aggregate instead: every
+/// worker's telemetry shards from the shard dir, the supervisor's
+/// lifecycle spans, and the parent sink's event-folded counters merge
+/// into one trace and one registry.  False (after a diagnostic) when
+/// the shards cannot be read or an artifact cannot be written — a
+/// requested artifact silently missing its workers' data is the bug
+/// this replaces.
+bool flush_obs_distrib(ObsSetup& obs, const distrib::Supervisor& sup) {
+  if (obs.trace_path == nullptr && obs.metrics_path == nullptr) return true;
+  obs::Aggregator agg;
+  if (!sup.load_telemetry(agg)) {
+    std::fprintf(stderr, "cannot read telemetry shards under '%s'\n",
+                 sup.options().shard_dir.c_str());
+    return false;
+  }
+  bool ok = true;
+  if (obs.trace_path != nullptr &&
+      !obs::write_merged_trace(agg, obs.trace_path)) {
+    std::fprintf(stderr, "cannot write trace '%s'\n", obs.trace_path);
+    ok = false;
+  }
+  if (obs.metrics_path != nullptr) {
+    if (obs.metrics) agg.add_registry(obs.metrics->snapshot());
+    if (!obs::write_registry(agg.merged_registry(), obs.metrics_path)) {
+      std::fprintf(stderr, "cannot write metrics '%s'\n", obs.metrics_path);
+      ok = false;
+    }
+  }
+  if (obs.level != exec::LogLevel::Quiet) {
+    const auto& st = agg.stats();
+    std::fprintf(stderr,
+                 "telemetry: %zu span(s) from %zu trace shard(s), %zu cell "
+                 "record(s) from %zu metrics shard(s) (%zu superseded, %zu "
+                 "torn lines skipped)\n",
+                 st.spans, st.trace_shards, st.cells, st.metrics_shards,
+                 st.duplicate_cells, st.skipped_lines);
+  }
+  return ok;
+}
+
 /// One stderr line per failed cell after a study completes (the table
 /// itself shows only the short CE/RE/TO/XX markers).
 void report_failures(const report::Table& t) {
@@ -342,16 +387,19 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
   core::Journal journal;
   if (!apply_policy_flags(argc, argv, opt, journal)) return 1;
   report::Table t;
-  std::optional<core::Study> study;  // in-process path only
+  std::optional<core::Study> study;          // in-process path only
+  std::optional<distrib::Supervisor> sup;    // multi-process path only
   if (df.procs > 0) {
     distrib::SupervisorOptions sopt;
     sopt.study = std::move(opt);
     sopt.procs = df.procs;
     sopt.shard_dir = df.shard_dir;
     sopt.lease_deadline_seconds = df.lease_deadline;
-    distrib::Supervisor sup(std::move(sopt));
+    sopt.telemetry =
+        obs.trace_path != nullptr || obs.metrics_path != nullptr;
+    sup.emplace(std::move(sopt));
     try {
-      t = sup.run_suite(benches);
+      t = sup->run_suite(benches);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
       return 2;
@@ -376,11 +424,11 @@ int cmd_table(const std::string& suite, int argc, char** argv) {
       std::fputs(study->cache_service().stats_text().c_str(), stderr);
     if (obs.metrics) obs.metrics->fold_cache_stats(study->cache_service());
   }
-  flush_obs(obs);
+  const bool obs_ok = sup ? flush_obs_distrib(obs, *sup) : flush_obs(obs);
   const auto s = core::summarize(t);
   std::printf("\nmedian best-compiler gain: %.3fx (mean %.3fx, peak %.3fx)\n",
               s.median_best_gain, s.mean_best_gain, s.max_best_gain);
-  return 0;
+  return obs_ok ? 0 : 2;
 }
 
 int cmd_run(const std::string& name, int argc, char** argv) {
@@ -401,15 +449,18 @@ int cmd_run(const std::string& name, int argc, char** argv) {
     one.push_back(std::move(b));
     report::Table t;
     std::optional<core::Study> study;
+    std::optional<distrib::Supervisor> sup;
     if (df.procs > 0) {
       distrib::SupervisorOptions sopt;
       sopt.study = std::move(opt);
       sopt.procs = df.procs;
       sopt.shard_dir = df.shard_dir;
       sopt.lease_deadline_seconds = df.lease_deadline;
-      distrib::Supervisor sup(std::move(sopt));
+      sopt.telemetry =
+          obs.trace_path != nullptr || obs.metrics_path != nullptr;
+      sup.emplace(std::move(sopt));
       try {
-        t = sup.run_suite(one);
+        t = sup->run_suite(one);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
@@ -425,8 +476,7 @@ int cmd_run(const std::string& name, int argc, char** argv) {
         std::fputs(study->cache_service().stats_text().c_str(), stderr);
       if (obs.metrics) obs.metrics->fold_cache_stats(study->cache_service());
     }
-    flush_obs(obs);
-    return 0;
+    return (sup ? flush_obs_distrib(obs, *sup) : flush_obs(obs)) ? 0 : 2;
   }
   std::fprintf(stderr, "unknown benchmark '%s' (try: a64fxcc list)\n",
                name.c_str());
@@ -537,6 +587,65 @@ int cmd_explain(const std::string& name, const std::string& compiler_name,
   return 1;
 }
 
+int cmd_status(int argc, char** argv) {
+  std::string dir = "a64fxcc-shards";
+  if (const char* v = arg_value(argc, argv, "--shard-dir=")) dir = v;
+  const auto st = distrib::load_status(dir + "/status.json");
+  if (!st) {
+    std::fprintf(stderr,
+                 "no readable status.json under '%s' (a supervisor running "
+                 "with --procs publishes one; it remains after the run)\n",
+                 dir.c_str());
+    return 2;
+  }
+  std::fputs(distrib::render_status(*st).c_str(), stdout);
+  return 0;
+}
+
+int cmd_obs_report(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 3; i < argc; ++i)
+    if (argv[i][0] != '-') paths.emplace_back(argv[i]);
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: a64fxcc obs report <A.json> [B.json] "
+                 "[--threshold=f]\n");
+    return 1;
+  }
+  double threshold = -1;  // no gating unless asked
+  if (!double_flag(argc, argv, "--threshold=", &threshold)) return 1;
+  std::string err;
+  const auto base = obs::load_report_doc(paths[0], &err);
+  if (!base) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (paths.size() == 1) {
+    std::fputs(obs::summarize_report(*base).c_str(), stdout);
+    return 0;
+  }
+  const auto cur = obs::load_report_doc(paths[1], &err);
+  if (!cur) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  if (cur->kind != base->kind) {
+    std::fprintf(stderr,
+                 "cannot diff a metrics document against a trace document\n");
+    return 1;
+  }
+  const auto d = obs::diff_reports(*base, *cur, threshold);
+  std::fputs(d.text.c_str(), stdout);
+  if (d.regressed) {
+    std::fprintf(stderr,
+                 "regression: at least one time metric grew more than "
+                 "%.1f%% over '%s'\n",
+                 threshold * 100.0, paths[0].c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_roofline(const std::string& name) {
   const auto m = machine::a64fx();
   for (const auto& b : kernels::all_benchmarks(0.25)) {
@@ -598,7 +707,10 @@ void usage() {
       "                                   # --trace = Chrome trace_event JSON,\n"
       "                                   # --metrics = counters/histograms JSON;\n"
       "                                   # both diagnostics-only (identical\n"
-      "                                   # tables on or off)\n"
+      "                                   # tables on or off).  With --procs\n"
+      "                                   # the artifacts merge every worker's\n"
+      "                                   # telemetry shards plus the\n"
+      "                                   # supervisor's lifecycle spans\n"
       "  run <benchmark> [--scale=f] [--jobs=N] [--retries=N] [--deadline=s]\n"
       "                  [--procs=N] [--shard-dir=DIR] [--lease-deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
@@ -610,6 +722,16 @@ void usage() {
       "                                   # which pass fired/was blocked, and\n"
       "                                   # why, per compiler (plus per-pass\n"
       "                                   # analysis cache hit/miss traffic)\n"
+      "  status [--shard-dir=DIR]         # render the live status.json a\n"
+      "                                   # --procs supervisor publishes\n"
+      "                                   # (atomic-renamed; survives kill -9)\n"
+      "  obs report <A.json> [B.json] [--threshold=f]\n"
+      "                                   # summarize one --trace/--metrics\n"
+      "                                   # artifact, or diff two runs:\n"
+      "                                   # counter deltas + phase-time\n"
+      "                                   # deltas; with --threshold, exit 1\n"
+      "                                   # when any time metric of B grew\n"
+      "                                   # more than f (fraction) over A\n"
       "  show <benchmark> [compiler]\n"
       "  file <path.kernel> [compiler]\n"
       "  emit <benchmark> [compiler]      # generate OpenMP C source\n"
@@ -632,6 +754,8 @@ int main(int argc, char** argv) {
   if (cmd == "table") return cmd_table(a2, argc, argv);
   if (cmd == "run") return cmd_run(a2, argc, argv);
   if (cmd == "explain") return cmd_explain(a2, a3, argc, argv);
+  if (cmd == "status") return cmd_status(argc, argv);
+  if (cmd == "obs" && a2 == "report") return cmd_obs_report(argc, argv);
   if (cmd == "show") return cmd_show(a2, a3);
   if (cmd == "file") return cmd_file(a2, a3);
   if (cmd == "emit") return cmd_emit(a2, a3);
