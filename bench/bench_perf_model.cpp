@@ -6,7 +6,10 @@
 //      perf::estimate per placement) vs the plan/evaluate split
 //      (perf::analyze once per kernel, perf::evaluate per placement),
 //      over the explore-heavy suites' real placement grids and compiled
-//      kernels;
+//      kernels — and the batched SoA sweep (one detail-less
+//      evaluate_sweep per cell, placement list shared per benchmark) vs
+//      the per-config path it replaced (make_config + full evaluate per
+//      placement), gated on bitwise identity;
 //   2. full-study wall time with the EstimateCache disabled vs enabled
 //      (the --no-estimate-cache A/B), repeated to get a stable ratio,
 //      plus a bit-identity check between the two tables;
@@ -44,7 +47,27 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 struct EvalPoint {
   std::shared_ptr<const compilers::CompileOutcome> out;
   std::vector<perf::ExecConfig> cfgs;
+  std::vector<std::pair<int, int>> placements;  ///< (ranks, threads)
 };
+
+bool identical(const perf::PerfResult& a, const perf::PerfResult& b) {
+  if (!(a.seconds == b.seconds && a.total_flops == b.total_flops &&
+        a.mem_bytes == b.mem_bytes &&
+        a.runtime_overhead_s == b.runtime_overhead_s && a.joules == b.joules &&
+        a.bottleneck == b.bottleneck && a.detail.size() == b.detail.size()))
+    return false;
+  for (std::size_t i = 0; i < a.detail.size(); ++i) {
+    const auto& da = a.detail[i];
+    const auto& db = b.detail[i];
+    if (!(da.loop_var == db.loop_var && da.seconds == db.seconds &&
+          da.comp_s == db.comp_s && da.l2_s == db.l2_s &&
+          da.mem_s == db.mem_s && da.lat_s == db.lat_s &&
+          da.flops == db.flops && da.mem_bytes == db.mem_bytes &&
+          da.bottleneck == db.bottleneck))
+      return false;
+  }
+  return true;
+}
 
 bool identical(const report::Table& a, const report::Table& b) {
   if (a.compilers != b.compilers || a.rows.size() != b.rows.size())
@@ -141,8 +164,10 @@ int main(int argc, char** argv) {
       pt.out = std::make_shared<compilers::CompileOutcome>(
           compilers::compile(spec, bench.kernel));
       if (!pt.out->ok()) continue;
-      for (const auto& p : placements)
+      for (const auto& p : placements) {
         pt.cfgs.push_back(perf::make_config(p.ranks, p.threads, m));
+        pt.placements.emplace_back(p.ranks, p.threads);
+      }
       evals += pt.cfgs.size();
       points.push_back(std::move(pt));
     }
@@ -176,6 +201,85 @@ int main(int argc, char** argv) {
               " in the loop)\n",
               split_eps);
   std::printf("  hot-path speedup: %.2fx\n", split_eps / legacy_eps);
+
+  // ---- 1b. batched SoA sweep vs the per-config scoring path ----
+  // The harness workload this PR batched: score every candidate
+  // placement of every (benchmark x compiler) cell.  The scalar
+  // baseline is the path evaluate_sweep replaced — rebuild the
+  // ExecConfig and run one full-detail evaluate per placement.  The
+  // batched side is the explore loop's shape today: the placement list
+  // is built once per benchmark (all compiler cells share it — which is
+  // also what makes the sweep's config-fill memo hit), and each cell is
+  // scored by one detail-less evaluate_sweep call.  Bitwise identity of
+  // every result field — full-detail sweep vs scalar, and detail-less
+  // scalars vs full-detail — gates the exit code alongside the study
+  // A/B below.
+  std::vector<perf::KernelPlan> plans;
+  plans.reserve(points.size());
+  for (const auto& pt : points)
+    plans.push_back(perf::analyze(*pt.out->kernel, m));
+
+  // Interleaved best-of-rounds: both paths sampled alternately so OS
+  // noise hits them alike, and the minimum round is the signal.
+  double t_scalar = 0, t_sweep = 0;
+  for (int r = 0; r < eval_reps; ++r) {
+    const auto t0_scalar = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < points.size(); ++i)
+      for (const auto& [ranks, threads] : points[i].placements) {
+        const auto cfg = perf::make_config(ranks, threads, m);
+        acc += perf::evaluate(plans[i], cfg, points[i].out->profile).seconds;
+      }
+    const double dt_scalar = seconds_since(t0_scalar);
+    if (r == 0 || dt_scalar < t_scalar) t_scalar = dt_scalar;
+
+    const auto t0_sweep = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < points.size(); ++i)
+      for (const auto& res :
+           perf::evaluate_sweep(plans[i], points[i].cfgs,
+                                points[i].out->profile, /*want_detail=*/false))
+        acc += res.seconds;
+    const double dt_sweep = seconds_since(t0_sweep);
+    if (r == 0 || dt_sweep < t_sweep) t_sweep = dt_sweep;
+  }
+
+  bool sweep_same = true;
+  for (std::size_t i = 0; i < points.size() && sweep_same; ++i) {
+    const auto full = perf::evaluate_sweep(plans[i], points[i].cfgs,
+                                           points[i].out->profile);
+    const auto score =
+        perf::evaluate_sweep(plans[i], points[i].cfgs, points[i].out->profile,
+                             /*want_detail=*/false);
+    for (std::size_t j = 0; j < full.size(); ++j) {
+      // Full-detail sweep == scalar evaluate, field for field...
+      if (!identical(full[j], perf::evaluate(plans[i], points[i].cfgs[j],
+                                             points[i].out->profile))) {
+        sweep_same = false;
+        break;
+      }
+      // ...and the scoring mode matches on every scalar field with an
+      // empty breakdown.
+      const auto& s = score[j];
+      if (!(s.seconds == full[j].seconds &&
+            s.total_flops == full[j].total_flops &&
+            s.mem_bytes == full[j].mem_bytes &&
+            s.runtime_overhead_s == full[j].runtime_overhead_s &&
+            s.joules == full[j].joules &&
+            s.bottleneck == full[j].bottleneck && s.detail.empty())) {
+        sweep_same = false;
+        break;
+      }
+    }
+  }
+
+  const double scalar_eps = static_cast<double>(evals) / t_scalar;
+  const double sweep_eps = static_cast<double>(evals) / t_sweep;
+  std::printf("  per-config path: %8.0f placements/s  (make_config + evaluate"
+              " per placement)\n",
+              scalar_eps);
+  std::printf("  batched sweep:   %8.0f placements/s  (%.2fx)  bit-identical:"
+              " %s\n",
+              sweep_eps, sweep_eps / scalar_eps,
+              sweep_same ? "yes" : "NO — DETERMINISM BROKEN");
 
   // ---- 2. full-study wall time: cache off vs on ----
   report::Table table_off, table_on;
@@ -226,6 +330,7 @@ int main(int argc, char** argv) {
   sweep_json += "]";
 
   benchutil::claim("perf_model.hot_path_speedup", ">=2x", split_eps / legacy_eps);
+  benchutil::claim("perf_model.sweep_speedup", ">=3x", sweep_eps / scalar_eps);
   benchutil::claim("perf_model.study_speedup", ">=2x", t_off / t_on);
   benchutil::claim("perf_model.estimate_cache_hit_rate", ">0", es.hit_rate());
 
@@ -235,17 +340,20 @@ int main(int argc, char** argv) {
       "\n{\"bench\":\"perf_model\",\"scale\":%g,\"jobs\":%d,\"reps\":%d,"
       "\"placements\":%zu,\"legacy_evals_per_sec\":%.1f,"
       "\"split_evals_per_sec\":%.1f,\"hot_path_speedup\":%.4f,"
+      "\"scalar_evals_per_sec\":%.1f,\"sweep_evals_per_sec\":%.1f,"
+      "\"sweep_speedup\":%.4f,\"batch_identical\":%s,"
       "\"study_seconds_uncached\":%.4f,\"study_seconds_cached\":%.4f,"
       "\"study_speedup\":%.4f,\"identical\":%s,"
       "\"estimate_cache_hits\":%llu,\"estimate_cache_misses\":%llu,"
       "\"estimate_cache_hit_rate\":%.4f,\"plan_cache_hits\":%llu,"
       "\"plan_cache_misses\":%llu,\"worker_sweep\":%s,\"checksum\":%.6g}\n",
       args.scale, jobs, reps, evals, legacy_eps, split_eps,
-      split_eps / legacy_eps, t_off, t_on, t_off / t_on,
+      split_eps / legacy_eps, scalar_eps, sweep_eps, sweep_eps / scalar_eps,
+      sweep_same ? "true" : "false", t_off, t_on, t_off / t_on,
       same ? "true" : "false", static_cast<unsigned long long>(es.hits),
       static_cast<unsigned long long>(es.misses), es.hit_rate(),
       static_cast<unsigned long long>(ps.hits),
       static_cast<unsigned long long>(ps.misses), sweep_json.c_str(), acc);
 
-  return same ? 0 : 1;
+  return (same && sweep_same) ? 0 : 1;
 }

@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
       const auto cfg = perf::make_config(
           b.traits.single_core ? 1 : 4, b.traits.single_core ? 1 : 12, machine);
       const auto r = perf::estimate(*out.kernel, machine, cfg, out.profile);
-      std::printf("=> predicted %.6f s (x%.3g quirk), bottleneck: %s, %.1f GF/s\n\n",
+      std::printf("=> predicted %.6f s (x%.3g quirk), bottleneck: %.*s, %.1f GF/s\n\n",
                   r.seconds * out.time_multiplier, out.time_multiplier,
-                  r.bottleneck.c_str(), r.gflops());
+                  static_cast<int>(r.bottleneck.size()), r.bottleneck.data(),
+                  r.gflops());
     }
     return 0;
   }

@@ -59,9 +59,9 @@ int main() {
                                    perf::make_config(1, 1, a64), out.profile);
     const auto rx = perf::estimate(*out.kernel, xeon,
                                    perf::make_config(1, 1, xeon), out.profile);
-    std::printf("%-12s %-10s %12.5f %12.5f %10s\n", spec.name.c_str(),
+    std::printf("%-12s %-10s %12.5f %12.5f %10.*s\n", spec.name.c_str(),
                 ok ? "yes" : ("NO: " + why).c_str(), ra.seconds, rx.seconds,
-                ra.bottleneck.c_str());
+                static_cast<int>(ra.bottleneck.size()), ra.bottleneck.data());
   }
   std::printf(
       "\nNote how the compilers that interchange the nest (making A[j][i]\n"

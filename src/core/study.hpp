@@ -63,6 +63,14 @@ struct StudyOptions {
   /// bit-identical either way; the toggle exists for A/B benchmarking
   /// (`bench_perf_model`) and the byte-identity tests.
   bool memoize_estimates = true;
+  /// Batch-evaluate the exploration sweep: score every candidate
+  /// placement of a cell in one perf::evaluate_sweep call through the
+  /// estimate cache's sweep API.  Off (`--no-batch-evaluate`) keeps the
+  /// per-placement loop — tables are byte-identical either way at any
+  /// --jobs/--procs, faults on/off; the toggle exists for A/B
+  /// benchmarking (`bench_perf_model`) and the byte-identity tests.
+  /// Only effective with memoize_estimates on.
+  bool batch_evaluate = true;
   /// Memoize in-pipeline analyses (dependence graphs, stmt stats, nest
   /// structure) in the compile pipeline's analysis::Manager.  Off
   /// (`--no-analysis-cache`) recomputes on every query — tables,

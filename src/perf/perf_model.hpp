@@ -17,11 +17,12 @@
 // threading/runtime overheads are added.
 
 #include <string>
-#include <vector>
+#include <string_view>
 
 #include "analysis/access.hpp"
 #include "ir/kernel.hpp"
 #include "machine/machine.hpp"
+#include "perf/small_vec.hpp"
 
 namespace a64fxcc::perf {
 
@@ -65,17 +66,31 @@ struct StmtBreakdown {
   double comp_s = 0, l1_s = 0, l2_s = 0, mem_s = 0, lat_s = 0, ovh_s = 0;
   double flops = 0;
   double mem_bytes = 0;
-  std::string bottleneck;
+  /// Always one of the static literals "latency"/"core"/"L2"/"mem" —
+  /// a view keeps evaluation free of per-statement string traffic.
+  std::string_view bottleneck;
 };
 
+/// detail's inline capacity: covers the statement count of nearly every
+/// suite kernel, so an evaluation allocates nothing (deeper kernels
+/// spill to the heap and simply pay the old allocation).
+inline constexpr std::size_t kDetailInline = 4;
+
 struct PerfResult {
+  /// User-provided so value-initialization (vector<PerfResult>(n) in
+  /// evaluate_sweep) runs the member initializers instead of first
+  /// zero-filling the whole object — the inline detail buffer is raw
+  /// storage, and memsetting it dominated the cost of a batched sweep.
+  PerfResult() noexcept {}
+
   double seconds = 0;
   double total_flops = 0;
   double mem_bytes = 0;          ///< traffic at the memory boundary
   double runtime_overhead_s = 0; ///< OMP fork/barrier + MPI costs
   double joules = 0;             ///< energy-to-solution (machine power model)
-  std::string bottleneck;        ///< of the dominant statement
-  std::vector<StmtBreakdown> detail;
+  /// Of the dominant statement; same static literals as StmtBreakdown.
+  std::string_view bottleneck;
+  SmallVec<StmtBreakdown, kDetailInline> detail;
 
   [[nodiscard]] double gflops() const {
     return seconds > 0 ? total_flops / seconds / 1e9 : 0;

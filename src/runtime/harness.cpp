@@ -17,6 +17,17 @@ namespace {
 
 bool is_pow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
 
+/// Generation-time candidate filter: drop placements whose rank x
+/// thread product oversubscribes the machine and dedupe against the
+/// list built so far, so no post-pass over the list is needed.  Order
+/// of arrival is preserved (exploration ties resolve toward earlier
+/// entries).
+void push_candidate(std::vector<Placement>& out, Placement p,
+                    int total_cores) {
+  if (p.ranks * p.threads > total_cores) return;
+  if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+}
+
 }  // namespace
 
 std::uint64_t cell_stream(const std::string& benchmark,
@@ -52,32 +63,29 @@ std::vector<Placement> Harness::candidate_placements(
   std::vector<Placement> out;
   if (traits.one_cmg) {
     for (const int t : {1, 2, 4, 6, 8, 12})
-      if (t <= cpd) out.push_back({1, t});
+      if (t <= cpd) push_candidate(out, {1, t}, total);
     return out;
   }
-  // The recommended mapping first (ties resolve toward it).
-  out.push_back(recommended_for(model, traits));
+  // The recommended mapping first (ties resolve toward it), through the
+  // same generation-time filters as the grid: the pow2 constraint used
+  // to be re-enforced by a trailing erase_if pass over the full list.
+  const Placement rec = recommended_for(model, traits);
+  if (!traits.pow2_ranks_only || is_pow2(rec.ranks))
+    push_candidate(out, rec, total);
   if (model == ir::ParallelModel::OpenMP) {
     for (const int t : {1, 2, 4, 8, 12, 16, 24, 32, 48})
-      if (t <= total) {
-        const Placement p{1, t};
-        if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
-      }
+      if (t <= total) push_candidate(out, {1, t}, total);
     return out;
   }
   const int rank_candidates[] = {1, 2, 4, 8, 12, 16, 32, 48};
   const int thread_candidates[] = {1, 2, 4, 6, 8, 12, 24, 48};
   for (const int r : rank_candidates) {
+    if (traits.pow2_ranks_only && !is_pow2(r)) continue;
     for (const int t : thread_candidates) {
-      if (r * t > total) continue;
       if (r * t < std::min(4, total)) continue;  // skip degenerate configs
-      Placement p{r, t};
-      if (traits.pow2_ranks_only && !is_pow2(r)) continue;
-      if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+      push_candidate(out, {r, t}, total);
     }
   }
-  if (traits.pow2_ranks_only)
-    std::erase_if(out, [](const Placement& p) { return !is_pow2(p.ranks); });
   return out;
 }
 
@@ -122,7 +130,11 @@ std::shared_ptr<const perf::KernelPlan> Harness::plan_cached(
 std::shared_ptr<const perf::PerfResult> Harness::evaluate_cached(
     const perf::KernelPlan& plan, const perf::ExecConfig& cfg,
     const perf::CodegenProfile& prof, RunMetrics* metrics) const {
-  auto [result, hit, evicted] = ecache_.get_or_evaluate(plan, cfg, prof);
+  // Placement scoring and run characterization read only the scalar
+  // PerfResult fields (seconds, bottleneck, flops, bytes) — skip the
+  // per-statement breakdown; the scalars are bit-identical either way.
+  auto [result, hit, evicted] =
+      ecache_.get_or_evaluate(plan, cfg, prof, /*want_detail=*/false);
   if (metrics != nullptr) {
     metrics->cache_evictions += static_cast<int>(evicted);
     if (hit)
@@ -168,6 +180,50 @@ double Harness::time_of(const CompiledCell& cell, Placement p,
     t += t_ref * cell.library_fraction / (1.0 - cell.library_fraction);
   }
   return t;
+}
+
+std::vector<double> Harness::times_of(const CompiledCell& cell,
+                                      const std::vector<Placement>& ps,
+                                      RunMetrics* metrics) const {
+  const compilers::CompileOutcome& out = *cell.out;
+  if (!out.ok())
+    return std::vector<double>(ps.size(),
+                               std::numeric_limits<double>::infinity());
+  // One ExecConfig per placement, built once and shared by the main and
+  // reference sweeps (the scalar loop rebuilds it per time_of call).
+  std::vector<perf::ExecConfig> cfgs;
+  cfgs.reserve(ps.size());
+  for (const Placement& p : ps)
+    cfgs.push_back(perf::make_config(p.ranks, p.threads, machine_));
+
+  const auto record = [metrics,
+                       &cfgs](const perf::EstimateCache::SweepResult& s) {
+    if (metrics == nullptr) return;
+    metrics->estimate_cache_hits += s.hits;
+    metrics->estimate_cache_misses += s.misses;
+    metrics->cache_evictions += static_cast<int>(s.evicted);
+    metrics->estimate_sweeps.push_back(
+        {static_cast<int>(cfgs.size()), s.misses});
+  };
+
+  auto sweep = ecache_.get_or_evaluate_sweep(*cell.plan, cfgs, out.profile,
+                                             /*want_detail=*/false);
+  record(sweep);
+  std::vector<double> times(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    times[i] = sweep.results[i]->seconds * out.time_multiplier;
+  if (cell.library_fraction > 0 && cell.ref != nullptr && cell.ref->ok() &&
+      cell.ref_plan != nullptr) {
+    auto ref_sweep = ecache_.get_or_evaluate_sweep(
+        *cell.ref_plan, cfgs, cell.ref->profile, /*want_detail=*/false);
+    record(ref_sweep);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const double t_ref = ref_sweep.results[i]->seconds;
+      times[i] +=
+          t_ref * cell.library_fraction / (1.0 - cell.library_fraction);
+    }
+  }
+  return times;
 }
 
 double Harness::model_time(const compilers::CompilerSpec& spec,
@@ -320,10 +376,24 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
         obs::scoped(ctx.tracer, "explore", bench.name(), spec.name);
     const PhaseClock clock(metrics != nullptr ? &metrics->explore_seconds
                                               : nullptr);
+    // Batch path: score the whole candidate sweep in one statement-major
+    // evaluate_sweep call through the cache's sweep API.  Bit-identical
+    // to the per-placement loop below (asserted by test_estimate_cache's
+    // A/B tables); cell.plan implies memoization is on and the compile
+    // succeeded.
+    std::vector<double> sweep_times;
+    const bool batched = batch_evaluate_ && cell.plan != nullptr;
+    if (batched) {
+      ctx.checkpoint();
+      const auto sweep_span =
+          obs::scoped(ctx.tracer, "evaluate:sweep", bench.name(), spec.name);
+      sweep_times = times_of(cell, placements, metrics);
+    }
     double best_trial = std::numeric_limits<double>::infinity();
     for (std::size_t pi = 0; pi < placements.size(); ++pi) {
       ctx.checkpoint();  // cooperative cancellation per exploration point
-      const double t = time_of(cell, placements[pi], metrics);
+      const double t =
+          batched ? sweep_times[pi] : time_of(cell, placements[pi], metrics);
       if (pi == 0) t_best = t;  // fallback: best_p starts at placements[0]
       for (int trial = 0; trial < 3; ++trial) {
         const double sample =
@@ -395,7 +465,7 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
     direct = perf::estimate(*out->kernel, machine_, cfg, out->profile);
   }
   const perf::PerfResult& pr = cached != nullptr ? *cached : direct;
-  m.bottleneck = pr.bottleneck;
+  m.bottleneck = std::string(pr.bottleneck);
   m.gflops = pr.total_flops / m.best_seconds / 1e9;
   m.mem_gbs = pr.mem_bytes / m.best_seconds / 1e9;
   return m;

@@ -128,6 +128,15 @@ struct RunMetrics {
   double compile_seconds = 0;  ///< compile + reference compile
   double explore_seconds = 0;  ///< placement exploration trials
   double measure_seconds = 0;  ///< 10-run performance phase
+  /// One batched estimate-sweep call (the batch-evaluate explore path):
+  /// how many configs it scored and how many entries the batch actually
+  /// filled (= its cache misses).  Deterministic per cell, like the
+  /// hit/miss counters above; feeds EstimateSweep events.
+  struct SweepSample {
+    int configs = 0;
+    int filled = 0;
+  };
+  std::vector<SweepSample> estimate_sweeps;
 };
 
 class Harness {
@@ -222,6 +231,18 @@ class Harness {
     return memoize_estimates_;
   }
 
+  /// Toggle batched sweep evaluation (default on).  On, the exploration
+  /// phase scores every candidate placement of a cell in one
+  /// perf::evaluate_sweep call through the estimate cache's sweep API;
+  /// off (`--no-batch-evaluate`) keeps the per-placement time_of loop.
+  /// Tables are byte-identical either way — the A/B exists for the
+  /// identity tests and bench_perf_model.  Requires estimate
+  /// memoization; with memoization off the scalar loop runs regardless.
+  void set_batch_evaluate(bool on) noexcept { batch_evaluate_ = on; }
+  [[nodiscard]] bool batch_evaluate() const noexcept {
+    return batch_evaluate_;
+  }
+
   /// Toggle in-pipeline analysis memoization (default on).  Off makes
   /// the compile pipeline's analysis::Manager recompute dependence
   /// graphs / stmt stats / nest structure on every query — the
@@ -269,6 +290,16 @@ class Harness {
   [[nodiscard]] double time_of(const CompiledCell& cell, Placement p,
                                RunMetrics* metrics) const;
 
+  /// Batched time_of over a whole placement sweep: every ExecConfig is
+  /// built once, the main plan (and the FJtrad reference plan, for
+  /// library cells) is scored through EstimateCache::get_or_evaluate_
+  /// sweep, and entry i is bit-identical to time_of(cell, ps[i]).
+  /// Requires cell.plan (the explore loop falls back to time_of
+  /// otherwise).
+  [[nodiscard]] std::vector<double> times_of(const CompiledCell& cell,
+                                             const std::vector<Placement>& ps,
+                                             RunMetrics* metrics) const;
+
   /// Memoized evaluate of a plan at one configuration (counts into
   /// `metrics`); assumes memoize_estimates_.
   [[nodiscard]] std::shared_ptr<const perf::PerfResult> evaluate_cached(
@@ -282,6 +313,7 @@ class Harness {
   bool apply_quirks_ = true;
   bool memoize_estimates_ = true;
   bool memoize_analyses_ = true;
+  bool batch_evaluate_ = true;
   cache::Service* service_ = nullptr;  ///< shared tier (may be null)
   /// Memoized compile() outcomes; mutable because memoization does not
   /// change observable results (compile() is pure).

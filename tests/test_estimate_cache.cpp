@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/study.hpp"
+#include "obs/metrics.hpp"
 #include "report/figure2.hpp"
 
 namespace {
@@ -30,11 +31,13 @@ std::vector<kernels::Benchmark> mixed_suite() {
   return suite;
 }
 
-report::Table run_table(int jobs, bool memoize, const char* faults) {
+report::Table run_table(int jobs, bool memoize, const char* faults,
+                        bool batch = true) {
   core::StudyOptions opt;
   opt.scale = 0.05;
   opt.jobs = jobs;
   opt.memoize_estimates = memoize;
+  opt.batch_evaluate = batch;
   if (faults != nullptr) {
     const auto plan = runtime::FaultPlan::parse(faults);
     EXPECT_TRUE(plan.has_value());
@@ -76,6 +79,84 @@ TEST(EstimateCacheIdentity, TablesByteIdenticalUnderFaultInjection) {
           << "jobs=" << jobs << " memoize=" << memoize;
     }
   }
+}
+
+TEST(BatchEvaluateIdentity, TablesByteIdenticalWithBatchingOnOff) {
+  // The --no-batch-evaluate A/B: the batched SoA sweep must not move a
+  // single output byte relative to the per-config scalar path, at any
+  // worker count, cache on or off.
+  const auto reference = run_table(1, true, nullptr, /*batch=*/false);
+  const std::string ref_csv = report::render_csv(reference);
+  const std::string ref_json = report::render_json(reference);
+  for (const int jobs : {1, 2, 8}) {
+    for (const bool memoize : {false, true}) {
+      const auto t = run_table(jobs, memoize, nullptr, /*batch=*/true);
+      EXPECT_EQ(report::render_csv(t), ref_csv)
+          << "jobs=" << jobs << " memoize=" << memoize;
+      EXPECT_EQ(report::render_json(t), ref_json)
+          << "jobs=" << jobs << " memoize=" << memoize;
+    }
+  }
+}
+
+TEST(BatchEvaluateIdentity, TablesByteIdenticalUnderFaultInjection) {
+  // Retried cells re-run explore against warm caches; the batched path
+  // must stay byte-identical through partial evaluation too.
+  const char* kFaults = "compile:0.2,runtime:0.2";
+  const auto reference = run_table(1, true, kFaults, /*batch=*/false);
+  const std::string ref_csv = report::render_csv(reference);
+  for (const int jobs : {1, 2, 8}) {
+    const auto t = run_table(jobs, true, kFaults, /*batch=*/true);
+    EXPECT_EQ(report::render_csv(t), ref_csv) << "jobs=" << jobs;
+  }
+}
+
+TEST(BatchEvaluateMetrics, SweepCountersAreSchedulingIndependent) {
+  // estimate_sweep_calls is a pure function of the suite, never of
+  // worker scheduling: every cell sweeps the same placement list
+  // against its own plan regardless of evaluation order.  So is the
+  // hits+misses total (each sweep probes exactly its config count).
+  // Fills themselves carry the documented racing-miss property of
+  // get_or_evaluate: two cells sweeping the shared library-reference
+  // plan concurrently may both miss a key and both fill it (the first
+  // publish wins, both count), so at jobs > 1 fills may only exceed
+  // the single-worker minimum.
+  struct Counts {
+    std::uint64_t calls, fills, probes;
+  };
+  const auto counters_at = [](int jobs) {
+    obs::MetricsSink metrics;
+    core::StudyOptions opt;
+    opt.scale = 0.05;
+    opt.jobs = jobs;
+    opt.sink = &metrics;
+    core::Study(std::move(opt)).run_suite(mixed_suite());
+    return Counts{metrics.counter("estimate_sweep_calls"),
+                  metrics.counter("estimate_sweep_batched_fills"),
+                  metrics.counter("estimate_cache_hits") +
+                      metrics.counter("estimate_cache_misses")};
+  };
+  const auto ref = counters_at(1);
+  EXPECT_GT(ref.calls, 0u);
+  EXPECT_GT(ref.fills, 0u);
+  for (const int jobs : {2, 8}) {
+    const auto c = counters_at(jobs);
+    EXPECT_EQ(c.calls, ref.calls) << "jobs=" << jobs;
+    EXPECT_EQ(c.probes, ref.probes) << "jobs=" << jobs;
+    EXPECT_GE(c.fills, ref.fills) << "jobs=" << jobs;
+  }
+}
+
+TEST(BatchEvaluateMetrics, ScalarPathEmitsNoSweepTelemetry) {
+  obs::MetricsSink metrics;
+  core::StudyOptions opt;
+  opt.scale = 0.05;
+  opt.jobs = 2;
+  opt.batch_evaluate = false;
+  opt.sink = &metrics;
+  core::Study(std::move(opt)).run_suite(kernels::top500_suite(0.05));
+  EXPECT_EQ(metrics.counter("estimate_sweep_calls"), 0u);
+  EXPECT_EQ(metrics.counter("estimate_sweep_batched_fills"), 0u);
 }
 
 TEST(EstimateCacheMetrics, StudyCountsPlanAndEstimateCacheTraffic) {

@@ -70,6 +70,47 @@ TEST(Placements, DefaultSetIncludesRecommendedFirstAndFits) {
   for (const auto& p : c) EXPECT_LE(p.ranks * p.threads, 48);
 }
 
+TEST(Placements, GeneratedListsAreDedupedAndFeasibleEverywhere) {
+  // Infeasible (ranks x threads > cores) and duplicate combos are now
+  // skipped at generation time rather than filtered afterwards; the
+  // recommended placement stays first wherever it is feasible.
+  using kernels::BenchmarkTraits;
+  const BenchmarkTraits traits[] = {{},
+                                    {.pow2_ranks_only = true},
+                                    {.one_cmg = true},
+                                    {.single_core = true},
+                                    {.explore_placements = false}};
+  const ir::ParallelModel models[] = {ir::ParallelModel::MpiOpenMP,
+                                      ir::ParallelModel::OpenMP,
+                                      ir::ParallelModel::Serial};
+  for (const auto& m :
+       {machine::a64fx(), machine::a64fx_fx700(), machine::thunderx2(),
+        machine::xeon_cascadelake()}) {
+    const Harness h(m, 42);
+    for (const auto& tr : traits) {
+      for (const auto model : models) {
+        const auto c = h.candidate_placements(tr, model);
+        ASSERT_FALSE(c.empty()) << m.name;
+        for (const auto& p : c) {
+          EXPECT_GE(p.ranks, 1) << m.name;
+          EXPECT_GE(p.threads, 1) << m.name;
+          EXPECT_LE(p.ranks * p.threads, m.total_cores()) << m.name;
+        }
+        for (std::size_t i = 0; i < c.size(); ++i)
+          for (std::size_t j = i + 1; j < c.size(); ++j)
+            EXPECT_FALSE(c[i] == c[j])
+                << m.name << " dup " << c[i].ranks << "x" << c[i].threads;
+        // one_cmg sweeps threads ascending (recommended = 1 x cpd comes
+        // last); every other explored list leads with the recommendation.
+        const auto rec = h.recommended_for(model, tr);
+        if (!tr.one_cmg && rec.ranks * rec.threads <= m.total_cores() &&
+            (!tr.pow2_ranks_only || (rec.ranks & (rec.ranks - 1)) == 0))
+          EXPECT_EQ(c[0], rec) << m.name;
+      }
+    }
+  }
+}
+
 TEST(Harness, RunProducesOrderedStats) {
   const auto h = make_harness();
   const auto b = triad_bench();

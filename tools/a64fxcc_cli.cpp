@@ -158,6 +158,9 @@ bool apply_policy_flags(int argc, char** argv, core::StudyOptions& opt,
   // Likewise for the in-pipeline analysis memoization (see DESIGN.md
   // "Analysis manager").
   if (has_flag(argc, argv, "--no-analysis-cache")) opt.memoize_analyses = false;
+  // A/B switch for the batched placement-sweep evaluation (tables are
+  // bit-identical either way; see DESIGN.md "Batched placement sweeps").
+  if (has_flag(argc, argv, "--no-batch-evaluate")) opt.batch_evaluate = false;
   // Byte budget for the unified cache tier.  Eviction under any budget
   // is deterministic (fingerprint-ordered), so tables are byte-identical
   // whether the tier is tight or unbounded — the knob trades memory for
@@ -506,8 +509,9 @@ int show_kernel(const ir::Kernel& kernel, const std::string& compiler_name) {
     std::fputs(ir::to_string(*out.kernel).c_str(), stdout);
     const auto cfg = perf::make_config(1, 1, m);
     const auto r = perf::estimate(*out.kernel, m, cfg, out.profile);
-    std::printf("=> %.6g s single-core (bottleneck %s)\n\n",
-                r.seconds * out.time_multiplier, r.bottleneck.c_str());
+    std::printf("=> %.6g s single-core (bottleneck %.*s)\n\n",
+                r.seconds * out.time_multiplier,
+                static_cast<int>(r.bottleneck.size()), r.bottleneck.data());
   }
   return 0;
 }
@@ -678,6 +682,7 @@ void usage() {
       "                [--resume=PATH] [--journal=PATH]\n"
       "                [--inject-faults=compile:P,runtime:P,hang:P,crash:P]\n"
       "                [--no-estimate-cache] [--no-analysis-cache]\n"
+      "                [--no-batch-evaluate]\n"
       "                [--cache-budget=N[K|M|G]] [--cache-stats]\n"
       "                                   # --cache-budget caps the unified\n"
       "                                   # cache tier (0/absent = unbounded);\n"
@@ -688,6 +693,10 @@ void usage() {
       "                                   # disable perf-model / in-pipeline\n"
       "                                   # analysis memoization (A/B only;\n"
       "                                   # identical tables)\n"
+      "                                   # --no-batch-evaluate scores explore\n"
+      "                                   # placements one-by-one instead of\n"
+      "                                   # one batched sweep per cell (A/B\n"
+      "                                   # only; identical tables)\n"
       "                                   # --jobs absent = all hardware\n"
       "                                   # threads, --jobs=1 = serial; output\n"
       "                                   # is bit-identical for any N\n"
@@ -715,6 +724,7 @@ void usage() {
       "                  [--procs=N] [--shard-dir=DIR] [--lease-deadline=s]\n"
       "                  [--resume=PATH] [--journal=PATH] [--inject-faults=SPEC]\n"
       "                  [--no-estimate-cache] [--no-analysis-cache]\n"
+      "                  [--no-batch-evaluate]\n"
       "                  [--cache-budget=N[K|M|G]] [--cache-stats]\n"
       "                  [--log-level=L] [--trace=PATH] [--metrics=PATH]\n"
       "  explain <benchmark> [compiler] [--no-analysis-cache]\n"
