@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
 #include <random>
 #include <thread>
 
@@ -363,9 +364,17 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
 
   const std::uint64_t base = cell_stream(bench.name(), spec.name);
 
-  // ---- exploration phase: 3 trials per placement ----
+  // ---- exploration phase: 3 trials per surviving placement ----
   const auto placements =
       candidate_placements(bench.traits, bench.kernel.meta().parallel);
+  if (placements.empty()) {
+    // A topology that admits no candidate at all (degenerate machines:
+    // zero cores per domain under a one-CMG constraint) used to fall
+    // through to placements.front() below — UB.  Classify it instead.
+    throw CellError(CellStatus::RuntimeError,
+                    "no feasible placement: machine topology rejects every "
+                    "rank x thread candidate");
+  }
   Placement best_p = placements.front();
   // Noise-free model time of the winning placement, carried out of the
   // exploration loop so the performance phase reuses it instead of
@@ -389,13 +398,58 @@ MeasuredRun Harness::run(const compilers::CompilerSpec& spec,
           obs::scoped(ctx.tracer, "evaluate:sweep", bench.name(), spec.name);
       sweep_times = times_of(cell, placements, metrics);
     }
+    // Guided search: under --placement-search=halving the noisy trials
+    // run only for the plan's survivors.  The schedule needs every model
+    // score up front; the batch path has them already, and the scalar
+    // path hoists the same time_of calls the exhaustive loop would make
+    // (same order, so cache hit/miss counters stay sequential-identical).
+    const bool halving = search_.options().mode == SearchMode::Halving;
+    if (halving && !batched) {
+      sweep_times.resize(placements.size());
+      for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+        ctx.checkpoint();
+        sweep_times[pi] = time_of(cell, placements[pi], metrics);
+      }
+    }
+    SearchPlan splan;
+    if (halving) {
+      splan = search_.plan(sweep_times, bench.traits.noise_cv);
+      for (const auto& r : splan.rounds) {
+        // Structural trace marker, one per halving round.
+        const auto round_span =
+            obs::scoped(ctx.tracer, "search:round", bench.name(), spec.name);
+        (void)r;
+      }
+      if (metrics != nullptr) {
+        metrics->search_rounds.insert(metrics->search_rounds.end(),
+                                      splan.rounds.begin(),
+                                      splan.rounds.end());
+        metrics->search_candidates_pruned += splan.pruned();
+        metrics->search_survivor_trials +=
+            static_cast<int>(splan.survivors.size()) * 3;
+      }
+    } else {
+      splan.survivors.resize(placements.size());
+      std::iota(splan.survivors.begin(), splan.survivors.end(),
+                std::size_t{0});
+    }
+    const bool scored = batched || halving;  // sweep_times filled above
     double best_trial = std::numeric_limits<double>::infinity();
-    for (std::size_t pi = 0; pi < placements.size(); ++pi) {
+    for (std::size_t si = 0; si < splan.survivors.size(); ++si) {
+      const std::size_t pi = splan.survivors[si];
       ctx.checkpoint();  // cooperative cancellation per exploration point
       const double t =
-          batched ? sweep_times[pi] : time_of(cell, placements[pi], metrics);
-      if (pi == 0) t_best = t;  // fallback: best_p starts at placements[0]
+          scored ? sweep_times[pi] : time_of(cell, placements[pi], metrics);
+      if (si == 0) {
+        // Fallback before any trial lands; the first sample always wins
+        // the strict-< against infinity, so this is defensive only.
+        best_p = placements[pi];
+        t_best = t;
+      }
       for (int trial = 0; trial < 3; ++trial) {
+        // The survivor's ORIGINAL index keys the noise stream, so these
+        // draws are a subsequence of the exhaustive loop's draws — the
+        // byte-identity guarantee (runtime/search.hpp).
         const double sample =
             noisy(t, bench.traits.noise_cv, base ^ (pi * 8191 + trial));
         if (sample < best_trial) {

@@ -34,6 +34,7 @@
 #include "perf/perf_model.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/outcome.hpp"
+#include "runtime/search.hpp"
 
 namespace a64fxcc::runtime {
 
@@ -137,6 +138,15 @@ struct RunMetrics {
     int filled = 0;
   };
   std::vector<SweepSample> estimate_sweeps;
+  /// Guided placement search (`--placement-search=halving`): the halving
+  /// rounds this evaluation executed, plus the cell's pruning totals.
+  /// Empty/zero under exhaustive search.  Like the cache counters these
+  /// are a pure function of the cell's model scores — deterministic
+  /// across schedulings and process topologies — and feed the
+  /// SearchRound / PlacementSearch events.
+  std::vector<SearchRound> search_rounds;
+  int search_candidates_pruned = 0;  ///< candidates denied noisy trials
+  int search_survivor_trials = 0;    ///< noisy explore trials actually run
 };
 
 class Harness {
@@ -162,6 +172,8 @@ class Harness {
   /// safe to call concurrently from engine workers (the only shared
   /// mutable state is the internal compile cache, which synchronizes
   /// itself), and deterministic per the cell_stream contract above.
+  /// Throws CellError(RuntimeError) when the machine topology admits no
+  /// placement candidate at all (degenerate machines only).
   [[nodiscard]] MeasuredRun run(const compilers::CompilerSpec& spec,
                                 const kernels::Benchmark& bench,
                                 RunMetrics* metrics = nullptr) const;
@@ -243,6 +255,19 @@ class Harness {
     return batch_evaluate_;
   }
 
+  /// Configure the explore-phase placement search (default exhaustive —
+  /// the paper's full 3-trials-per-candidate sweep).  Halving prunes the
+  /// noisy-trial frontier using the noise-free model scores while
+  /// keeping the chosen placement — and therefore the study table —
+  /// byte-identical; see runtime/search.hpp for the schedule and the
+  /// index-preserving identity argument.
+  void set_placement_search(PlacementSearch::Options opt) noexcept {
+    search_ = PlacementSearch(opt);
+  }
+  [[nodiscard]] const PlacementSearch& placement_search() const noexcept {
+    return search_;
+  }
+
   /// Toggle in-pipeline analysis memoization (default on).  Off makes
   /// the compile pipeline's analysis::Manager recompute dependence
   /// graphs / stmt stats / nest structure on every query — the
@@ -314,6 +339,7 @@ class Harness {
   bool memoize_estimates_ = true;
   bool memoize_analyses_ = true;
   bool batch_evaluate_ = true;
+  PlacementSearch search_;             ///< explore-phase pruning schedule
   cache::Service* service_ = nullptr;  ///< shared tier (may be null)
   /// Memoized compile() outcomes; mutable because memoization does not
   /// change observable results (compile() is pure).

@@ -1,0 +1,82 @@
+#include "runtime/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace a64fxcc::runtime {
+
+std::optional<SearchMode> parse_search_mode(const std::string& s) {
+  if (s == "exhaustive") return SearchMode::Exhaustive;
+  if (s == "halving") return SearchMode::Halving;
+  return std::nullopt;
+}
+
+const char* to_string(SearchMode m) noexcept {
+  switch (m) {
+    case SearchMode::Exhaustive: return "exhaustive";
+    case SearchMode::Halving: return "halving";
+  }
+  return "?";
+}
+
+namespace {
+
+SearchPlan keep_all(std::size_t n) {
+  SearchPlan p;
+  p.survivors.resize(n);
+  std::iota(p.survivors.begin(), p.survivors.end(), std::size_t{0});
+  return p;
+}
+
+}  // namespace
+
+SearchPlan PlacementSearch::plan(std::span<const double> times,
+                                 double noise_cv) const {
+  const std::size_t n = times.size();
+  if (opt_.mode != SearchMode::Halving || n < 2) return keep_all(n);
+  for (const double t : times)
+    if (!std::isfinite(t)) return keep_all(n);
+
+  // Rank by (time, original index): the same total order the exhaustive
+  // loop's strict-< update resolves ties with.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&times](std::size_t a, std::size_t b) {
+                     return times[a] < times[b];
+                   });
+
+  // The unprunable noise band: candidates multiplicative noise of this
+  // benchmark's magnitude could still promote past the frontier
+  // minimum.  sigma mirrors noise_sample exactly; cv <= 0 collapses the
+  // band to exact model-time ties (noise-free trials cannot reorder).
+  const double sigma =
+      noise_cv > 0 ? std::sqrt(std::log1p(noise_cv * noise_cv)) : 0.0;
+  const double cut = times[order.front()] * std::exp(kBandSigmas * sigma);
+  std::size_t band = 1;
+  while (band < n && times[order[band]] <= cut) ++band;
+
+  const std::size_t floor = static_cast<std::size_t>(
+      opt_.keep > 0 ? opt_.keep
+                    : std::max(2, static_cast<int>((n + 7) / 8)));
+
+  SearchPlan p;
+  std::size_t frontier = n;
+  for (;;) {
+    const std::size_t target =
+        std::max({floor, band, frontier - frontier / 2});
+    if (target >= frontier) break;
+    p.rounds.push_back({static_cast<int>(frontier),
+                        static_cast<int>(frontier - target)});
+    frontier = target;
+  }
+  p.survivors.assign(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(frontier));
+  // Ascending original index: survivor trials must replay as a
+  // subsequence of the exhaustive loop (see search.hpp).
+  std::sort(p.survivors.begin(), p.survivors.end());
+  return p;
+}
+
+}  // namespace a64fxcc::runtime

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 #include <limits>
+#include <vector>
 
 #include "kernels/archetypes.hpp"
 #include "runtime/harness.hpp"
+#include "runtime/search.hpp"
 
 namespace {
 
@@ -18,6 +21,9 @@ using kernels::ArchParams;
 using kernels::Benchmark;
 using runtime::Harness;
 using runtime::Placement;
+using runtime::PlacementSearch;
+using runtime::SearchMode;
+using runtime::SearchPlan;
 
 Harness make_harness(std::uint64_t seed = 42) {
   return Harness(machine::a64fx(), seed);
@@ -244,6 +250,155 @@ TEST(NoiseSample, HarnessSamplesDeriveFromCellSubstreams) {
                                                 t_model, b.traits.noise_cv));
   }
   EXPECT_EQ(m.best_seconds, best);
+}
+
+// --- Guided placement search (successive halving over model estimates) ---
+
+PlacementSearch halving(int keep = 0) {
+  return PlacementSearch({SearchMode::Halving, keep});
+}
+
+TEST(PlacementSearchPlan, ExhaustiveModeKeepsEveryCandidate) {
+  const PlacementSearch s({SearchMode::Exhaustive, 0});
+  const std::vector<double> times{3.0, 1.0, 2.0};
+  const SearchPlan p = s.plan(times, 0.1);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(p.rounds.empty());
+  EXPECT_EQ(p.pruned(), 0);
+}
+
+TEST(PlacementSearchPlan, ShortListsAndNonFiniteTimesKeepAll) {
+  const PlacementSearch s = halving();
+  const std::vector<double> one{3.0};
+  EXPECT_EQ(s.plan(one, 0.1).survivors, (std::vector<std::size_t>{0}));
+  // A non-finite model estimate means the ranking is meaningless; the
+  // plan must fall back to the exhaustive schedule rather than prune on
+  // garbage.
+  const std::vector<double> inf{1.0, std::numeric_limits<double>::infinity(),
+                                2.0};
+  const SearchPlan p = s.plan(inf, 0.1);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(p.rounds.empty());
+}
+
+TEST(PlacementSearchPlan, HalvesToDerivedFloorPreservingOriginalIndices) {
+  // 16 candidates, descending powers of two: the two fastest are the
+  // LAST two indices, so surviving "original index" order proves the
+  // plan reports pre-ranking indices (the noise-stream contract), not
+  // rank positions.
+  std::vector<double> times(16);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    times[i] = std::pow(2.0, 15.0 - static_cast<double>(i));
+  const SearchPlan p = halving().plan(times, 0.01);
+  // floor = max(2, ceil(16/8)) = 2; schedule 16 -> 8 -> 4 -> 2.
+  ASSERT_EQ(p.rounds.size(), 3u);
+  EXPECT_EQ(p.rounds[0].frontier, 16);
+  EXPECT_EQ(p.rounds[0].pruned, 8);
+  EXPECT_EQ(p.rounds[1].frontier, 8);
+  EXPECT_EQ(p.rounds[1].pruned, 4);
+  EXPECT_EQ(p.rounds[2].frontier, 4);
+  EXPECT_EQ(p.rounds[2].pruned, 2);
+  EXPECT_EQ(p.pruned(), 14);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{14, 15}));
+}
+
+TEST(PlacementSearchPlan, NoiseBandIsUnprunable) {
+  // All four candidates sit well inside the 10-sigma band of cv = 0.5:
+  // noisy trials could promote any of them, so none may be pruned.
+  const std::vector<double> times{1.0, 1.01, 1.02, 0.99};
+  const SearchPlan p = halving().plan(times, 0.5);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(p.rounds.empty());
+  EXPECT_EQ(p.pruned(), 0);
+}
+
+TEST(PlacementSearchPlan, ZeroCvBandCollapsesToExactTies) {
+  // cv = 0 means trials are noise-free: only exact model-time ties with
+  // the minimum are unprunable.  Three candidates tie at 1.0.
+  const std::vector<double> times{5.0, 1.0, 1.0, 3.0, 2.0, 1.0};
+  const SearchPlan p = halving().plan(times, 0.0);
+  ASSERT_EQ(p.rounds.size(), 1u);
+  EXPECT_EQ(p.rounds[0].frontier, 6);
+  EXPECT_EQ(p.rounds[0].pruned, 3);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{1, 2, 5}));
+  EXPECT_EQ(p.pruned(), 3);
+}
+
+TEST(PlacementSearchPlan, KeepWidensTheFloor) {
+  std::vector<double> times(16);
+  for (std::size_t i = 0; i < times.size(); ++i)
+    times[i] = std::pow(2.0, 15.0 - static_cast<double>(i));
+  // --search-keep=5 halts the halving at 5 survivors: 16 -> 8 -> 5.
+  const SearchPlan p = halving(5).plan(times, 0.01);
+  ASSERT_EQ(p.rounds.size(), 2u);
+  EXPECT_EQ(p.rounds[1].frontier, 8);
+  EXPECT_EQ(p.rounds[1].pruned, 3);
+  EXPECT_EQ(p.survivors, (std::vector<std::size_t>{11, 12, 13, 14, 15}));
+  // keep >= n degenerates to the exhaustive schedule.
+  const std::vector<double> four{4.0, 3.0, 2.0, 1.0};
+  const SearchPlan q = halving(100).plan(four, 0.01);
+  EXPECT_EQ(q.survivors, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(q.rounds.empty());
+}
+
+TEST(Harness, DegenerateMachineRaisesClassifiedCellError) {
+  // A machine whose topology admits no rank x thread candidate must
+  // fail the cell as a classified RuntimeError, not index an empty
+  // placement vector (UB before this guard existed).
+  machine::Machine m = machine::a64fx();
+  m.cores_per_domain = 0;
+  const Harness h(m, 42);
+  auto b = triad_bench();
+  b.traits.one_cmg = true;
+  EXPECT_TRUE(
+      h.candidate_placements(b.traits, ir::ParallelModel::OpenMP).empty());
+  try {
+    (void)h.run(compilers::fjtrad(), b);
+    FAIL() << "expected CellError";
+  } catch (const runtime::CellError& e) {
+    EXPECT_EQ(e.status(), runtime::CellStatus::RuntimeError);
+    EXPECT_NE(std::string(e.what()).find("no feasible placement"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Harness, HalvingMatchesExhaustiveAndRecordsItsSchedule) {
+  // The headline guarantee at harness level: halving returns the exact
+  // measurement exhaustive would (placement, best, median), and its
+  // metrics describe a consistent schedule.
+  auto b = triad_bench();
+  b.traits.noise_cv = 0.05;
+  Harness ex = make_harness();
+  ex.set_placement_search({SearchMode::Exhaustive, 0});
+  Harness ha = make_harness();
+  ha.set_placement_search({SearchMode::Halving, 0});
+  runtime::RunMetrics me;
+  runtime::RunMetrics mh;
+  const auto re = ex.run(compilers::fjtrad(), b, &me);
+  const auto rh = ha.run(compilers::fjtrad(), b, &mh);
+  ASSERT_TRUE(re.valid());
+  EXPECT_EQ(re.placement, rh.placement);
+  EXPECT_EQ(re.best_seconds, rh.best_seconds);
+  EXPECT_EQ(re.median_seconds, rh.median_seconds);
+  EXPECT_EQ(re.cv, rh.cv);
+  // Exhaustive emits no search telemetry at all.
+  EXPECT_TRUE(me.search_rounds.empty());
+  EXPECT_EQ(me.search_survivor_trials, 0);
+  EXPECT_EQ(me.search_candidates_pruned, 0);
+  // Halving's counters are internally consistent: pruned sums over the
+  // rounds, and every survivor got exactly 3 noisy trials.
+  const auto cands =
+      ha.candidate_placements(b.traits, ir::ParallelModel::OpenMP);
+  int pruned = 0;
+  for (const auto& r : mh.search_rounds) pruned += r.pruned;
+  EXPECT_EQ(pruned, mh.search_candidates_pruned);
+  EXPECT_EQ(mh.search_survivor_trials,
+            3 * (static_cast<int>(cands.size()) - pruned));
+  EXPECT_GT(mh.search_candidates_pruned, 0);
+  if (!mh.search_rounds.empty())
+    EXPECT_EQ(mh.search_rounds.front().frontier,
+              static_cast<int>(cands.size()));
 }
 
 }  // namespace
